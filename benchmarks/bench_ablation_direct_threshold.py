@@ -1,0 +1,90 @@
+"""Ablation: the direct-code fallback constant (Section 4.3 calibration).
+
+The paper fixes the threshold at 4 after Fig. 9. This bench sweeps the
+config knob across a workload mix of small tables and verifies the
+measured per-lookup cost is minimized at (or indistinguishably near) 4 —
+i.e. the calibrated default is actually the right one under this repo's
+cost model too.
+"""
+
+from figshared import publish, render_table
+from repro.core.analysis import CompileConfig, TemplateKind
+from repro.core.codegen import compile_table
+from repro.openflow.actions import Output
+from repro.openflow.fields import field_by_name
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable
+from repro.openflow.match import Match
+from repro.packet import PacketBuilder
+from repro.packet.parser import parse
+from repro.simcpu.platform import XEON_E5_2620
+from repro.simcpu.recorder import CycleMeter
+
+#: Table-size mix: mostly small tables, as real pipelines have.
+TABLE_SIZES = (1, 2, 3, 4, 5, 6, 8)
+THRESHOLDS = (0, 1, 2, 4, 6, 8)
+
+
+def make_table(n):
+    t = FlowTable(0)
+    for i in range(n):
+        t.add(FlowEntry(Match(eth_dst=0x4000 + i), priority=1, actions=[Output(1)]))
+    return t
+
+
+def mean_lookup_cost(threshold: int) -> float:
+    """Average metered lookup cycles across the table mix (hit last entry)."""
+    total = 0.0
+    samples = 0
+    for size in TABLE_SIZES:
+        compiled = compile_table(
+            make_table(size), CompileConfig(direct_threshold=threshold)
+        )
+        pkt = PacketBuilder().eth(dst=0x4000 + size - 1).build()
+        view = parse(pkt)
+        etype = field_by_name("eth_type").extract(view) or 0
+        meter = CycleMeter(XEON_E5_2620)
+        for _ in range(32):  # warm
+            compiled.fn(pkt.data, pkt, view.l3, view.l4, view.proto, etype, view.l4_proto, meter)
+        meter.reset()
+        for _ in range(64):
+            meter.begin_packet()
+            compiled.fn(pkt.data, pkt, view.l3, view.l4, view.proto, etype, view.l4_proto, meter)
+            meter.end_packet()
+        total += meter.mean_cycles_per_packet
+        samples += 1
+    return total / samples
+
+
+def test_ablation_direct_threshold(benchmark):
+    costs = {thr: mean_lookup_cost(thr) for thr in THRESHOLDS}
+    rows = [(thr, f"{c:.2f}") for thr, c in costs.items()]
+    publish(
+        "ablation_direct_threshold",
+        render_table(
+            "Ablation: direct-code threshold vs mean lookup cycles "
+            "(paper fixes 4)",
+            ("threshold", "mean cycles/lookup"),
+            rows,
+        ),
+    )
+
+    best = min(costs, key=costs.__getitem__)
+    # The calibrated default (4) is optimal or within a cycle of optimal.
+    assert costs[4] <= costs[best] + 1.0
+    # Extremes are measurably worse: all-hash loses on tiny tables,
+    # all-direct loses on larger ones.
+    assert costs[0] > costs[4]
+    assert costs[8] > costs[4]
+
+    # Template selection respects the knob.
+    assert (
+        compile_table(make_table(6), CompileConfig(direct_threshold=8)).kind
+        is TemplateKind.DIRECT
+    )
+    assert (
+        compile_table(make_table(6), CompileConfig(direct_threshold=4)).kind
+        is TemplateKind.HASH
+    )
+
+    benchmark(lambda: mean_lookup_cost(4))

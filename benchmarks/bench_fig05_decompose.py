@@ -1,0 +1,92 @@
+"""Figs. 5/6: flow table decomposition — greedy column order matters.
+
+The paper's example: decomposing along ``ip_dst`` ("with 3 distinct keys
+plus the wildcard") eventually yields **9** tables, while the greedy
+minimal-diversity choice terminates with only **4** — and every emitted
+table is template-friendly.
+
+Fig. 5a's exact rule values are not recoverable from the paper text, so
+this bench uses a three-column table with the same behavior: the greedy
+heuristic emits exactly 4 tables, forcing ``ipv4_dst`` first emits exactly
+9, and both pipelines are verified semantically equivalent to the input.
+"""
+
+import random
+
+from figshared import publish, render_table
+from repro.core.analysis import TemplateKind, select_template
+from repro.core.decompose import decompose_table
+from repro.openflow.actions import Output
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable
+from repro.openflow.match import Match
+from repro.openflow.pipeline import Pipeline
+from repro.packet.builder import PacketBuilder
+
+DST_A, DST_B = 0x0A000001, 0x0A000002
+SRC_X, SRC_Y = 0x0B000001, 0x0B000002
+
+
+def fig5_style_table():
+    t = FlowTable(0)
+    t.add(FlowEntry(Match(ipv4_dst=DST_B, ipv4_src=SRC_Y, tcp_dst=80),
+                    priority=3, actions=[Output(1)]))
+    t.add(FlowEntry(Match(ipv4_dst=DST_A, ipv4_src=SRC_Y, tcp_dst=80),
+                    priority=2, actions=[Output(2)]))
+    t.add(FlowEntry(Match(ipv4_src=SRC_X, tcp_dst=21),
+                    priority=1, actions=[Output(3)]))
+    return t
+
+
+def probe_packets(n=200, seed=1):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        dst = rng.choice([DST_A, DST_B, 0x0A000009])
+        src = rng.choice([SRC_X, SRC_Y, 0x0B000009])
+        port = rng.choice([80, 21, 443])
+        out.append(
+            PacketBuilder(in_port=1).eth()
+            .ipv4(src=f"{src >> 24}.{(src >> 16) & 255}.{(src >> 8) & 255}.{src & 255}",
+                  dst=f"{dst >> 24}.{(dst >> 16) & 255}.{(dst >> 8) & 255}.{dst & 255}")
+            .tcp(dst_port=port).build()
+        )
+    return out
+
+
+def test_fig05_decomposition(benchmark):
+    greedy = decompose_table(fig5_style_table(), 100)
+    forced = decompose_table(fig5_style_table(), 100, force_first_column="ipv4_dst")
+    assert greedy is not None and forced is not None
+
+    original = Pipeline([fig5_style_table()])
+    probes = probe_packets()
+    for pipeline in (Pipeline(greedy), Pipeline(forced)):
+        for pkt in probes:
+            assert (pipeline.process(pkt.copy()).summary()
+                    == original.process(pkt.copy()).summary())
+
+    root = next(t for t in greedy if t.table_id == 0)
+    kinds = sorted({select_template(t.entries).value for t in greedy})
+    publish(
+        "fig05_decompose",
+        render_table(
+            "Figs. 5/6: table decomposition (paper: 4 tables greedy vs 9 ip-first)",
+            ("strategy", "tables"),
+            [
+                (f"greedy (min diversity: {root.matched_fields()[0]})", len(greedy)),
+                ("forced ipv4_dst first", len(forced)),
+            ],
+        )
+        + f"\n  greedy output templates: {kinds}",
+    )
+    assert len(greedy) == 4   # the paper's greedy count
+    assert len(forced) == 9   # the paper's suboptimal count
+    # Every emitted table is single-column, hence template-friendly.
+    assert all(
+        select_template(t.entries)
+        in (TemplateKind.DIRECT, TemplateKind.HASH, TemplateKind.LPM)
+        for t in greedy
+    )
+
+    benchmark(lambda: decompose_table(fig5_style_table(), 100))

@@ -1,0 +1,60 @@
+"""Fig. 10: L2 switching packet rate, ES vs OVS, as the flow set grows.
+
+Paper: MAC tables of 1/10/100/1K entries; ESWITCH stays at 12–14 Mpps
+while OVS deteriorates as traffic locality is removed.
+"""
+
+from figshared import FLOW_AXIS, fmt_flows, publish, render_table, sweep_flows
+from repro.core import ESwitch
+from repro.ovs import OvsSwitch
+from repro.usecases import l2
+
+TABLE_SIZES = (1, 10, 100, 1_000)
+L2_FLOW_AXIS = FLOW_AXIS
+
+
+def series(make_switch, macs):
+    return sweep_flows(
+        make_switch, lambda n: l2.traffic(macs, n), flow_counts=L2_FLOW_AXIS
+    )
+
+
+def test_fig10_l2_packet_rate(benchmark):
+    results = {}
+    for size in TABLE_SIZES:
+        _pipeline, macs = l2.build(size)
+        results[("ES", size)] = series(
+            lambda: ESwitch.from_pipeline(l2.build(size)[0]), macs
+        )
+        results[("OVS", size)] = series(lambda: OvsSwitch(l2.build(size)[0]), macs)
+
+    header = ["flows"] + [f"{sw}({sz})" for sw in ("ES", "OVS") for sz in TABLE_SIZES]
+    rows = []
+    for i, n_flows in enumerate(L2_FLOW_AXIS):
+        row = [fmt_flows(n_flows)]
+        for sw in ("ES", "OVS"):
+            for sz in TABLE_SIZES:
+                row.append(f"{results[(sw, sz)][i][1].mpps:.2f}")
+        rows.append(row)
+    publish(
+        "fig10_l2",
+        render_table("Fig. 10: L2 switching packet rate [Mpps]", header, rows),
+    )
+
+    for sz in TABLE_SIZES:
+        es = [m.mpps for _n, m in results[("ES", sz)]]
+        ovs = [m.mpps for _n, m in results[("OVS", sz)]]
+        # ESWITCH is robust: worst point within 2.5x of the best.
+        assert min(es) > max(es) / 2.5
+        # ESWITCH well above 10 Mpps when the flow set is small.
+        assert es[0] > 10
+        # ESWITCH >= OVS at every operating point.
+        assert all(e >= o * 0.95 for e, o in zip(es, ovs))
+        # OVS collapses once the microflow cache stops covering the mix.
+        assert ovs[-1] < ovs[0] / 2
+
+    pipeline, macs = l2.build(100)
+    sw = ESwitch.from_pipeline(pipeline)
+    flows = l2.traffic(macs, 100)
+    counter = iter(range(10**9))
+    benchmark(lambda: sw.process(flows[next(counter) % 100].copy()))

@@ -1,0 +1,56 @@
+"""Fig. 11: L3 routing packet rate over 1/10/1K prefixes vs active flows.
+
+ESWITCH compiles the routing table into the DIR-24-8 LPM template; OVS
+covers prefixes with megaflows and degrades as the flow set diversifies.
+"""
+
+from figshared import FLOW_AXIS, fmt_flows, publish, render_table, sweep_flows
+from repro.core import ESwitch
+from repro.ovs import OvsSwitch
+from repro.usecases import l3
+
+PREFIX_COUNTS = (1, 10, 1_000)
+L3_FLOW_AXIS = FLOW_AXIS
+
+
+def test_fig11_l3_packet_rate(benchmark):
+    results = {}
+    for n_prefixes in PREFIX_COUNTS:
+        _p, fib = l3.build(n_prefixes)
+        results[("ES", n_prefixes)] = sweep_flows(
+            lambda: ESwitch.from_pipeline(l3.build(n_prefixes)[0]),
+            lambda n: l3.traffic(fib, n),
+            flow_counts=L3_FLOW_AXIS,
+        )
+        results[("OVS", n_prefixes)] = sweep_flows(
+            lambda: OvsSwitch(l3.build(n_prefixes)[0]),
+            lambda n: l3.traffic(fib, n),
+            flow_counts=L3_FLOW_AXIS,
+        )
+
+    header = ["flows"] + [
+        f"{sw}({n})" for sw in ("ES", "OVS") for n in PREFIX_COUNTS
+    ]
+    rows = []
+    for i, n_flows in enumerate(L3_FLOW_AXIS):
+        row = [fmt_flows(n_flows)]
+        for sw in ("ES", "OVS"):
+            for n in PREFIX_COUNTS:
+                row.append(f"{results[(sw, n)][i][1].mpps:.2f}")
+        rows.append(row)
+    publish("fig11_l3", render_table("Fig. 11: L3 routing packet rate [Mpps]",
+                                     header, rows))
+
+    for n in PREFIX_COUNTS:
+        es = [m.mpps for _f, m in results[("ES", n)]]
+        ovs = [m.mpps for _f, m in results[("OVS", n)]]
+        assert min(es) > max(es) / 2.5          # ES robust
+        assert es[0] > 10                        # near line rate, small mixes
+        assert all(e >= o * 0.95 for e, o in zip(es, ovs))
+        assert ovs[-1] < ovs[0] / 2              # OVS collapse
+
+    _p, fib = l3.build(1_000)
+    sw = ESwitch.from_pipeline(l3.build(1_000)[0])
+    flows = l3.traffic(fib, 64)
+    counter = iter(range(10**9))
+    benchmark(lambda: sw.process(flows[next(counter) % 64].copy()))

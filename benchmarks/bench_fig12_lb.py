@@ -1,0 +1,68 @@
+"""Fig. 12: load balancer packet rate over 1/10/100 services vs flows.
+
+The single-table policy only stays fast on ESWITCH thanks to automatic
+table decomposition (Fig. 7b); the bench also reports the ablated
+(decomposition off, linked-list) variant the naive compiler would ship.
+"""
+
+from figshared import FLOW_AXIS, fmt_flows, publish, render_table, sweep_flows
+from repro.core import CompileConfig, ESwitch
+from repro.ovs import OvsSwitch
+from repro.usecases import loadbalancer as lb
+
+SERVICE_COUNTS = (1, 10, 100)
+LB_FLOW_AXIS = FLOW_AXIS
+
+
+def test_fig12_load_balancer(benchmark):
+    results = {}
+    for n_svc in SERVICE_COUNTS:
+        results[("ES", n_svc)] = sweep_flows(
+            lambda: ESwitch.from_pipeline(lb.build_single_table(n_svc)),
+            lambda n: lb.traffic(n_svc, n),
+            flow_counts=LB_FLOW_AXIS,
+        )
+        results[("OVS", n_svc)] = sweep_flows(
+            lambda: OvsSwitch(lb.build_single_table(n_svc)),
+            lambda n: lb.traffic(n_svc, n),
+            flow_counts=LB_FLOW_AXIS,
+        )
+    # Ablation: decomposition disabled (the naive linked-list compile).
+    naive = sweep_flows(
+        lambda: ESwitch.from_pipeline(
+            lb.build_single_table(100), config=CompileConfig(decompose=False)
+        ),
+        lambda n: lb.traffic(100, n),
+        flow_counts=(1_000,),
+    )
+
+    header = ["flows"] + [f"{sw}({n})" for sw in ("ES", "OVS") for n in SERVICE_COUNTS]
+    rows = []
+    for i, n_flows in enumerate(LB_FLOW_AXIS):
+        row = [fmt_flows(n_flows)]
+        for sw in ("ES", "OVS"):
+            for n in SERVICE_COUNTS:
+                row.append(f"{results[(sw, n)][i][1].mpps:.2f}")
+        rows.append(row)
+    publish(
+        "fig12_lb",
+        render_table("Fig. 12: load balancer packet rate [Mpps]", header, rows)
+        + f"\n  ablation - ES without decomposition, 100 services @1K flows: "
+          f"{naive[0][1].mpps:.2f} Mpps",
+    )
+
+    for n in SERVICE_COUNTS:
+        es = [m.mpps for _f, m in results[("ES", n)]]
+        ovs = [m.mpps for _f, m in results[("OVS", n)]]
+        assert min(es) > max(es) / 2.5
+        assert all(e >= o * 0.95 for e, o in zip(es, ovs))
+        assert ovs[-1] < ovs[0] / 2
+    # Decomposition is what makes the LB fast: the ablated datapath is
+    # at least 2x slower at 100 services.
+    es_100 = dict((f, m.mpps) for f, m in results[("ES", 100)])
+    assert naive[0][1].mpps < es_100[1_000] / 2
+
+    sw = ESwitch.from_pipeline(lb.build_single_table(10))
+    flows = lb.traffic(10, 64)
+    counter = iter(range(10**9))
+    benchmark(lambda: sw.process(flows[next(counter) % 64].copy()))

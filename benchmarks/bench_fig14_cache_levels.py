@@ -1,0 +1,73 @@
+"""Fig. 14: fraction of packets forwarded at each OVS cache level.
+
+Paper: "as the active flow set grows packet processing gradually shifts
+from the very fast microflow cache to the slower megaflow cache and
+finally to the vswitchd slow path."
+"""
+
+from figshared import FLOW_AXIS, fmt_flows, publish, render_table
+from repro.ovs import OvsSwitch
+from repro.simcpu.platform import XEON_E5_2620
+from repro.traffic import measure
+from repro.traffic.nfpa import auto_params
+from repro.usecases import gateway
+
+N_CE, USERS, PREFIXES = 10, 20, 10_000
+
+
+def test_fig14_cache_hit_levels(benchmark):
+    _p, fib = gateway.build(n_ce=N_CE, users_per_ce=USERS, n_prefixes=PREFIXES)
+    rows = []
+    fractions = []
+    for n_flows in FLOW_AXIS:
+        sw = OvsSwitch(gateway.build(n_ce=N_CE, users_per_ce=USERS,
+                                     n_prefixes=PREFIXES)[0])
+        flows = gateway.traffic(fib, n_flows, n_ce=N_CE, users_per_ce=USERS)
+        n_packets, warmup = auto_params(n_flows)
+        n_packets, warmup = min(n_packets, 30_000), min(warmup, 30_000)
+
+        # Reset the hit counters right as the measured window starts so the
+        # fractions describe steady state, not cache fill.
+        def reset_at_start(i, _meter, sw=sw):
+            if i == 0:
+                sw.stats.reset()
+
+        measure(sw, flows, n_packets=n_packets, warmup=warmup,
+                platform=XEON_E5_2620, update_hook=reset_at_start)
+        rates = sw.stats.rates()
+        fractions.append((n_flows, rates))
+        rows.append(
+            (
+                fmt_flows(n_flows),
+                f"{rates['microflow']:.3f}",
+                f"{rates['megaflow']:.3f}",
+                f"{rates['vswitchd']:.3f}",
+            )
+        )
+    publish(
+        "fig14_cache_levels",
+        render_table(
+            "Fig. 14: fraction of packets per OVS datapath level",
+            ("flows", "microflow", "megaflow", "vswitchd"),
+            rows,
+        ),
+    )
+
+    by_flows = dict(fractions)
+    # Small flow sets live in the microflow cache...
+    assert by_flows[1]["microflow"] > 0.95
+    assert by_flows[100]["microflow"] > 0.9
+    # ...mid-size sets spill into the megaflow cache...
+    assert by_flows[10_000]["megaflow"] > by_flows[1]["megaflow"]
+    assert by_flows[10_000]["microflow"] < 0.5
+    # ...and huge sets fall through to the slow path.
+    assert by_flows[100_000]["vswitchd"] > 0.9
+    # The microflow fraction is monotonically non-increasing.
+    micro = [r["microflow"] for _f, r in fractions]
+    assert all(a >= b - 0.02 for a, b in zip(micro, micro[1:]))
+
+    sw = OvsSwitch(gateway.build(n_ce=N_CE, users_per_ce=USERS,
+                                 n_prefixes=PREFIXES)[0])
+    flows = gateway.traffic(fib, 64, n_ce=N_CE, users_per_ce=USERS)
+    counter = iter(range(10**9))
+    benchmark(lambda: sw.process(flows[next(counter) % 64].copy()))

@@ -1,0 +1,59 @@
+"""Fig. 15: last-level CPU cache misses per packet (gateway use case).
+
+Paper: ESWITCH "performs very few last-level CPU cache misses (roughly one
+for every 10th packet)" while OVS "makes excess out-of-cache memory
+references" once processing leaves the microflow cache — up to ~10 misses
+per packet.
+"""
+
+from figshared import FLOW_AXIS, fmt_flows, publish, render_table, sweep_flows
+from repro.core import ESwitch
+from repro.ovs import OvsSwitch
+from repro.usecases import gateway
+
+N_CE, USERS, PREFIXES = 10, 20, 10_000
+
+
+def build():
+    return gateway.build(n_ce=N_CE, users_per_ce=USERS, n_prefixes=PREFIXES)[0]
+
+
+def test_fig15_llc_misses(benchmark):
+    _p, fib = gateway.build(n_ce=N_CE, users_per_ce=USERS, n_prefixes=PREFIXES)
+    make_flows = lambda n: gateway.traffic(fib, n, n_ce=N_CE, users_per_ce=USERS)
+
+    es = sweep_flows(lambda: ESwitch.from_pipeline(build()), make_flows)
+    ovs = sweep_flows(lambda: OvsSwitch(build()), make_flows)
+
+    rows = [
+        (
+            fmt_flows(n),
+            f"{es[i][1].llc_misses_per_packet:.3f}",
+            f"{ovs[i][1].llc_misses_per_packet:.3f}",
+        )
+        for i, n in enumerate(FLOW_AXIS)
+    ]
+    publish(
+        "fig15_llc",
+        render_table(
+            "Fig. 15: LLC misses per packet (paper: ES ~0.1, OVS up to ~10)",
+            ("flows", "ES", "OVS"),
+            rows,
+        ),
+    )
+
+    es_misses = [m.llc_misses_per_packet for _f, m in es]
+    ovs_misses = [m.llc_misses_per_packet for _f, m in ovs]
+    # ESWITCH stays near-zero at every scale (working set = the tables).
+    assert max(es_misses) < 1.0
+    assert es_misses[0] < 0.05
+    # OVS misses grow with the flow set and dwarf ESWITCH's at scale.
+    assert ovs_misses[-1] > 2.0
+    assert ovs_misses[-1] > es_misses[-1] * 5
+    # Both are cache-resident when everything fits the microflow cache.
+    assert ovs_misses[0] < 0.1
+
+    sw = ESwitch.from_pipeline(build())
+    flows = make_flows(64)
+    counter = iter(range(10**9))
+    benchmark(lambda: sw.process(flows[next(counter) % 64].copy()))

@@ -1,0 +1,69 @@
+"""Fig. 16: per-packet latency (mean CPU cycles) on the gateway pipeline.
+
+Paper: "For ESWITCH, we get about 0.1 usec packet processing time
+independently of the active flow set, while latency for OVS varies between
+0.2–13 usec" — i.e. ~200 cycles vs 400–26,000 cycles at 2 GHz, with the
+ESWITCH curve inside the Section 4.4 model band.
+"""
+
+from figshared import FLOW_AXIS, fmt_flows, publish, render_table, sweep_flows
+from repro.core import ESwitch
+from repro.ovs import OvsSwitch
+from repro.simcpu.model import gateway_model
+from repro.simcpu.platform import XEON_E5_2620
+from repro.usecases import gateway
+
+N_CE, USERS, PREFIXES = 10, 20, 10_000
+
+
+def build():
+    return gateway.build(n_ce=N_CE, users_per_ce=USERS, n_prefixes=PREFIXES)[0]
+
+
+def test_fig16_latency(benchmark):
+    _p, fib = gateway.build(n_ce=N_CE, users_per_ce=USERS, n_prefixes=PREFIXES)
+    make_flows = lambda n: gateway.traffic(fib, n, n_ce=N_CE, users_per_ce=USERS)
+
+    es = sweep_flows(lambda: ESwitch.from_pipeline(build()), make_flows)
+    ovs = sweep_flows(lambda: OvsSwitch(build()), make_flows)
+    model = gateway_model()
+    best, worst = model.cycle_bounds()
+
+    rows = []
+    for i, n in enumerate(FLOW_AXIS):
+        es_c = es[i][1].cycles_per_packet
+        ovs_c = ovs[i][1].cycles_per_packet
+        rows.append(
+            (
+                fmt_flows(n),
+                f"{best:.0f}",
+                f"{es_c:.0f}",
+                f"{worst:.0f}",
+                f"{ovs_c:.0f}",
+                f"{es_c / XEON_E5_2620.freq_hz * 1e6:.2f}",
+                f"{ovs_c / XEON_E5_2620.freq_hz * 1e6:.2f}",
+            )
+        )
+    publish(
+        "fig16_latency",
+        render_table(
+            "Fig. 16: cycles/packet (gateway; paper: ES ~200, OVS 400-26000)",
+            ("flows", "model-ub", "ES", "model-lb", "OVS", "ES[us]", "OVS[us]"),
+            rows,
+        ),
+    )
+
+    es_cycles = [m.cycles_per_packet for _f, m in es]
+    ovs_cycles = [m.cycles_per_packet for _f, m in ovs]
+    # ESWITCH latency small and stable, near the model band.
+    assert max(es_cycles) < worst * 1.35
+    assert min(es_cycles) > best * 0.9
+    assert max(es_cycles) / min(es_cycles) < 2.0
+    # OVS latency explodes with the flow set (paper: ~65x spread).
+    assert max(ovs_cycles) / min(ovs_cycles) > 20
+    assert max(ovs_cycles) > 10_000
+
+    sw = ESwitch.from_pipeline(build())
+    flows = make_flows(64)
+    counter = iter(range(10**9))
+    benchmark(lambda: sw.process(flows[next(counter) % 64].copy()))

@@ -1,0 +1,83 @@
+"""Fig. 17: total time to set up the load-balancer pipeline, CLI vs
+controller channel, as the number of web services grows.
+
+Paper: "Both switches scale linearly, but in general it takes just one
+fifth the time for ESWITCH to set up the use case than for OVS, when using
+the CLI tool. With the controller the two perform similarly" — i.e. the
+controller, not the switch, bottlenecks update rates.
+
+The paper sweeps 1..100K services; this harness stops at 2K (the scaling
+is asserted to be linear, so the tail adds wall-clock without information).
+"""
+
+from figshared import fmt_flows, publish, render_table
+from repro.controller import CLI_CHANNEL, CONTROLLER_CHANNEL, setup_time
+from repro.core import ESwitch
+from repro.openflow.flow_table import FlowTable
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.openflow.pipeline import Pipeline
+from repro.ovs import OvsSwitch
+from repro.usecases import loadbalancer as lb
+
+SERVICE_AXIS = (1, 10, 100, 1_000, 2_000)
+
+
+def lb_mods(n_services):
+    mods = []
+    for entry in lb.build_single_table(n_services).table(0):
+        mods.append(
+            FlowMod(FlowModCommand.ADD, 0, entry.match, priority=entry.priority,
+                    instructions=entry.instructions)
+        )
+    return mods
+
+
+def empty_switch_es():
+    return ESwitch.from_pipeline(Pipeline([FlowTable(0)]))
+
+
+def empty_switch_ovs():
+    return OvsSwitch(Pipeline([FlowTable(0)]))
+
+
+def test_fig17_setup_time(benchmark):
+    rows = []
+    series: dict[str, list[float]] = {k: [] for k in
+                                      ("ES-CLI", "ES-ctrl", "OVS-CLI", "OVS-ctrl")}
+    for n_svc in SERVICE_AXIS:
+        mods = lb_mods(n_svc)
+        t = {
+            "ES-CLI": setup_time(empty_switch_es(), mods, CLI_CHANNEL),
+            "OVS-CLI": setup_time(empty_switch_ovs(), lb_mods(n_svc), CLI_CHANNEL),
+            "ES-ctrl": setup_time(empty_switch_es(), lb_mods(n_svc),
+                                  CONTROLLER_CHANNEL),
+            "OVS-ctrl": setup_time(empty_switch_ovs(), lb_mods(n_svc),
+                                   CONTROLLER_CHANNEL),
+        }
+        for key, value in t.items():
+            series[key].append(value)
+        rows.append(
+            (fmt_flows(n_svc), len(mods))
+            + tuple(f"{t[k]:.4f}" for k in ("ES-CLI", "OVS-CLI", "ES-ctrl", "OVS-ctrl"))
+        )
+    publish(
+        "fig17_updates",
+        render_table(
+            "Fig. 17: pipeline setup time [s] (paper: ES(CLI) ~5x faster; "
+            "ctrl similar)",
+            ("services", "flow-mods", "ES-CLI", "OVS-CLI", "ES-ctrl", "OVS-ctrl"),
+            rows,
+        ),
+    )
+
+    # The CLI gap: OVS takes several times longer (paper: ~5x).
+    big = len(SERVICE_AXIS) - 1
+    assert 3 < series["OVS-CLI"][big] / series["ES-CLI"][big] < 10
+    # The controller channel levels the field (paper: "similarly").
+    assert 0.5 < series["OVS-ctrl"][big] / series["ES-ctrl"][big] < 2
+    # Linear scaling for every series (double services ~ double time).
+    for key, values in series.items():
+        ratio = values[-1] / values[-2]
+        assert 1.5 < ratio < 2.6, (key, ratio)
+
+    benchmark(lambda: setup_time(empty_switch_es(), lb_mods(10), CLI_CHANNEL))

@@ -1,0 +1,130 @@
+"""Fig. 18: normed packet rate under growing update intensity.
+
+Paper (gateway, 1K active flows): "ESWITCH churns out 95% of its nominal
+packet rate when the last level IP routing table … is updated 100 times
+per second and even at 100K update/sec intensity it maintains 80% of its
+unloaded performance; contrarily, OVS throughput falls by more than 65%
+even for 100 updates/sec due to deteriorating flow cache hit rates."
+Batched updates (20 add+delete periodically): ES -3%, OVS -23%.
+
+The mechanisms, not curve fits, produce these numbers here: ESWITCH
+absorbs each route flap as a non-destructive LPM update (a few hundred
+cycles plus cache pollution on the shared core), while each OVS flow-mod
+brute-force invalidates the entire megaflow + microflow caches, which the
+datapath then repopulates through upcalls.
+"""
+
+import itertools
+
+from figshared import publish, render_table
+from repro.core import ESwitch
+from repro.openflow.instructions import ApplyActions
+from repro.openflow.actions import Output
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.ovs import OvsSwitch
+from repro.simcpu.platform import XEON_E5_2620
+from repro.traffic import measure
+from repro.usecases import gateway
+
+N_CE, USERS, PREFIXES = 10, 20, 2_000
+N_FLOWS = 1_000
+UPDATE_AXIS = (0, 100, 1_000, 10_000, 100_000)
+#: fresh cache lines an update's new state displaces on the shared core.
+POLLUTION_LINES = 32
+
+
+def build():
+    return gateway.build(n_ce=N_CE, users_per_ce=USERS, n_prefixes=PREFIXES)[0]
+
+
+def route_mods():
+    """An endless alternating add/delete stream against Table 110."""
+    for i in itertools.count():
+        prefix = f"203.{(i >> 8) & 255}.{i & 255}.0/24"
+        yield FlowMod(FlowModCommand.ADD, gateway.ROUTING_TABLE, Match(ipv4_dst=prefix),
+                      priority=24, instructions=(ApplyActions([Output(2)]),))
+        yield FlowMod(FlowModCommand.DELETE, gateway.ROUTING_TABLE,
+                      Match(ipv4_dst=prefix), priority=24)
+
+
+def measure_under_load(switch, flows, updates_per_sec, is_eswitch):
+    mods = route_mods()
+    state = {"cycles_seen": 0.0, "credit": 0.0, "line": 0}
+
+    def hook(_i, meter):
+        if updates_per_sec == 0:
+            return
+        delta = meter.total_cycles - state["cycles_seen"]
+        state["cycles_seen"] = meter.total_cycles
+        state["credit"] += updates_per_sec * delta / XEON_E5_2620.freq_hz
+        while state["credit"] >= 1.0:
+            state["credit"] -= 1.0
+            mod = next(mods)
+            if is_eswitch:
+                cycles = switch.apply_flow_mod(mod)
+                meter.charge(cycles)  # control work shares the core
+                for _ in range(POLLUTION_LINES):
+                    state["line"] += 1
+                    meter.touch(("upd", state["line"] & 0xFFFF))
+            else:
+                switch.apply_flow_mod(mod)  # wholesale cache invalidation
+
+    # The measured window must span several update intervals; at low
+    # intensities the interval (freq / u cycles) dwarfs the default window.
+    n_packets = 20_000
+    if updates_per_sec:
+        warm_cycles_per_pkt = 350.0
+        per_interval = XEON_E5_2620.freq_hz / updates_per_sec / warm_cycles_per_pkt
+        n_packets = int(min(160_000, max(20_000, 3 * per_interval)))
+    return measure(switch, flows, n_packets=n_packets, warmup=4_000,
+                   update_hook=hook)
+
+
+def test_fig18_update_intensity(benchmark):
+    _p, fib = gateway.build(n_ce=N_CE, users_per_ce=USERS, n_prefixes=PREFIXES)
+    flows = gateway.traffic(fib, N_FLOWS, n_ce=N_CE, users_per_ce=USERS)
+
+    es_rates, ovs_rates, reval_rates = [], [], []
+    for u in UPDATE_AXIS:
+        es_rates.append(measure_under_load(
+            ESwitch.from_pipeline(build()), flows, u, True).pps)
+        ovs_rates.append(measure_under_load(
+            OvsSwitch(build()), flows, u, False).pps)
+        # The smarter-revalidator variant brackets the paper's measured
+        # OVS curve from above (full invalidation brackets from below).
+        reval_rates.append(measure_under_load(
+            OvsSwitch(build(), invalidation="revalidate"), flows, u, False).pps)
+
+    es_normed = [r / es_rates[0] for r in es_rates]
+    ovs_normed = [r / ovs_rates[0] for r in ovs_rates]
+    reval_normed = [r / reval_rates[0] for r in reval_rates]
+    rows = [
+        (u if u else "unloaded", f"{e:.3f}", f"{o:.3f}", f"{rv:.3f}")
+        for u, e, o, rv in zip(UPDATE_AXIS, es_normed, ovs_normed, reval_normed)
+    ]
+    publish(
+        "fig18_update_load",
+        render_table(
+            "Fig. 18: normed packet rate vs updates/sec "
+            "(paper: ES >=0.80 @100K/s; OVS <=0.35 @100/s)",
+            ("updates/s", "ES", "OVS(full-inval)", "OVS(revalidate)"),
+            rows,
+        ),
+    )
+
+    by_u_es = dict(zip(UPDATE_AXIS, es_normed))
+    by_u_ovs = dict(zip(UPDATE_AXIS, ovs_normed))
+    # ESWITCH: modest, graceful degradation (paper: 0.95 @100/s, 0.80
+    # @100K/s).
+    assert by_u_es[100] > 0.93
+    assert 0.60 < by_u_es[100_000] < 0.95
+    # OVS: the cache-invalidation cliff arrives by 100 updates/sec
+    # (paper: -65%; our recovery upcalls are costlier, so the cliff is
+    # deeper — see EXPERIMENTS.md).
+    assert by_u_ovs[100] < 0.50
+    assert by_u_ovs[100_000] < by_u_ovs[100] * 1.2
+
+    sw = ESwitch.from_pipeline(build())
+    mods = route_mods()
+    benchmark(lambda: sw.apply_flow_mod(next(mods)))

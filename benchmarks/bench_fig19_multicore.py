@@ -1,0 +1,97 @@
+"""Fig. 19: CPU scalability — aggregate packet rate vs processing cores.
+
+Paper: measured on a slower 2.40 GHz Atom (the Xeon's NIC saturates with
+two ESWITCH cores); L3 routing over 2K real-router prefixes, 100/10K/500K
+active flows. "Both OVS and ESWITCH show strong linear CPU scaling … but
+ESWITCH consistently outperforms OVS roughly 5-fold and the gap increases
+with more flows."
+
+The 500K-flow series is run at 100K here (packet materialization cost);
+it sits in the same OVS regime (past the microflow cache).
+"""
+
+from figshared import fmt_flows, publish, render_table
+from repro.core import ESwitch
+from repro.ovs import OvsSwitch
+from repro.simcpu.costs import DEFAULT_COSTS
+from repro.simcpu.platform import ATOM_C2750
+from repro.traffic import measure_multicore
+from repro.usecases import l3
+
+PREFIXES = 2_000
+CORE_AXIS = (1, 2, 3, 4, 5)
+FLOW_SERIES = (100, 10_000, 100_000)
+
+
+def test_fig19_cpu_scalability(benchmark):
+    _p, fib = l3.build(PREFIXES)
+    results: dict[tuple[str, int], list[float]] = {}
+    for n_flows in FLOW_SERIES:
+        flows = l3.traffic(fib, n_flows)
+        n_pkts = 4_000 if n_flows <= 10_000 else 2_500
+        for name, make, shared, coherence in (
+            ("ES", lambda: ESwitch.from_pipeline(l3.build(PREFIXES)[0]), False,
+             DEFAULT_COSTS.eswitch_coherence_per_core),
+            ("OVS", lambda: OvsSwitch(l3.build(PREFIXES)[0]), True,
+             DEFAULT_COSTS.ovs_coherence_per_core),
+        ):
+            series = []
+            for cores in CORE_AXIS:
+                series.append(
+                    measure_multicore(
+                        make,
+                        flows,
+                        cores=cores,
+                        n_packets=n_pkts,
+                        warmup=min(n_flows + 500, 20_000),
+                        platform=ATOM_C2750,
+                        coherence_cycles_per_core=coherence,
+                        shared_switch=shared,
+                    )
+                )
+            results[(name, n_flows)] = series
+
+    header = ["cores"] + [
+        f"{sw}({fmt_flows(f)})" for sw in ("ES", "OVS") for f in FLOW_SERIES
+    ]
+    rows = []
+    for i, cores in enumerate(CORE_AXIS):
+        row = [cores]
+        for sw in ("ES", "OVS"):
+            for f in FLOW_SERIES:
+                row.append(f"{results[(sw, f)][i] / 1e6:.2f}")
+        rows.append(row)
+    publish(
+        "fig19_multicore",
+        render_table(
+            "Fig. 19: aggregate packet rate [Mpps] on the Atom platform "
+            "(paper: linear, ~5x gap)",
+            header,
+            rows,
+        ),
+    )
+
+    for f in FLOW_SERIES:
+        es = results[("ES", f)]
+        ovs = results[("OVS", f)]
+        # Strong linear scaling for both switches.
+        assert 3.2 < es[4] / es[0] < 5.5
+        assert 2.8 < ovs[4] / ovs[0] < 5.5
+        # ESWITCH leads at every core count.
+        assert all(e > o for e, o in zip(es, ovs))
+    # The gap grows with the flow count (paper: "the gap increases with
+    # more flows"). The paper reports roughly 5x; our uniform Atom CPI
+    # factor scales both switches alike, so the modeled gap is ~2.5x —
+    # ordering and growth preserved (see EXPERIMENTS.md).
+    gap_small = results[("ES", 100)][4] / results[("OVS", 100)][4]
+    gap_large = results[("ES", 100_000)][4] / results[("OVS", 100_000)][4]
+    assert gap_large > gap_small
+    assert gap_large > 2.2
+
+    flows = l3.traffic(fib, 100)
+    benchmark(
+        lambda: measure_multicore(
+            lambda: ESwitch.from_pipeline(l3.build(PREFIXES)[0]),
+            flows, cores=2, n_packets=200, warmup=50, platform=ATOM_C2750,
+        )
+    )

@@ -1,0 +1,54 @@
+"""Fig. 20 / Section 4.4: the per-stage performance model and its bounds.
+
+Reproduces the paper's stage-cost rundown table and its headline
+estimates — 166 + 3*Lx cycles/packet: 178 cycles / 11.2 Mpps (all-L1),
+202 / 9.9 (all-L2), 253 / 7.9 (all-L3) — and validates the bounds against
+a metered run of the compiled gateway datapath.
+"""
+
+import pytest
+
+from figshared import publish, render_table
+from repro.core import ESwitch
+from repro.simcpu.model import gateway_model, gateway_paper_bounds
+from repro.traffic import measure
+from repro.usecases import gateway
+
+
+def test_fig20_performance_model(benchmark):
+    model = gateway_model()
+    bounds = gateway_paper_bounds()
+
+    stage_rows = [(name, cycles, comment) for name, cycles, comment in model.rundown()]
+    estimate_rows = [
+        ("all L1 (model-ub)", f"{model.cycles(1):.0f}", f"{model.pps(1) / 1e6:.1f}"),
+        ("all L2", f"{model.cycles(2):.0f}", f"{model.pps(2) / 1e6:.1f}"),
+        ("all L3 (model-lb)", f"{model.cycles(3):.0f}", f"{model.pps(3) / 1e6:.1f}"),
+    ]
+    publish(
+        "fig20_model",
+        render_table("Fig. 20: per-stage cycle model (gateway pipeline)",
+                     ("stage", "cycles", "comment"), stage_rows)
+        + "\n\n"
+        + render_table("Section 4.4 estimates (paper: 178/202/253 cycles; "
+                       "11.2/9.9/7.9 Mpps)",
+                       ("assumption", "cycles/pkt", "Mpps"), estimate_rows),
+    )
+
+    # The paper's exact numbers.
+    assert model.cycles(1) == pytest.approx(178)
+    assert model.cycles(2) == pytest.approx(202)
+    assert model.cycles(3) == pytest.approx(253)
+    assert bounds["pps_ub"] == pytest.approx(11.2e6, rel=0.01)
+    assert bounds["pps_mid"] == pytest.approx(9.9e6, rel=0.01)
+    assert bounds["pps_lb"] == pytest.approx(7.9e6, rel=0.01)
+
+    # "these bounds turn out to provide surprisingly useful performance
+    # hints": the measured compiled datapath lands inside (or within the
+    # runtime-dispatch margin of) the band at a mid-size flow set.
+    p, fib = gateway.build(n_ce=10, users_per_ce=20, n_prefixes=10_000)
+    sw = ESwitch.from_pipeline(p)
+    m = measure(sw, gateway.traffic(fib, 1_000), n_packets=10_000, warmup=2_000)
+    assert model.cycles(1) * 0.95 <= m.cycles_per_packet <= model.cycles(3) * 1.1
+
+    benchmark(lambda: gateway_model().bounds())

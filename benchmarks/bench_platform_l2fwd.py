@@ -1,0 +1,43 @@
+"""Platform benchmark (Section 4.2): the DPDK l2fwd port-forward ceiling.
+
+Paper: "The maximum single-core packet rate attainable with DPDK on this
+platform is 15.7 million packets per second."
+"""
+
+import pytest
+
+from figshared import publish, render_table
+from repro.dpdk.l2fwd import l2fwd, l2fwd_rate_pps
+from repro.packet import PacketBuilder
+from repro.simcpu.platform import XEON_E5_2620
+from repro.simcpu.recorder import CycleMeter
+
+
+def test_platform_l2fwd_ceiling(benchmark):
+    rate = l2fwd_rate_pps()
+
+    # Validate via the metered path too, not just the closed form.
+    meter = CycleMeter(XEON_E5_2620)
+    pkt = PacketBuilder(in_port=0).eth().build()
+    for _ in range(1000):
+        meter.begin_packet()
+        l2fwd(pkt, meter)
+        meter.end_packet()
+    metered_rate = XEON_E5_2620.freq_hz / meter.mean_cycles_per_packet
+
+    publish(
+        "platform_l2fwd",
+        render_table(
+            "Platform benchmark: DPDK l2fwd (paper: 15.7 Mpps)",
+            ("source", "Mpps"),
+            [
+                ("closed form", f"{rate / 1e6:.2f}"),
+                ("metered loop", f"{metered_rate / 1e6:.2f}"),
+                ("paper", "15.70"),
+            ],
+        ),
+    )
+    assert rate == pytest.approx(15.7e6, rel=0.005)
+    assert metered_rate == pytest.approx(rate, rel=0.001)
+
+    benchmark(lambda: l2fwd(pkt))

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""ECMP with OpenFlow SELECT groups — live re-steering without flow-mods.
+
+Builds a router whose routes all point at one SELECT group spreading
+traffic over four next hops, runs flows through the compiled ESWITCH
+datapath and the OVS baseline, then drains one next hop by rewriting the
+group's buckets. Because group buckets resolve at execution time, the
+change takes effect instantly on every datapath — no flow-mod, no
+recompilation, no cache invalidation.
+
+Run:  python examples/ecmp_groups.py
+"""
+
+from collections import Counter
+
+from repro.core import ESwitch
+from repro.openflow import (
+    Bucket,
+    FlowEntry,
+    FlowTable,
+    Group,
+    GroupAction,
+    GroupType,
+    Match,
+    Output,
+    Pipeline,
+)
+from repro.ovs import OvsSwitch
+from repro.usecases.l3 import synthetic_fib
+from repro.net.addresses import int_to_ip
+
+NEXT_HOPS = (1, 2, 3, 4)
+GROUP_ID = 1
+
+
+def build() -> Pipeline:
+    pipeline = Pipeline()
+    pipeline.groups.add(
+        Group(GROUP_ID, GroupType.SELECT,
+              [Bucket([Output(port)]) for port in NEXT_HOPS])
+    )
+    rib = FlowTable(0, name="rib")
+    for value, depth, _hop in synthetic_fib(500, seed=3):
+        rib.add(FlowEntry(Match(ipv4_dst=f"{int_to_ip(value)}/{depth}"),
+                          priority=depth,
+                          actions=[GroupAction(pipeline.groups, GROUP_ID)]))
+    rib.add(FlowEntry(Match(), priority=0, actions=[]))
+    pipeline.add_table(rib)
+    return pipeline
+
+
+def spread(switch, flows) -> Counter:
+    counts: Counter = Counter()
+    for pkt in flows:
+        verdict = switch.process(pkt.copy())
+        for port in verdict.output_ports:
+            counts[port] += 1
+    return counts
+
+
+def main() -> None:
+    from repro.usecases import l3
+
+    pipeline = build()
+    es = ESwitch.from_pipeline(pipeline)
+    ovs_pipeline = build()
+    ovs = OvsSwitch(ovs_pipeline)
+
+    fib = synthetic_fib(500, seed=3)
+    flow_set = l3.traffic(fib, 2_000)
+    flows = [flow_set[i] for i in range(len(flow_set))]
+
+    print("=== compilation ===")
+    print(f"ESWITCH table kinds: {es.table_kinds()}  "
+          f"(500 routes -> LPM, all pointing at group {GROUP_ID})")
+
+    print("\n=== baseline spread over next hops ===")
+    print(f"ESWITCH: {dict(sorted(spread(es, flows).items()))}")
+    print(f"OVS:     {dict(sorted(spread(ovs, flows).items()))}")
+
+    # Drain next hop 4 (maintenance): rewrite the group, nothing else.
+    for groups in (pipeline.groups, ovs_pipeline.groups):
+        groups.add(Group(GROUP_ID, GroupType.SELECT,
+                         [Bucket([Output(p)]) for p in NEXT_HOPS[:-1]]))
+    print("\n=== after draining next hop 4 (group rewrite only) ===")
+    es_counts = spread(es, flows)
+    ovs_counts = spread(ovs, flows)
+    print(f"ESWITCH: {dict(sorted(es_counts.items()))}")
+    print(f"OVS:     {dict(sorted(ovs_counts.items()))}")
+    assert 4 not in es_counts and 4 not in ovs_counts
+    print("\nno flow-mod was issued: the compiled datapath and every cached")
+    print("megaflow resolved the new buckets at execution time.")
+    print(f"(ESWITCH update engine stats, untouched: {es.update_stats})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,257 @@
+"""The ``repro`` command line: inspect, compile, run, and model pipelines.
+
+Usage (also via ``python -m repro``)::
+
+    repro show     pipeline.json
+    repro compile  pipeline.json [--no-decompose] [--range] [--sources]
+    repro run      pipeline.json --pkt in_port=1,ipv4_dst=192.0.2.1,tcp_dst=80 ...
+    repro model    pipeline.json
+    repro bench    pipeline.json [--flows N] [--packets M] [--seed S]
+
+``run`` drives the packet through all three datapaths (ESWITCH, the OVS
+baseline, and the reference interpreter) and reports disagreement loudly —
+the command-line version of the repo's differential testing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.core import CompileConfig, ESwitch
+from repro.core.autoderive import derive_model
+from repro.openflow import serialize
+from repro.openflow.pipeline import Pipeline
+from repro.ovs import OvsSwitch
+from repro.packet.builder import PacketBuilder
+from repro.packet.packet import Packet
+from repro.simcpu.platform import XEON_E5_2620
+from repro.traffic import FlowSet, measure
+
+
+def _load(path: str) -> Pipeline:
+    try:
+        return serialize.load(path)
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such file: {path}")
+    except serialize.SerializationError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _config(args: argparse.Namespace) -> CompileConfig:
+    return CompileConfig(
+        decompose=not getattr(args, "no_decompose", False),
+        enable_range=getattr(args, "range", False),
+    )
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    pipeline = _load(args.pipeline)
+    for table in pipeline:
+        print(f"table {table.table_id} ({table.name}), miss={table.miss_policy.value}:")
+        for entry in table:
+            print(f"  prio={entry.priority:<5} {entry.match!r}")
+            for instr in entry.instructions:
+                print(f"      {instr!r}")
+    print(f"\n{len(pipeline)} tables, {pipeline.total_entries()} entries, "
+          f"fields: {', '.join(pipeline.matched_fields()) or '(none)'}")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    pipeline = _load(args.pipeline)
+    switch = ESwitch.from_pipeline(pipeline, config=_config(args))
+    print("template selection (logical table -> template):")
+    for tid, kind in sorted(switch.table_kinds().items()):
+        print(f"  table {tid:<4} -> {kind}")
+    print(f"compiled tables: {switch.compiled_table_count}, "
+          f"parser depth: L2–L{switch.datapath.parser_layer}")
+    if args.sources:
+        for tid, source in switch.compiled_sources().items():
+            print(f"\n--- compiled table {tid} "
+                  f"({switch.compiled_table(tid).kind.value}) ---")
+            print(source, end="")
+    return 0
+
+
+def parse_packet_spec(spec: str) -> Packet:
+    """``key=value,key=value`` packet spec -> Packet.
+
+    Keys: in_port, eth_src, eth_dst, vlan, ipv4_src, ipv4_dst, ipv6_src,
+    ipv6_dst, proto (tcp|udp|icmp|icmpv6), sport, dport, ttl.
+    """
+    fields: dict[str, str] = {}
+    for part in spec.split(","):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        if not value:
+            raise SystemExit(f"error: malformed packet spec item {part!r}")
+        fields[key.strip()] = value.strip()
+
+    builder = PacketBuilder(in_port=int(fields.pop("in_port", 0)))
+    builder.eth(
+        src=fields.pop("eth_src", "02:00:00:00:00:01"),
+        dst=fields.pop("eth_dst", "02:00:00:00:00:02"),
+    )
+    if "vlan" in fields:
+        builder.vlan(vid=int(fields.pop("vlan")))
+    proto = fields.pop("proto", None)
+    is_v6 = any(k in fields for k in ("ipv6_src", "ipv6_dst")) or proto == "icmpv6"
+    has_l3 = proto or is_v6 or any(
+        k in fields for k in ("ipv4_src", "ipv4_dst", "ttl")
+    )
+    if has_l3:
+        if is_v6:
+            builder.ipv6(
+                src=fields.pop("ipv6_src", "2001:db8::1"),
+                dst=fields.pop("ipv6_dst", "2001:db8::2"),
+                hop_limit=int(fields.pop("ttl", 64)),
+            )
+        else:
+            builder.ipv4(
+                src=fields.pop("ipv4_src", "10.0.0.1"),
+                dst=fields.pop("ipv4_dst", "10.0.0.2"),
+                ttl=int(fields.pop("ttl", 64)),
+            )
+        sport = int(fields.pop("sport", 1024))
+        dport = int(fields.pop("dport", 80))
+        if proto in (None, "tcp"):
+            builder.tcp(src_port=sport, dst_port=dport)
+        elif proto == "udp":
+            builder.udp(src_port=sport, dst_port=dport)
+        elif proto == "icmp":
+            builder.icmp()
+        elif proto == "icmpv6":
+            builder.icmpv6()
+        else:
+            raise SystemExit(f"error: unknown proto {proto!r}")
+    if fields:
+        raise SystemExit(f"error: unknown packet spec keys: {', '.join(fields)}")
+    return builder.build()
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    pipeline_es = _load(args.pipeline)
+    es = ESwitch.from_pipeline(pipeline_es, config=_config(args))
+    ovs = OvsSwitch(_load(args.pipeline))
+    reference = _load(args.pipeline)
+
+    disagreements = 0
+    for spec in args.pkt:
+        pkt = parse_packet_spec(spec)
+        v_es = es.process(pkt.copy())
+        v_ovs = ovs.process(pkt.copy())
+        v_ref = reference.process(pkt.copy())
+        agree = v_es.summary() == v_ovs.summary() == v_ref.summary()
+        marker = "" if agree else "  << DISAGREE"
+        print(f"{spec}")
+        print(f"  eswitch:   {v_es!r}")
+        print(f"  ovs:       {v_ovs!r}")
+        print(f"  reference: {v_ref!r}{marker}")
+        if not agree:
+            disagreements += 1
+    return 1 if disagreements else 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    pipeline = _load(args.pipeline)
+    switch = ESwitch.from_pipeline(pipeline, config=_config(args))
+    model = derive_model(switch)
+    print("auto-derived performance model (longest table path):")
+    for name, cycles, comment in model.rundown():
+        print(f"  {name:24} {cycles:12}  {comment}")
+    lo, hi = model.cycle_bounds()
+    lb, ub = model.bounds()
+    print(f"\ncycles/packet: {lo:.0f} (all-L1) … {hi:.0f} (all-L3)")
+    print(f"packet rate:   {ub / 1e6:.1f} Mpps (model-ub) … "
+          f"{lb / 1e6:.1f} Mpps (model-lb)  [{XEON_E5_2620.name}]")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    pipeline = _load(args.pipeline)
+    fields = pipeline.matched_fields()
+
+    def factory(i: int, _rng) -> Packet:
+        builder = PacketBuilder(in_port=rng.choice([1, 2, 3]))
+        builder.eth(src=rng.getrandbits(46) * 4 + 2, dst=rng.getrandbits(46) * 4 + 2)
+        builder.ipv4(src=rng.getrandbits(32), dst=rng.getrandbits(32))
+        if rng.random() < 0.7:
+            builder.tcp(src_port=rng.randrange(1024, 65000),
+                        dst_port=rng.choice([80, 443, 22, rng.randrange(1, 65000)]))
+        else:
+            builder.udp(src_port=rng.randrange(1024, 65000), dst_port=53)
+        return builder.build()
+
+    flows = FlowSet.build(args.flows, factory, seed=args.seed)
+    print(f"pipeline: {len(pipeline)} tables, {pipeline.total_entries()} entries, "
+          f"matched fields: {', '.join(fields) or '(none)'}")
+    print(f"workload: {args.flows} random flows, {args.packets} packets\n")
+    for name, switch in (
+        ("ESWITCH", ESwitch.from_pipeline(_load(args.pipeline), config=_config(args))),
+        ("OVS", OvsSwitch(_load(args.pipeline))),
+    ):
+        m = measure(switch, flows, n_packets=args.packets,
+                    warmup=min(args.flows + 500, args.packets))
+        print(f"{name:8} {m.mpps:8.2f} Mpps   {m.cycles_per_packet:8.0f} cyc/pkt   "
+              f"LLC {m.llc_misses_per_packet:.2f}/pkt   "
+              f"fwd/drop/ctrl {m.forwarded}/{m.dropped}/{m.to_controller}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ESWITCH (SIGCOMM 2016) reproduction toolbox",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_show = sub.add_parser("show", help="pretty-print a pipeline document")
+    p_show.add_argument("pipeline")
+    p_show.set_defaults(fn=cmd_show)
+
+    p_compile = sub.add_parser("compile", help="compile and report templates")
+    p_compile.add_argument("pipeline")
+    p_compile.add_argument("--no-decompose", action="store_true",
+                           help="disable flow table decomposition")
+    p_compile.add_argument("--range", action="store_true",
+                           help="enable the range table template")
+    p_compile.add_argument("--sources", action="store_true",
+                           help="print the generated fast-path code")
+    p_compile.set_defaults(fn=cmd_compile)
+
+    p_run = sub.add_parser("run", help="run packets through all datapaths")
+    p_run.add_argument("pipeline")
+    p_run.add_argument("--pkt", action="append", required=True,
+                       metavar="k=v,k=v", help="packet spec (repeatable)")
+    p_run.add_argument("--no-decompose", action="store_true")
+    p_run.add_argument("--range", action="store_true")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_model = sub.add_parser("model", help="auto-derive the performance model")
+    p_model.add_argument("pipeline")
+    p_model.add_argument("--no-decompose", action="store_true")
+    p_model.add_argument("--range", action="store_true")
+    p_model.set_defaults(fn=cmd_model)
+
+    p_bench = sub.add_parser("bench", help="quick simulated measurement")
+    p_bench.add_argument("pipeline")
+    p_bench.add_argument("--flows", type=int, default=1000)
+    p_bench.add_argument("--packets", type=int, default=10_000)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--no-decompose", action="store_true")
+    p_bench.add_argument("--range", action="store_true")
+    p_bench.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Control-plane models: a reactive controller and update channels."""
+
+from repro.controller.channels import (
+    CLI_CHANNEL,
+    CONTROLLER_CHANNEL,
+    UpdateChannel,
+    setup_time,
+)
+from repro.controller.gateway_controller import GatewayController
+from repro.controller.learning_switch import LearningSwitch
+
+__all__ = [
+    "UpdateChannel",
+    "CLI_CHANNEL",
+    "CONTROLLER_CHANNEL",
+    "setup_time",
+    "GatewayController",
+    "LearningSwitch",
+]

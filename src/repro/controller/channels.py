@@ -1,0 +1,67 @@
+"""Update-channel models for the Fig. 17 setup-time experiment.
+
+Two ways to feed flow-mods to a switch, as in the paper:
+
+* **CLI** (``ovs-ofctl``-style): a thin per-invocation overhead; total time
+  is dominated by switch-side update processing — where ESWITCH's
+  template compilation is about five times cheaper than OVS's
+  transaction + revalidation machinery;
+* **controller** (Ryu/ODL-style): a per-message protocol/serialization
+  latency that dwarfs either switch's processing — "it is the OpenFlow
+  controller, rather than ESWITCH itself, that bottlenecks update rates".
+
+Switch-side cost comes from the switch object itself: ESwitch's
+``apply_flow_mod`` returns its estimated cycles; OVS's per-mod cost is the
+fixed ``OVS_FLOW_MOD_CYCLES`` below (transaction commit + classifier
+update + cache revalidation kick-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.eswitch import ESwitch
+from repro.openflow.messages import FlowMod
+from repro.ovs.switch import OvsSwitch
+from repro.simcpu.platform import Platform, XEON_E5_2620
+
+
+@dataclass(frozen=True)
+class UpdateChannel:
+    """A flow-mod delivery path with a fixed per-message latency."""
+
+    name: str
+    per_message_s: float
+
+
+CLI_CHANNEL = UpdateChannel("CLI", per_message_s=150e-6)
+CONTROLLER_CHANNEL = UpdateChannel("ctrl", per_message_s=1e-3)
+
+#: vswitchd work per flow-mod: ofproto transaction, classifier insertion,
+#: and kicking the revalidators (calibrated to the ~5x CLI gap of Fig. 17).
+OVS_FLOW_MOD_CYCLES = 1.2e6
+
+
+def apply_and_cost_cycles(switch, mod: FlowMod) -> float:
+    """Apply one flow-mod; return the switch-side cost in cycles."""
+    if isinstance(switch, ESwitch):
+        return switch.apply_flow_mod(mod)
+    if isinstance(switch, OvsSwitch):
+        switch.apply_flow_mod(mod)
+        return OVS_FLOW_MOD_CYCLES
+    switch.apply_flow_mod(mod)
+    return 0.0
+
+
+def setup_time(
+    switch,
+    mods: Sequence[FlowMod],
+    channel: UpdateChannel,
+    platform: Platform = XEON_E5_2620,
+) -> float:
+    """Total seconds to push ``mods`` through ``channel`` into ``switch``."""
+    cycles = 0.0
+    for mod in mods:
+        cycles += apply_and_cost_cycles(switch, mod)
+    return len(mods) * channel.per_message_s + cycles / platform.freq_hz

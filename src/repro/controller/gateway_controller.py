@@ -1,0 +1,64 @@
+"""The gateway's admission controller (reactive NAT provisioning).
+
+"Packets missing the per-CE tables are passed to the controller that does
+admission control, allocates a public IP, and installs per-user 'NAT'
+rules into the proper tables." (Section 4.1)
+
+The controller recognizes subscribers by their private address shape
+(10.<ce>.0.<user>); unknown senders are rejected (no rules installed).
+"""
+
+from __future__ import annotations
+
+from repro.net.addresses import ip_to_int
+from repro.openflow.messages import PacketIn
+from repro.packet.parser import parse
+from repro.openflow.fields import field_by_name
+from repro.usecases import gateway
+
+
+class GatewayController:
+    """Handles packet-ins from the vPE's per-CE admission tables."""
+
+    def __init__(self, switch, n_ce: int = 10, users_per_ce: int = 20):
+        self.switch = switch
+        self.n_ce = n_ce
+        self.users_per_ce = users_per_ce
+        self.admitted: set[tuple[int, int]] = set()
+        self.rejected = 0
+        self.packet_ins = 0
+
+    def __call__(self, packet_in: PacketIn) -> None:
+        self.handle(packet_in)
+
+    def handle(self, packet_in: PacketIn) -> None:
+        self.packet_ins += 1
+        view = parse(packet_in.pkt)
+        src = field_by_name("ipv4_src").extract(view)
+        vlan = field_by_name("vlan_vid").extract(view)
+        subscriber = self._subscriber_of(src, vlan)
+        if subscriber is None:
+            self.rejected += 1
+            return
+        if subscriber in self.admitted:
+            return  # rules already installed; packet raced the update
+        ce, user = subscriber
+        for mod in gateway.nat_flow_mods(ce, user):
+            self.switch.apply_flow_mod(mod)
+        self.admitted.add(subscriber)
+
+    def _subscriber_of(
+        self, src: "int | None", vlan: "int | None"
+    ) -> "tuple[int, int] | None":
+        if src is None or vlan is None:
+            return None
+        base = ip_to_int("10.0.0.0")
+        if (src >> 24) != (base >> 24):
+            return None
+        ce = (src >> 16) & 0xFF
+        user = (src & 0xFFFF) - 1
+        if ce >= self.n_ce or not 0 <= user < self.users_per_ce:
+            return None
+        if vlan != gateway.ce_vlan(ce):
+            return None
+        return ce, user

@@ -1,0 +1,187 @@
+"""The compiled datapath: trampoline, driver loop, and parser dispatch.
+
+After per-table specialization, linking combines the tables into a running
+datapath (Section 3.3):
+
+* within-table jumps are already Python control flow inside the generated
+  functions;
+* ``goto_table`` jumps go **via a trampoline** — here a mutable dict from
+  table id to compiled table — so that a table rebuilt side-by-side can be
+  inserted "by atomically redirecting all referring goto_table jumps to the
+  address of the new code" (Section 3.4): one dict-slot assignment.
+
+The driver also embodies the parser templates: pipelines that match only
+L2 fields never parse L3/L4 headers ("for pure L2 MAC forwarding it is
+completely superfluous to parse L3 and L4 header fields", Section 3.1),
+and the cost model charges only the parser layers actually composed.
+"""
+
+from __future__ import annotations
+
+from repro.core.codegen import CompiledTable
+from repro.core.outcome import Outcome
+from repro.openflow.actions import Action, Output, SetField, DecTtl
+from repro.openflow.fields import field_by_name, max_layer
+from repro.openflow.pipeline import MAX_TABLE_HOPS, Pipeline, PipelineError, Verdict
+from repro.packet import parser as pp
+from repro.packet.packet import Packet
+from repro.simcpu.costs import CostBook, DEFAULT_COSTS
+from repro.simcpu.recorder import Meter, NULL_METER
+
+
+def required_layer(pipeline: Pipeline) -> int:
+    """Deepest protocol layer the pipeline's matches *and actions* need."""
+    from repro.openflow.groups import GroupAction
+
+    deepest = 2
+    names: set[str] = set(pipeline.matched_fields())
+    for table in pipeline:
+        for entry in table:
+            for action in entry.apply_actions + entry.write_actions:
+                if isinstance(action, SetField):
+                    names.add(action.field)
+                elif isinstance(action, DecTtl):
+                    deepest = max(deepest, 3)
+                elif isinstance(action, GroupAction):
+                    # SELECT bucket choice hashes the 5-tuple: full parse.
+                    deepest = 4
+    if names:
+        deepest = max(deepest, max_layer(names))
+    return deepest
+
+
+def needs_etype(pipeline: Pipeline) -> bool:
+    return "eth_type" in pipeline.matched_fields()
+
+
+_PARSERS = {2: pp.parse_l2, 3: pp.parse_l3, 4: pp.parse}
+
+
+class CompiledDatapath:
+    """Executes compiled tables over packets; the ESWITCH fast path."""
+
+    def __init__(
+        self,
+        first_table: int,
+        parser_layer: int = 4,
+        use_etype: bool = True,
+        costs: CostBook = DEFAULT_COSTS,
+    ):
+        if parser_layer not in _PARSERS:
+            raise ValueError(f"parser layer must be 2, 3, or 4, not {parser_layer}")
+        self.trampoline: dict[int, CompiledTable] = {}
+        self.first_table = first_table
+        self.parser_layer = parser_layer
+        self.use_etype = use_etype
+        self.costs = costs
+        self._extract_etype = field_by_name("eth_type").extract
+        self.set_parser_layer(parser_layer)
+
+    def set_parser_layer(self, parser_layer: int) -> None:
+        """Re-plan the parser templates (updates can deepen match fields)."""
+        if parser_layer not in _PARSERS:
+            raise ValueError(f"parser layer must be 2, 3, or 4, not {parser_layer}")
+        self.parser_layer = parser_layer
+        costs = self.costs
+        self._parser_cost = costs.parser_l2
+        if parser_layer >= 3:
+            self._parser_cost += costs.parser_l3
+        if parser_layer >= 4:
+            self._parser_cost += costs.parser_l4
+
+    # -- linking ------------------------------------------------------------
+
+    def install(self, compiled: CompiledTable) -> None:
+        """Atomically (re)link one table into the trampoline."""
+        self.trampoline[compiled.table_id] = compiled
+
+    def uninstall(self, table_id: int) -> None:
+        self.trampoline.pop(table_id, None)
+
+    def table(self, table_id: int) -> CompiledTable:
+        return self.trampoline[table_id]
+
+    # -- the fast path -----------------------------------------------------------
+
+    def process(self, pkt: Packet, meter: Meter = NULL_METER) -> Verdict:
+        costs = self.costs
+        meter.charge(costs.pkt_in + costs.es_dispatch + self._parser_cost)
+        parse = _PARSERS[self.parser_layer]
+        view = parse(pkt)
+        data = pkt.data
+        l3, l4, proto = view.l3, view.l4, view.proto
+        nxt = view.l4_proto
+        etype = (self._extract_etype(view) or 0) if self.use_etype else 0
+
+        verdict = Verdict()
+        write_set: list[Action] = []
+        tid = self.first_table
+        trampoline = self.trampoline
+        did_work = False
+        hops = 0
+        while True:
+            hops += 1
+            if hops > MAX_TABLE_HOPS:
+                raise PipelineError("compiled pipeline loop detected")
+            compiled = trampoline.get(tid)
+            if compiled is None:
+                raise PipelineError(f"goto_table to unlinked table {tid}")
+            out: Outcome = compiled.fn(data, pkt, l3, l4, proto, etype, nxt, meter)
+            verdict.path.append((tid, out.entry))
+
+            if out.is_miss:
+                verdict.table_miss = True
+                if out.to_controller:
+                    verdict.to_controller = True
+                else:
+                    verdict.dropped = True
+                meter.charge(costs.table_miss)
+                return verdict
+
+            if out.entry is not None:
+                out.entry.counters.record(len(data))
+            if out.meter is not None and not out.meter.allow():
+                verdict.dropped = True
+                return verdict
+            if out.apply_actions:
+                did_work = True
+                for action in out.apply_actions:
+                    action.apply(view, verdict)
+                    if verdict.reparse_needed:
+                        view = parse(pkt)
+                        data = pkt.data
+                        l3, l4, proto = view.l3, view.l4, view.proto
+                        nxt = view.l4_proto
+                        if self.use_etype:
+                            etype = self._extract_etype(view) or 0
+                        verdict.reparse_needed = False
+            if out.clear_actions:
+                write_set.clear()
+            if out.write_actions:
+                write_set.extend(out.write_actions)
+            if out.metadata_write is not None:
+                value, mask = out.metadata_write
+                pkt.metadata = (pkt.metadata & ~mask) | (value & mask)
+            if verdict.dropped:
+                break
+            if out.goto is None:
+                break
+            meter.charge(costs.goto_trampoline)
+            tid = out.goto
+
+        if write_set and not verdict.dropped:
+            did_work = True
+            ordered = [a for a in write_set if not isinstance(a, Output)] + [
+                a for a in write_set if isinstance(a, Output)
+            ]
+            for action in ordered:
+                action.apply(view, verdict)
+                if verdict.reparse_needed:
+                    view = parse(pkt)
+                    verdict.reparse_needed = False
+
+        if did_work:
+            meter.charge(costs.action_set)
+        if verdict.forwarded:
+            meter.charge(costs.pkt_out)
+        return verdict

@@ -1,0 +1,379 @@
+"""The ESWITCH facade: compile a pipeline, run packets, apply updates.
+
+Ties together analysis → (optional) decomposition → specialization →
+linking, and implements the update semantics of Section 3.4:
+
+* templates that support it (compound hash, LPM, linked list) are updated
+  **non-destructively** in place;
+* the direct code template is rebuilt unconditionally, and any update that
+  violates the current template's prerequisite triggers a **fallback
+  rebuild** — both built side by side and linked in atomically through the
+  trampoline;
+* batches are **transactional**: a failing flow-mod rolls the whole batch
+  back, logical tables and compiled artifacts alike.
+
+Unlike OVS, no update invalidates any datapath state beyond the single
+table it touches — the property Fig. 18 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Iterable, Sequence
+
+from repro.core.analysis import (
+    CompileConfig,
+    DEFAULT_CONFIG,
+    TemplateKind,
+    select_template,
+)
+from repro.core.codegen import CompiledTable, compile_table, _build_sig_matcher
+from repro.core.datapath import CompiledDatapath, needs_etype, required_layer
+from repro.core.decompose import decomposable, decompose_table
+from repro.core.outcome import miss_outcome, outcome_of
+from repro.openflow.flow_table import FlowTable
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.openflow.pipeline import Pipeline, Verdict
+from repro.packet.packet import Packet
+from repro.simcpu.costs import CostBook, DEFAULT_COSTS
+from repro.simcpu.recorder import Meter, NULL_METER
+
+
+@dataclass
+class UpdateStats:
+    """How updates were absorbed (Fig. 18's mechanism)."""
+
+    incremental: int = 0
+    rebuilds: int = 0
+    fallbacks: int = 0
+    group_rebuilds: int = 0
+    cycles: float = 0.0
+
+
+@dataclass
+class _Group:
+    """One logical table's compiled representation."""
+
+    logical_id: int
+    compiled_ids: list[int]
+    decomposed: bool = False
+
+
+class ESwitch:
+    """An OpenFlow switch with a fully compiled, specialized datapath."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        config: CompileConfig = DEFAULT_CONFIG,
+        costs: CostBook = DEFAULT_COSTS,
+        packet_in_handler=None,
+    ):
+        pipeline.validate()
+        self.pipeline = pipeline
+        self.config = config
+        self.costs = costs
+        self.packet_in_handler = packet_in_handler
+        self.update_stats = UpdateStats()
+        self._groups: dict[int, _Group] = {}
+        #: decomposed groups whose rebuild is deferred to the next packet —
+        #: the "constructed side by side with the running datapath"
+        #: semantics of Section 3.4: the control path returns immediately,
+        #: the old compiled tables keep processing until the swap.
+        self._dirty_groups: set[int] = set()
+        self._next_internal_id = (
+            max((t.table_id for t in pipeline.tables), default=0) + 1
+        )
+        self.datapath = CompiledDatapath(
+            first_table=pipeline.first_table.table_id,
+            parser_layer=required_layer(pipeline),
+            use_etype=True,
+            costs=costs,
+        )
+        for table in pipeline.tables:
+            self._compile_group(table)
+
+    @classmethod
+    def from_pipeline(
+        cls,
+        pipeline: Pipeline,
+        config: CompileConfig = DEFAULT_CONFIG,
+        costs: CostBook = DEFAULT_COSTS,
+        packet_in_handler=None,
+    ) -> "ESwitch":
+        return cls(pipeline, config, costs, packet_in_handler)
+
+    # -- the fast path ----------------------------------------------------
+
+    def process(self, pkt: Packet, meter: Meter = NULL_METER) -> Verdict:
+        """Run one packet through the compiled datapath."""
+        if self._dirty_groups:
+            self._flush_rebuilds()
+        verdict = self.datapath.process(pkt, meter)
+        if verdict.to_controller and self.packet_in_handler is not None:
+            from repro.openflow.messages import PacketIn
+
+            table_id = verdict.path[-1][0] if verdict.path else 0
+            self.packet_in_handler(PacketIn(pkt=pkt, table_id=table_id))
+        return verdict
+
+    # -- inspection -----------------------------------------------------------
+
+    def table_kinds(self) -> dict[int, str]:
+        """Logical table id -> template kind (or 'decomposed[n]')."""
+        if self._dirty_groups:
+            self._flush_rebuilds()
+        out: dict[int, str] = {}
+        for logical_id, group in self._groups.items():
+            if group.decomposed:
+                out[logical_id] = f"decomposed[{len(group.compiled_ids)}]"
+            else:
+                out[logical_id] = self.datapath.table(logical_id).kind.value
+        return out
+
+    def compiled_table(self, table_id: int) -> CompiledTable:
+        if self._dirty_groups:
+            self._flush_rebuilds()
+        return self.datapath.table(table_id)
+
+    def compiled_sources(self) -> dict[int, str]:
+        """All generated sources, keyed by compiled table id."""
+        return {
+            tid: ct.source for tid, ct in sorted(self.datapath.trampoline.items())
+        }
+
+    @property
+    def compiled_table_count(self) -> int:
+        return len(self.datapath.trampoline)
+
+    # -- compilation ---------------------------------------------------------------
+
+    def _take_ids(self, count: int) -> int:
+        start = self._next_internal_id
+        self._next_internal_id += count
+        return start
+
+    def _compile_group(self, table: FlowTable) -> _Group:
+        kind = select_template(table.entries, self.config)
+        if (
+            kind is TemplateKind.LINKED_LIST
+            and self.config.decompose
+            and decomposable(table)
+        ):
+            tables = decompose_table(table, self._next_internal_id)
+            assert tables is not None
+            self._next_internal_id = max(
+                self._next_internal_id, max(t.table_id for t in tables) + 1
+            )
+            for sub in tables:
+                self.datapath.install(compile_table(sub, self.config, self.costs))
+            group = _Group(
+                logical_id=table.table_id,
+                compiled_ids=[t.table_id for t in tables],
+                decomposed=True,
+            )
+        else:
+            self.datapath.install(
+                compile_table(table, self.config, self.costs, kind=kind)
+            )
+            group = _Group(logical_id=table.table_id, compiled_ids=[table.table_id])
+        self._groups[table.table_id] = group
+        return group
+
+    def _flush_rebuilds(self) -> None:
+        for logical_id in sorted(self._dirty_groups):
+            self._rebuild_group(logical_id)
+        self._dirty_groups.clear()
+
+    def _rebuild_group(self, logical_id: int) -> None:
+        """Side-by-side rebuild of one logical table, then atomic swap."""
+        self._dirty_groups.discard(logical_id)
+        old = self._groups.get(logical_id)
+        table = self.pipeline.table(logical_id)
+        new_group = self._compile_group(table)  # installs over/new ids
+        if old is not None:
+            for tid in old.compiled_ids:
+                if tid not in new_group.compiled_ids:
+                    self.datapath.uninstall(tid)
+
+    # -- updates ----------------------------------------------------------------------
+
+    def apply_flow_mod(self, mod: FlowMod) -> float:
+        """Apply one flow-mod; returns the estimated update cost in cycles."""
+        table = self.pipeline.get_or_create(mod.table_id)
+        new_table = mod.table_id not in self._groups
+        if mod.command is FlowModCommand.DELETE:
+            table.remove(mod.match, mod.priority if mod.priority else None)
+        else:
+            table.add(mod.to_entry())
+        # Updates can deepen (or shallow) the fields in play: re-plan the
+        # parser templates before the next packet.
+        layer = required_layer(self.pipeline)
+        if layer != self.datapath.parser_layer:
+            self.datapath.set_parser_layer(layer)
+        cycles = self._recompile_after_update(table, mod, new_table)
+        self.update_stats.cycles += cycles
+        return cycles
+
+    def apply_flow_mods(self, mods: Sequence[FlowMod]) -> float:
+        """Transactional batch: either every mod applies or none does."""
+        affected = {mod.table_id for mod in mods}
+        snapshots: dict[int, "list | None"] = {}
+        for tid in affected:
+            try:
+                snapshots[tid] = list(self.pipeline.table(tid).entries)
+            except Exception:
+                snapshots[tid] = None  # table does not exist yet
+        total = 0.0
+        try:
+            for mod in mods:
+                total += self.apply_flow_mod(mod)
+        except Exception:
+            for tid, entries in snapshots.items():
+                if entries is None:
+                    # Roll back a table created inside this transaction.
+                    self.pipeline._tables.pop(tid, None)
+                    group = self._groups.pop(tid, None)
+                    if group is not None:
+                        for cid in group.compiled_ids:
+                            self.datapath.uninstall(cid)
+                    continue
+                table = self.pipeline.table(tid)
+                table._entries = list(entries)
+                table.version += 1
+                self._rebuild_group(tid)
+            raise
+        return total
+
+    def _recompile_after_update(
+        self, table: FlowTable, mod: FlowMod, new_table: bool
+    ) -> float:
+        costs = self.costs
+        stats = self.update_stats
+
+        if new_table:
+            self._compile_group(table)
+            stats.rebuilds += 1
+            return costs.es_update_rebuild_base + costs.es_update_rebuild_per_entry * len(
+                table
+            )
+
+        group = self._groups[table.table_id]
+        if group.decomposed:
+            # Queue a side-by-side rebuild; the control path pays only the
+            # enqueue, the compile runs off the update's critical path.
+            self._dirty_groups.add(table.table_id)
+            stats.group_rebuilds += 1
+            return costs.es_update_incremental
+
+        compiled = self.datapath.table(table.table_id)
+        new_kind = select_template(table.entries, self.config)
+        if new_kind is not compiled.kind:
+            # Prerequisite changed: fall back (or upgrade) with a rebuild.
+            self._rebuild_group(table.table_id)
+            stats.fallbacks += 1
+            return costs.es_update_rebuild_base + costs.es_update_rebuild_per_entry * len(
+                table
+            )
+
+        if self._try_incremental(compiled, table, mod):
+            stats.incremental += 1
+            return costs.es_update_incremental
+
+        self._rebuild_group(table.table_id)
+        stats.rebuilds += 1
+        return costs.es_update_rebuild_base + costs.es_update_rebuild_per_entry * len(
+            table
+        )
+
+    def _try_incremental(
+        self, compiled: CompiledTable, table: FlowTable, mod: FlowMod
+    ) -> bool:
+        """Non-destructive in-place update where the template allows it."""
+        if compiled.kind is TemplateKind.DIRECT:
+            return False  # "Complete rebuilding happens … unconditionally"
+
+        if compiled.kind is TemplateKind.HASH:
+            match = mod.match
+            if match.is_catch_all:
+                compiled.namespace["_MISS"] = (
+                    outcome_of(table.entries[-1])
+                    if table.entries and table.entries[-1].match.is_catch_all
+                    else miss_outcome(table)
+                )
+                return True
+            if match.fields != compiled.hash_fields or any(
+                match.mask_of(name) != mask
+                for name, mask in zip(compiled.hash_fields, compiled.hash_masks)
+            ):
+                return False
+            values = tuple(match.value_of(name) for name in compiled.hash_fields)
+            key = values[0] if len(values) == 1 else values
+            assert compiled.hash_store is not None
+            if mod.command is FlowModCommand.DELETE:
+                compiled.hash_store.remove(key)
+            else:
+                compiled.hash_store.insert(key, outcome_of(mod.to_entry()))
+            compiled.entry_count = len(table)
+            return True
+
+        if compiled.kind is TemplateKind.LPM:
+            match = mod.match
+            assert compiled.lpm_store is not None
+            if match.is_catch_all:
+                compiled.namespace["_MISS"] = (
+                    outcome_of(table.entries[-1])
+                    if table.entries and table.entries[-1].match.is_catch_all
+                    else miss_outcome(table)
+                )
+                return True
+            if match.fields != (compiled.lpm_field,) or not match.is_prefix(
+                compiled.lpm_field
+            ):
+                return False
+            value = match.value_of(compiled.lpm_field)
+            depth = match.prefix_len(compiled.lpm_field)
+            assert value is not None
+            if mod.command is FlowModCommand.DELETE:
+                compiled.lpm_store.delete(value, depth)
+            else:
+                outcomes = compiled.namespace["_OUT"]
+                compiled.lpm_store.add(value, depth, len(outcomes))
+                outcomes.append(outcome_of(mod.to_entry()))
+            compiled.entry_count = len(table)
+            return True
+
+        if compiled.kind is TemplateKind.LINKED_LIST:
+            # Rebuild the entry list in place, reusing the shared matcher
+            # functions; the generated code object never changes.
+            from repro.core.analysis import split_catch_all
+
+            rules, catch_all = split_catch_all(table.entries)
+            compiled.namespace["_MISS"] = (
+                outcome_of(catch_all) if catch_all is not None else miss_outcome(table)
+            )
+            from repro.core.codegen import _guard_masks
+
+            new_entries = []
+            for entry in rules:
+                sig = tuple((n, m) for n, (_v, m) in entry.match.items())
+                fn = compiled.ll_matchers.get(sig)
+                if fn is None:
+                    fn = _build_sig_matcher(sig, len(compiled.ll_matchers))
+                    compiled.ll_matchers[sig] = fn
+                values = tuple(v for _n, (v, _m) in entry.match.items())
+                new_entries.append(
+                    (_guard_masks(entry.match), fn, values, outcome_of(entry))
+                )
+            assert compiled.ll_entries is not None
+            compiled.ll_entries[:] = new_entries
+            compiled.entry_count = len(table)
+            return True
+
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"ESwitch(tables={len(self._groups)}, "
+            f"compiled={self.compiled_table_count})"
+        )

@@ -1,0 +1,166 @@
+"""A collision-free hash table — the compound hash template's backing store.
+
+The paper's compound hash template uses "a collision free hash; even though
+it requires more memory and more time to build, it supports fast constant
+time lookups, a key to a robust datapath performance" (Section 3.1), and the
+switch rebuilds it "periodically … to minimize hash collisions"
+(Section 3.4).
+
+This implementation searches for a seed under which every key occupies a
+distinct slot (perfect hashing by seed search over an oversized table).
+Lookups are therefore a single probe: hash, compare, done. Inserting a key
+that would collide triggers a rebuild with a fresh seed (growing the table
+when the load factor demands it) — build cost is paid at update time, never
+at lookup time, exactly the trade the paper makes.
+
+Keys are integers or tuples of integers (compound keys: the template "runs
+together relevant header fields into a single key").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+Key = "int | tuple[int, ...]"
+
+#: Slots per 64-byte cache line assumed by the cost model (16-byte entries).
+SLOTS_PER_LINE = 4
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(key: "int | tuple[int, ...]", seed: int) -> int:
+    """A seeded FNV-1a style mix over the key's integer components."""
+    h = (_FNV_OFFSET ^ seed) & _MASK64
+    if isinstance(key, int):
+        components: tuple[int, ...] = (key,)
+    else:
+        components = key
+    for part in components:
+        while True:
+            h = ((h ^ (part & 0xFFFFFFFF)) * _FNV_PRIME) & _MASK64
+            part >>= 32
+            if not part:
+                break
+    h ^= h >> 33
+    return h
+
+
+class RebuildRequired(RuntimeError):
+    """Internal signal: no collision-free seed found at the current size."""
+
+
+class CollisionFreeHash:
+    """Perfect-hash-by-seed-search table with single-probe lookups."""
+
+    #: Slots allocated per key (the memory-for-speed trade).
+    OVERSIZE_FACTOR = 4
+    #: Seeds tried per size before growing the table.
+    MAX_SEED_TRIES = 64
+    MIN_SLOTS = 8
+
+    def __init__(self, items: "dict | None" = None):
+        self._items: dict = dict(items or {})
+        self._seed = 0
+        self._slots: list = []
+        self._nslots = 0
+        self.rebuild_count = 0
+        self._build()
+
+    # -- lookups ----------------------------------------------------------
+
+    def get(self, key: Key, default: object = None) -> object:
+        """Single-probe lookup."""
+        if not self._nslots:
+            return default
+        slot = self._slots[_mix(key, self._seed) % self._nslots]
+        if slot is not None and slot[0] == key:
+            return slot[1]
+        return default
+
+    def get_traced(self, key: Key, default: object = None) -> tuple[object, int]:
+        """Lookup plus the abstract cache-line id probed (for the cost model)."""
+        if not self._nslots:
+            return default, 0
+        index = _mix(key, self._seed) % self._nslots
+        line = index // SLOTS_PER_LINE
+        slot = self._slots[index]
+        if slot is not None and slot[0] == key:
+            return slot[1], line
+        return default, line
+
+    def __contains__(self, key: Key) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def items(self):
+        return self._items.items()
+
+    @property
+    def slot_count(self) -> int:
+        return self._nslots
+
+    # -- updates -------------------------------------------------------------
+
+    def insert(self, key: Key, value: object) -> None:
+        """Insert or update; rebuilds (new seed / larger table) on collision."""
+        self._items[key] = value
+        if self._nslots:
+            index = _mix(key, self._seed) % self._nslots
+            slot = self._slots[index]
+            if slot is None or slot[0] == key:
+                self._slots[index] = (key, value)
+                return
+        self._build()
+
+    def remove(self, key: Key) -> bool:
+        """Remove a key; no rebuild needed (the slot just empties)."""
+        if key not in self._items:
+            return False
+        del self._items[key]
+        index = _mix(key, self._seed) % self._nslots
+        slot = self._slots[index]
+        if slot is not None and slot[0] == key:
+            self._slots[index] = None
+        return True
+
+    def rebuild(self) -> None:
+        """Force the periodic rebuild of Section 3.4."""
+        self._build()
+
+    # -- internals -------------------------------------------------------------
+
+    def _build(self) -> None:
+        self.rebuild_count += 1
+        n = len(self._items)
+        nslots = max(self.MIN_SLOTS, n * self.OVERSIZE_FACTOR)
+        while True:
+            try:
+                self._try_build(nslots)
+                return
+            except RebuildRequired:
+                nslots *= 2
+
+    def _try_build(self, nslots: int) -> None:
+        for attempt in range(self.MAX_SEED_TRIES):
+            seed = (self._seed + attempt + 1) * 0x9E3779B97F4A7C15 & _MASK64
+            slots: list = [None] * nslots
+            for key, value in self._items.items():
+                index = _mix(key, seed) % nslots
+                if slots[index] is not None:
+                    break
+                slots[index] = (key, value)
+            else:
+                self._seed = seed
+                self._slots = slots
+                self._nslots = nslots
+                return
+        raise RebuildRequired

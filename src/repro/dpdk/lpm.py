@@ -1,0 +1,236 @@
+"""DIR-24-8 longest prefix match — a reimplementation of DPDK's ``rte_lpm``.
+
+The structure holds a direct-indexed table over the top 24 address bits
+(``tbl24``) plus overflow groups of 256 entries for deeper prefixes
+(``tbl8``). A lookup costs one memory access for prefixes up to /24 and two
+for longer ones — exactly the 1-or-2 access profile the paper's LPM cost
+atom charges (``13 + 2*Lx`` cycles, Fig. 20).
+
+Incremental add/delete follow the DPDK algorithm: each entry remembers the
+depth of the rule that wrote it, so a new rule only overwrites entries
+written by shorter prefixes, and deletion substitutes the next-shorter
+covering rule.
+
+Entry encoding (numpy ``int32``): ``0`` invalid, ``> 0`` next hop + 1,
+``< 0`` extended — ``-(tbl8 group + 1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+TBL8_GROUP_SIZE = 256
+#: 4-byte entries per 64-byte cache line — for cache-simulator line ids.
+ENTRIES_PER_LINE = 16
+
+
+class LpmFullError(RuntimeError):
+    """No free tbl8 groups remain."""
+
+
+class Dir24_8Lpm:
+    """DIR-24-8 LPM table over 32-bit keys.
+
+    Args:
+        max_tbl8_groups: number of overflow groups for /25+ prefixes.
+    """
+
+    def __init__(self, max_tbl8_groups: int = 256):
+        self._tbl24 = np.zeros(1 << 24, dtype=np.int32)
+        self._tbl24_depth = np.zeros(1 << 24, dtype=np.uint8)
+        self._tbl8 = np.zeros(max_tbl8_groups * TBL8_GROUP_SIZE, dtype=np.int32)
+        self._tbl8_depth = np.zeros(max_tbl8_groups * TBL8_GROUP_SIZE, dtype=np.uint8)
+        self._tbl8_used = [False] * max_tbl8_groups
+        self._rules: dict[tuple[int, int], int] = {}  # (prefix, depth) -> next hop
+
+    # -- rule management ----------------------------------------------------
+
+    def add(self, ip: int, depth: int, next_hop: int) -> None:
+        """Insert (or update) the rule ``ip/depth -> next_hop``."""
+        self._check(ip, depth)
+        if next_hop < 0:
+            raise ValueError("next hop must be non-negative")
+        prefix = self._prefix(ip, depth)
+        self._rules[(prefix, depth)] = next_hop
+        if depth <= 24:
+            self._add_depth_small(prefix, depth, next_hop)
+        else:
+            self._add_depth_big(prefix, depth, next_hop)
+
+    def delete(self, ip: int, depth: int) -> bool:
+        """Remove the rule ``ip/depth``. Returns False if it did not exist."""
+        self._check(ip, depth)
+        prefix = self._prefix(ip, depth)
+        if (prefix, depth) not in self._rules:
+            return False
+        del self._rules[(prefix, depth)]
+        parent = self._find_parent(prefix, depth)
+        if parent is None:
+            sub_hop, sub_depth = 0, 0  # invalidate
+            sub_valid = False
+        else:
+            (_, sub_depth), sub_hop = parent
+            sub_valid = True
+        if depth <= 24:
+            self._delete_depth_small(prefix, depth, sub_valid, sub_hop, sub_depth)
+        else:
+            self._delete_depth_big(prefix, depth, sub_valid, sub_hop, sub_depth)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    @property
+    def rules(self) -> dict[tuple[int, int], int]:
+        """A copy of the rule set as ``{(prefix, depth): next_hop}``."""
+        return dict(self._rules)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, ip: int) -> "int | None":
+        """Longest-prefix match; returns the next hop or None."""
+        entry = int(self._tbl24[ip >> 8])
+        if entry > 0:
+            return entry - 1
+        if entry == 0:
+            return None
+        group = -entry - 1
+        sub = int(self._tbl8[group * TBL8_GROUP_SIZE + (ip & 0xFF)])
+        return sub - 1 if sub > 0 else None
+
+    def lookup_traced(self, ip: int) -> tuple["int | None", tuple[int, ...]]:
+        """Lookup plus the abstract cache-line ids it touched.
+
+        Line-id namespaces: tbl24 lines are non-negative, tbl8 lines are
+        offset past the tbl24 range — disjoint addresses for the cache
+        simulator.
+        """
+        idx24 = ip >> 8
+        lines = [idx24 // ENTRIES_PER_LINE]
+        entry = int(self._tbl24[idx24])
+        if entry > 0:
+            return entry - 1, (lines[0],)
+        if entry == 0:
+            return None, (lines[0],)
+        group = -entry - 1
+        idx8 = group * TBL8_GROUP_SIZE + (ip & 0xFF)
+        tbl8_line = (1 << 24) // ENTRIES_PER_LINE + idx8 // ENTRIES_PER_LINE
+        sub = int(self._tbl8[idx8])
+        return (sub - 1 if sub > 0 else None), (lines[0], tbl8_line)
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _check(ip: int, depth: int) -> None:
+        if not 0 <= ip < (1 << 32):
+            raise ValueError(f"IPv4 key out of range: {ip:#x}")
+        if not 1 <= depth <= 32:
+            raise ValueError(f"depth out of range: {depth}")
+
+    @staticmethod
+    def _prefix(ip: int, depth: int) -> int:
+        mask = ((1 << depth) - 1) << (32 - depth)
+        return ip & mask
+
+    def _find_parent(self, prefix: int, depth: int) -> "tuple[tuple[int, int], int] | None":
+        """The longest remaining rule strictly shorter than ``depth`` covering it."""
+        for d in range(depth - 1, 0, -1):
+            candidate = self._prefix(prefix, d)
+            hop = self._rules.get((candidate, d))
+            if hop is not None:
+                return (candidate, d), hop
+        return None
+
+    def _add_depth_small(self, prefix: int, depth: int, next_hop: int) -> None:
+        start = prefix >> 8
+        count = 1 << (24 - depth)
+        t24 = self._tbl24[start : start + count]
+        d24 = self._tbl24_depth[start : start + count]
+        # Extended entries (rare) are walked one by one; the rest vectorize.
+        for off in np.nonzero(t24 < 0)[0]:
+            group = -int(t24[off]) - 1
+            base = group * TBL8_GROUP_SIZE
+            sel = self._tbl8_depth[base : base + TBL8_GROUP_SIZE] <= depth
+            self._tbl8[base : base + TBL8_GROUP_SIZE][sel] = next_hop + 1
+            self._tbl8_depth[base : base + TBL8_GROUP_SIZE][sel] = depth
+        sel24 = (t24 >= 0) & (d24 <= depth)
+        t24[sel24] = next_hop + 1
+        d24[sel24] = depth
+
+    def _add_depth_big(self, prefix: int, depth: int, next_hop: int) -> None:
+        idx24 = prefix >> 8
+        entry = int(self._tbl24[idx24])
+        if entry >= 0:
+            group = self._alloc_tbl8()
+            base = group * TBL8_GROUP_SIZE
+            # Seed the group with the shallower tbl24 entry it replaces.
+            self._tbl8[base : base + TBL8_GROUP_SIZE] = entry
+            self._tbl8_depth[base : base + TBL8_GROUP_SIZE] = (
+                self._tbl24_depth[idx24] if entry > 0 else 0
+            )
+            self._tbl24[idx24] = -(group + 1)
+            self._tbl24_depth[idx24] = 0
+        else:
+            group = -entry - 1
+            base = group * TBL8_GROUP_SIZE
+        low = prefix & 0xFF
+        count = 1 << (32 - depth)
+        sel = self._tbl8_depth[base + low : base + low + count] <= depth
+        self._tbl8[base + low : base + low + count][sel] = next_hop + 1
+        self._tbl8_depth[base + low : base + low + count][sel] = depth
+
+    def _delete_depth_small(
+        self, prefix: int, depth: int, sub_valid: bool, sub_hop: int, sub_depth: int
+    ) -> None:
+        start = prefix >> 8
+        count = 1 << (24 - depth)
+        new24 = sub_hop + 1 if sub_valid else 0
+        t24 = self._tbl24[start : start + count]
+        d24 = self._tbl24_depth[start : start + count]
+        for off in np.nonzero(t24 < 0)[0]:
+            group = -int(t24[off]) - 1
+            base = group * TBL8_GROUP_SIZE
+            sel = self._tbl8_depth[base : base + TBL8_GROUP_SIZE] == depth
+            self._tbl8[base : base + TBL8_GROUP_SIZE][sel] = new24
+            self._tbl8_depth[base : base + TBL8_GROUP_SIZE][sel] = sub_depth
+            self._maybe_recycle(start + int(off), group)
+        sel24 = (t24 >= 0) & (d24 == depth)
+        t24[sel24] = new24
+        d24[sel24] = sub_depth
+
+    def _delete_depth_big(
+        self, prefix: int, depth: int, sub_valid: bool, sub_hop: int, sub_depth: int
+    ) -> None:
+        idx24 = prefix >> 8
+        entry = int(self._tbl24[idx24])
+        if entry >= 0:
+            return  # rule was never materialized (shouldn't happen)
+        group = -entry - 1
+        base = group * TBL8_GROUP_SIZE
+        low = prefix & 0xFF
+        count = 1 << (32 - depth)
+        sel = self._tbl8_depth[base + low : base + low + count] == depth
+        self._tbl8[base + low : base + low + count][sel] = sub_hop + 1 if sub_valid else 0
+        self._tbl8_depth[base + low : base + low + count][sel] = sub_depth
+        self._maybe_recycle(idx24, group)
+
+    def _alloc_tbl8(self) -> int:
+        for group, used in enumerate(self._tbl8_used):
+            if not used:
+                self._tbl8_used[group] = True
+                return group
+        raise LpmFullError("out of tbl8 groups")
+
+    def _maybe_recycle(self, idx24: int, group: int) -> None:
+        """Collapse a tbl8 group back into tbl24 if it became uniform."""
+        base = group * TBL8_GROUP_SIZE
+        values = self._tbl8[base : base + TBL8_GROUP_SIZE]
+        depths = self._tbl8_depth[base : base + TBL8_GROUP_SIZE]
+        if not bool((depths > 24).any()):
+            first = int(values[0])
+            if bool((values == first).all()) and bool((depths == depths[0]).all()):
+                self._tbl24[idx24] = first
+                self._tbl24_depth[idx24] = int(depths[0])
+                values[:] = 0
+                depths[:] = 0
+                self._tbl8_used[group] = False

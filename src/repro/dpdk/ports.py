@@ -1,0 +1,62 @@
+"""Simulated switch ports with TX/RX counters.
+
+Stands in for the DPDK poll-mode drivers: the harness pushes generated
+packets in and reads per-port counters out. No actual queueing is modeled —
+the evaluation measures datapath processing, not NIC behavior — but each
+port keeps counts so tests can assert on where traffic went.
+"""
+
+from __future__ import annotations
+
+from repro.packet.packet import Packet
+
+
+class Port:
+    """One switch port: counters plus an optional capture buffer."""
+
+    def __init__(self, port_no: int, capture: bool = False):
+        self.port_no = port_no
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.capture = capture
+        self.captured: list[Packet] = []
+
+    def record_rx(self, pkt: Packet) -> None:
+        self.rx_packets += 1
+        self.rx_bytes += len(pkt)
+
+    def record_tx(self, pkt: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += len(pkt)
+        if self.capture:
+            self.captured.append(pkt)
+
+    def __repr__(self) -> str:
+        return f"Port({self.port_no}, rx={self.rx_packets}, tx={self.tx_packets})"
+
+
+class PortSet:
+    """The switch's port inventory, created on demand."""
+
+    def __init__(self, capture: bool = False):
+        self._ports: dict[int, Port] = {}
+        self._capture = capture
+
+    def port(self, port_no: int) -> Port:
+        if port_no not in self._ports:
+            self._ports[port_no] = Port(port_no, capture=self._capture)
+        return self._ports[port_no]
+
+    def __iter__(self):
+        return iter(sorted(self._ports.values(), key=lambda p: p.port_no))
+
+    def __len__(self) -> int:
+        return len(self._ports)
+
+    def total_tx(self) -> int:
+        return sum(p.tx_packets for p in self._ports.values())
+
+    def total_rx(self) -> int:
+        return sum(p.rx_packets for p in self._ports.values())

@@ -1,0 +1,39 @@
+"""Low-level networking utilities: addresses, checksums, bit manipulation."""
+
+from repro.net.addresses import (
+    EthAddr,
+    IPv4Addr,
+    mac_to_int,
+    int_to_mac,
+    ip_to_int,
+    int_to_ip,
+    prefix_to_mask,
+    mask_to_prefix,
+)
+from repro.net.bits import (
+    bit_count,
+    contiguous_prefix_mask,
+    field_bytes,
+    first_set_bit,
+    lowest_differing_bit,
+    highest_differing_bit,
+)
+from repro.net.checksum import internet_checksum
+
+__all__ = [
+    "EthAddr",
+    "IPv4Addr",
+    "mac_to_int",
+    "int_to_mac",
+    "ip_to_int",
+    "int_to_ip",
+    "prefix_to_mask",
+    "mask_to_prefix",
+    "bit_count",
+    "contiguous_prefix_mask",
+    "field_bytes",
+    "first_set_bit",
+    "lowest_differing_bit",
+    "highest_differing_bit",
+    "internet_checksum",
+]

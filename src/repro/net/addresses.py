@@ -1,0 +1,190 @@
+"""Ethernet and IPv4 address helpers.
+
+All switch-internal representations use plain integers (48-bit for MAC,
+32-bit for IPv4): the fast paths match on integer field values extracted
+straight from packet bytes, exactly like the paper's assembly templates
+load words from header offsets. The classes here are thin, hashable wrappers
+used at API boundaries (flow-table construction, pretty printing).
+"""
+
+from __future__ import annotations
+
+import re
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}[:\-]){5}[0-9a-fA-F]{2}$")
+
+
+def mac_to_int(mac: str) -> int:
+    """Convert a ``aa:bb:cc:dd:ee:ff`` string to a 48-bit integer."""
+    if not _MAC_RE.match(mac):
+        raise ValueError(f"invalid MAC address: {mac!r}")
+    return int(mac.replace("-", ":").replace(":", ""), 16)
+
+
+def int_to_mac(value: int) -> str:
+    """Convert a 48-bit integer to ``aa:bb:cc:dd:ee:ff`` notation."""
+    if not 0 <= value < (1 << 48):
+        raise ValueError(f"MAC integer out of range: {value:#x}")
+    raw = value.to_bytes(6, "big")
+    return ":".join(f"{b:02x}" for b in raw)
+
+
+def ip_to_int(ip: str) -> int:
+    """Convert dotted-quad IPv4 notation to a 32-bit integer."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {ip!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"invalid IPv4 address: {ip!r}")
+        octet = int(part)
+        if octet > 255 or (len(part) > 1 and part[0] == "0"):
+            raise ValueError(f"invalid IPv4 address: {ip!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to dotted-quad IPv4 notation."""
+    if not 0 <= value < (1 << 32):
+        raise ValueError(f"IPv4 integer out of range: {value:#x}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_to_mask(prefix_len: int, width: int = 32) -> int:
+    """Return the network mask integer for a prefix length.
+
+    >>> hex(prefix_to_mask(24))
+    '0xffffff00'
+    """
+    if not 0 <= prefix_len <= width:
+        raise ValueError(f"prefix length {prefix_len} out of range for /{width}")
+    if prefix_len == 0:
+        return 0
+    full = (1 << width) - 1
+    return (full >> (width - prefix_len)) << (width - prefix_len)
+
+
+def mask_to_prefix(mask: int, width: int = 32) -> int:
+    """Return the prefix length of a contiguous mask, or raise ``ValueError``.
+
+    A contiguous (prefix) mask has all its set bits at the most significant
+    positions; this is the prerequisite of the paper's LPM table template.
+    """
+    if not 0 <= mask < (1 << width):
+        raise ValueError(f"mask out of range: {mask:#x}")
+    prefix = 0
+    probe = 1 << (width - 1)
+    while probe and (mask & probe):
+        prefix += 1
+        probe >>= 1
+    if mask != prefix_to_mask(prefix, width):
+        raise ValueError(f"mask {mask:#x} is not a contiguous prefix mask")
+    return prefix
+
+
+class EthAddr:
+    """An immutable, hashable Ethernet (MAC) address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: "int | str | EthAddr"):
+        if isinstance(value, EthAddr):
+            self._value = value._value
+        elif isinstance(value, str):
+            self._value = mac_to_int(value)
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 48):
+                raise ValueError(f"MAC integer out of range: {value:#x}")
+            self._value = value
+        else:
+            raise TypeError(f"cannot build EthAddr from {type(value).__name__}")
+
+    @property
+    def value(self) -> int:
+        """The 48-bit integer form used by the datapath."""
+        return self._value
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == (1 << 48) - 1
+
+    @property
+    def is_multicast(self) -> bool:
+        return bool(self._value >> 40 & 0x01)
+
+    def packed(self) -> bytes:
+        """The 6-byte wire representation."""
+        return self._value.to_bytes(6, "big")
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EthAddr):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __repr__(self) -> str:
+        return f"EthAddr('{int_to_mac(self._value)}')"
+
+    def __str__(self) -> str:
+        return int_to_mac(self._value)
+
+
+class IPv4Addr:
+    """An immutable, hashable IPv4 address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: "int | str | IPv4Addr"):
+        if isinstance(value, IPv4Addr):
+            self._value = value._value
+        elif isinstance(value, str):
+            self._value = ip_to_int(value)
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 32):
+                raise ValueError(f"IPv4 integer out of range: {value:#x}")
+            self._value = value
+        else:
+            raise TypeError(f"cannot build IPv4Addr from {type(value).__name__}")
+
+    @property
+    def value(self) -> int:
+        """The 32-bit integer form used by the datapath."""
+        return self._value
+
+    def packed(self) -> bytes:
+        """The 4-byte wire representation."""
+        return self._value.to_bytes(4, "big")
+
+    def in_prefix(self, network: "IPv4Addr | int | str", prefix_len: int) -> bool:
+        """Check membership in ``network/prefix_len``."""
+        net = IPv4Addr(network).value
+        mask = prefix_to_mask(prefix_len)
+        return (self._value & mask) == (net & mask)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Addr):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __repr__(self) -> str:
+        return f"IPv4Addr('{int_to_ip(self._value)}')"
+
+    def __str__(self) -> str:
+        return int_to_ip(self._value)

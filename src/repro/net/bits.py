@@ -1,0 +1,75 @@
+"""Bit-manipulation helpers shared by classifiers and cache-key computation.
+
+Bit positions follow the paper's Fig. 3 convention: position 1 is the most
+significant bit of the field, position ``width`` the least significant.
+"""
+
+from __future__ import annotations
+
+
+def bit_count(value: int) -> int:
+    """Population count."""
+    return value.bit_count()
+
+
+def contiguous_prefix_mask(mask: int, width: int) -> bool:
+    """True if ``mask`` wildcards only the last consecutive bits of the field.
+
+    This is the prerequisite of the LPM table template (Section 3.1): masks
+    must be of the form ``1...10...0``.
+    """
+    if not 0 <= mask < (1 << width):
+        raise ValueError(f"mask out of range for width {width}: {mask:#x}")
+    if mask == 0:
+        return True
+    # The set bits must occupy exactly the top popcount(mask) positions.
+    n = mask.bit_count()
+    return mask == (((1 << width) - 1) >> (width - n)) << (width - n)
+
+
+def first_set_bit(value: int, width: int) -> int | None:
+    """Position (1-based, MSB first) of the first set bit, or None."""
+    if value == 0:
+        return None
+    return width - value.bit_length() + 1
+
+
+def lowest_differing_bit(a: int, b: int, width: int) -> int | None:
+    """Position (1-based, MSB first) of the least-significant differing bit.
+
+    Used by the megaflow bit-tracking mode to reproduce Fig. 3: the miss
+    proof pins the lowest-order bit where the packet diverges from a rule.
+    """
+    diff = a ^ b
+    if diff == 0:
+        return None
+    lsb = (diff & -diff).bit_length()  # 1-based from LSB
+    return width - lsb + 1
+
+
+def highest_differing_bit(a: int, b: int, width: int) -> int | None:
+    """Position (1-based, MSB first) of the most-significant differing bit."""
+    diff = a ^ b
+    if diff == 0:
+        return None
+    return width - diff.bit_length() + 1
+
+
+def bit_at(value: int, position: int, width: int) -> int:
+    """Bit of ``value`` at 1-based MSB-first ``position``."""
+    if not 1 <= position <= width:
+        raise ValueError(f"bit position {position} out of range for width {width}")
+    return (value >> (width - position)) & 1
+
+
+def mask_for_bit(position: int, width: int) -> int:
+    """Single-bit mask selecting 1-based MSB-first ``position``."""
+    if not 1 <= position <= width:
+        raise ValueError(f"bit position {position} out of range for width {width}")
+    return 1 << (width - position)
+
+
+def field_bytes(value: int, width_bits: int) -> bytes:
+    """Big-endian byte representation of a field value."""
+    nbytes = (width_bits + 7) // 8
+    return value.to_bytes(nbytes, "big")

@@ -1,0 +1,20 @@
+"""RFC 1071 Internet checksum, used by the IPv4 header builder."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit ones'-complement Internet checksum of ``data``."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True if ``data`` (checksum field included) sums to zero."""
+    return internet_checksum(data) == 0

@@ -1,0 +1,82 @@
+"""OpenFlow 1.3 substrate: fields, matches, actions, tables, pipelines."""
+
+from repro.openflow.fields import FIELDS, FieldDef, field_by_name
+from repro.openflow.match import Match
+from repro.openflow.actions import (
+    Action,
+    ActionSet,
+    Controller,
+    DecTtl,
+    Drop,
+    Flood,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+)
+from repro.openflow.instructions import (
+    ApplyActions,
+    ClearActions,
+    GotoTable,
+    Instruction,
+    WriteActions,
+    WriteMetadata,
+)
+from repro.openflow.groups import (
+    Bucket,
+    Group,
+    GroupAction,
+    GroupTable,
+    GroupType,
+)
+from repro.openflow.meters import (
+    Meter,
+    MeterInstruction,
+    MeterTable,
+    SimClock,
+)
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable, TableMissPolicy
+from repro.openflow.pipeline import Pipeline, Verdict
+from repro.openflow.messages import FlowMod, FlowModCommand, PacketIn, PacketOut
+
+__all__ = [
+    "FIELDS",
+    "FieldDef",
+    "field_by_name",
+    "Match",
+    "Action",
+    "ActionSet",
+    "Controller",
+    "DecTtl",
+    "Drop",
+    "Flood",
+    "Output",
+    "PopVlan",
+    "PushVlan",
+    "SetField",
+    "ApplyActions",
+    "ClearActions",
+    "GotoTable",
+    "Instruction",
+    "WriteActions",
+    "WriteMetadata",
+    "Bucket",
+    "Group",
+    "GroupAction",
+    "GroupTable",
+    "GroupType",
+    "Meter",
+    "MeterInstruction",
+    "MeterTable",
+    "SimClock",
+    "FlowEntry",
+    "FlowTable",
+    "TableMissPolicy",
+    "Pipeline",
+    "Verdict",
+    "FlowMod",
+    "FlowModCommand",
+    "PacketIn",
+    "PacketOut",
+]

@@ -1,0 +1,117 @@
+"""Flow entries: rule + counters + instructions (Section 2)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.openflow.actions import Action
+from repro.openflow.instructions import (
+    ApplyActions,
+    GotoTable,
+    Instruction,
+    WriteActions,
+)
+from repro.openflow.match import Match
+
+_entry_ids = itertools.count(1)
+
+
+class FlowCounters:
+    """Per-entry statistics (packet and byte counts)."""
+
+    __slots__ = ("packets", "bytes")
+
+    def __init__(self) -> None:
+        self.packets = 0
+        self.bytes = 0
+
+    def record(self, pkt_len: int) -> None:
+        self.packets += 1
+        self.bytes += pkt_len
+
+    def __repr__(self) -> str:
+        return f"FlowCounters(packets={self.packets}, bytes={self.bytes})"
+
+
+class FlowEntry:
+    """One rule in a flow table.
+
+    ``priority`` orders lookup (higher first); ``match`` designates the flow;
+    ``instructions`` establish its processing. The common single-table idiom
+    "match → actions" is expressed as ``FlowEntry(match, actions=[...])``
+    which wraps the actions in an apply-actions instruction.
+    """
+
+    __slots__ = (
+        "entry_id",
+        "priority",
+        "match",
+        "instructions",
+        "counters",
+        "cookie",
+        "idle_timeout",
+        "hard_timeout",
+    )
+
+    def __init__(
+        self,
+        match: Match,
+        priority: int = 0,
+        instructions: Sequence[Instruction] | None = None,
+        actions: Iterable[Action] | None = None,
+        cookie: int = 0,
+        idle_timeout: float = 0.0,
+        hard_timeout: float = 0.0,
+    ):
+        if instructions is not None and actions is not None:
+            raise ValueError("pass either instructions or actions, not both")
+        if priority < 0 or priority > 0xFFFF:
+            raise ValueError(f"priority out of range: {priority}")
+        if idle_timeout < 0 or hard_timeout < 0:
+            raise ValueError("timeouts must be non-negative")
+        self.entry_id = next(_entry_ids)
+        self.priority = priority
+        self.match = match
+        if actions is not None:
+            self.instructions: tuple[Instruction, ...] = (ApplyActions(actions),)
+        else:
+            self.instructions = tuple(instructions or ())
+        self.counters = FlowCounters()
+        self.cookie = cookie
+        #: seconds of inactivity after which the entry expires (0 = never).
+        self.idle_timeout = idle_timeout
+        #: seconds after installation at which the entry expires (0 = never).
+        self.hard_timeout = hard_timeout
+
+    @property
+    def goto_table(self) -> "int | None":
+        """Target of the goto-table instruction, if any."""
+        for instr in self.instructions:
+            if isinstance(instr, GotoTable):
+                return instr.table_id
+        return None
+
+    @property
+    def apply_actions(self) -> tuple[Action, ...]:
+        for instr in self.instructions:
+            if isinstance(instr, ApplyActions):
+                return instr.actions
+        return ()
+
+    @property
+    def write_actions(self) -> tuple[Action, ...]:
+        for instr in self.instructions:
+            if isinstance(instr, WriteActions):
+                return instr.actions
+        return ()
+
+    def same_rule(self, other: "FlowEntry") -> bool:
+        """True if this entry designates the same flow (match + priority)."""
+        return self.priority == other.priority and self.match == other.match
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowEntry(prio={self.priority}, {self.match!r}, "
+            f"instructions={list(self.instructions)!r})"
+        )

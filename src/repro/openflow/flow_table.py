@@ -1,0 +1,144 @@
+"""Flow tables: priority-ordered entry lists with lookup and modification.
+
+Lookup walks entries in decreasing priority, the direct-datapath semantics
+of Section 2.1; the fast switches (:mod:`repro.core`, :mod:`repro.ovs`)
+build their own specialized structures from the same entries. The table
+records *which entries were probed* during a lookup — the megaflow
+wildcard computation in :mod:`repro.ovs.megaflow` needs the non-matching
+higher-priority entries too ("those that caused a match as well as those
+higher priority ones that did not", Section 2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterator, Mapping
+
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.match import Match
+from repro.packet.parser import ParsedPacket
+
+
+class TableMissPolicy(enum.Enum):
+    """What happens to packets missing every entry (switch configuration)."""
+
+    DROP = "drop"
+    CONTROLLER = "controller"
+
+
+class FlowTable:
+    """A single pipeline stage: a priority-sorted list of flow entries."""
+
+    def __init__(
+        self,
+        table_id: int = 0,
+        name: str = "",
+        miss_policy: TableMissPolicy = TableMissPolicy.DROP,
+    ):
+        if table_id < 0:
+            raise ValueError(f"invalid table id {table_id}")
+        self.table_id = table_id
+        self.name = name or f"table{table_id}"
+        self.miss_policy = miss_policy
+        self._entries: list[FlowEntry] = []  # kept sorted: priority desc, stable
+        self.version = 0  # bumped on every modification (for cache invalidation)
+
+    # -- modification ---------------------------------------------------------
+
+    def add(self, entry: FlowEntry) -> FlowEntry:
+        """Insert an entry; replaces an existing entry with the same rule."""
+        for i, existing in enumerate(self._entries):
+            if existing.same_rule(entry):
+                self._entries[i] = entry
+                self.version += 1
+                return entry
+        # Stable insert: after all entries with priority >= entry.priority.
+        index = len(self._entries)
+        for i, existing in enumerate(self._entries):
+            if existing.priority < entry.priority:
+                index = i
+                break
+        self._entries.insert(index, entry)
+        self.version += 1
+        return entry
+
+    def remove(self, match: Match, priority: "int | None" = None) -> int:
+        """Remove entries with the given match (and priority, if given)."""
+        before = len(self._entries)
+        self._entries = [
+            e
+            for e in self._entries
+            if not (e.match == match and (priority is None or e.priority == priority))
+        ]
+        removed = before - len(self._entries)
+        if removed:
+            self.version += 1
+        return removed
+
+    def remove_if(self, predicate: Callable[[FlowEntry], bool]) -> int:
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if not predicate(e)]
+        removed = before - len(self._entries)
+        if removed:
+            self.version += 1
+        return removed
+
+    def clear(self) -> None:
+        if self._entries:
+            self.version += 1
+        self._entries.clear()
+
+    # -- lookup -----------------------------------------------------------------
+
+    def lookup(
+        self,
+        view: ParsedPacket,
+        probed: "list[FlowEntry] | None" = None,
+    ) -> "FlowEntry | None":
+        """Highest-priority matching entry, or None (table miss).
+
+        If ``probed`` is given, every entry examined — including the ones
+        that failed to match — is appended to it.
+        """
+        for entry in self._entries:
+            if probed is not None:
+                probed.append(entry)
+            if entry.match.matches(view):
+                return entry
+        return None
+
+    def lookup_key(
+        self,
+        key: Mapping[str, "int | None"],
+        probed: "list[FlowEntry] | None" = None,
+    ) -> "FlowEntry | None":
+        """Like :meth:`lookup` but over an extracted flow key."""
+        for entry in self._entries:
+            if probed is not None:
+                probed.append(entry)
+            if entry.match.matches_key(key):
+                return entry
+        return None
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def entries(self) -> tuple[FlowEntry, ...]:
+        """Entries in decreasing order of priority (insertion-stable)."""
+        return tuple(self._entries)
+
+    def matched_fields(self) -> tuple[str, ...]:
+        """Union of fields any entry matches on, sorted."""
+        names: set[str] = set()
+        for entry in self._entries:
+            names.update(entry.match.fields)
+        return tuple(sorted(names))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[FlowEntry]:
+        return iter(self._entries)
+
+    def __repr__(self) -> str:
+        return f"FlowTable(id={self.table_id}, entries={len(self._entries)})"

@@ -1,0 +1,171 @@
+"""OpenFlow group tables: ALL, SELECT, and INDIRECT groups.
+
+Groups add a level of indirection between flow entries and actions: many
+rules point at one group, and changing the group's buckets re-steers all
+of them without touching a single flow table — which also means no
+datapath recompilation (ESWITCH) and no cache invalidation (OVS): the
+:class:`GroupAction` resolves its buckets at execution time, on every
+datapath and on cached fast paths alike.
+
+Supported group types:
+
+* **INDIRECT** — exactly one bucket; pure indirection.
+* **SELECT** — one bucket chosen per packet by a deterministic flow hash
+  (5-tuple based), the classic ECMP/load-balancing group.
+* **ALL** — every bucket executes (packet replication). Buckets of ALL
+  groups are restricted to output-only actions here, the flood/multicast
+  pattern; per-bucket packet cloning with rewrites is out of scope.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.openflow.actions import Action, Output
+from repro.openflow.fields import field_by_name
+from repro.packet.parser import ParsedPacket
+
+if TYPE_CHECKING:
+    from repro.openflow.pipeline import Verdict
+
+
+class GroupType(enum.Enum):
+    ALL = "all"
+    SELECT = "select"
+    INDIRECT = "indirect"
+
+
+class GroupError(ValueError):
+    """Raised on malformed group definitions or dangling references."""
+
+
+@dataclass
+class Bucket:
+    """One alternative action list inside a group."""
+
+    actions: tuple[Action, ...]
+    weight: int = 1
+
+    def __init__(self, actions: Iterable[Action], weight: int = 1):
+        self.actions = tuple(actions)
+        if weight < 1:
+            raise GroupError("bucket weight must be positive")
+        self.weight = weight
+
+
+class Group:
+    """A group entry: type + buckets."""
+
+    def __init__(self, group_id: int, group_type: GroupType,
+                 buckets: Sequence[Bucket]):
+        if group_id < 0:
+            raise GroupError(f"invalid group id {group_id}")
+        if not buckets:
+            raise GroupError("a group needs at least one bucket")
+        if group_type is GroupType.INDIRECT and len(buckets) != 1:
+            raise GroupError("an indirect group has exactly one bucket")
+        if group_type is GroupType.ALL:
+            for bucket in buckets:
+                if not all(isinstance(a, Output) for a in bucket.actions):
+                    raise GroupError(
+                        "ALL-group buckets are restricted to output actions"
+                    )
+        self.group_id = group_id
+        self.group_type = group_type
+        self.buckets = list(buckets)
+        self.packets = 0
+
+    def __repr__(self) -> str:
+        return (f"Group({self.group_id}, {self.group_type.value}, "
+                f"{len(self.buckets)} buckets)")
+
+
+_HASH_FIELDS = tuple(
+    field_by_name(n).extract
+    for n in ("eth_src", "eth_dst", "ipv4_src", "ipv4_dst", "ipv6_src",
+              "ipv6_dst", "ip_proto", "tcp_src", "tcp_dst", "udp_src",
+              "udp_dst")
+)
+
+
+def flow_hash(view: ParsedPacket) -> int:
+    """A deterministic per-flow hash for SELECT bucket choice."""
+    h = 0x811C9DC5
+    for extract in _HASH_FIELDS:
+        value = extract(view)
+        if value is None:
+            continue
+        h = (h ^ (value & 0xFFFFFFFF) ^ (value >> 32)) * 0x01000193 & 0xFFFFFFFF
+    return h
+
+
+class GroupTable:
+    """The switch's group inventory."""
+
+    def __init__(self) -> None:
+        self._groups: dict[int, Group] = {}
+        self.version = 0
+
+    def add(self, group: Group) -> Group:
+        self._groups[group.group_id] = group
+        self.version += 1
+        return group
+
+    def remove(self, group_id: int) -> bool:
+        if self._groups.pop(group_id, None) is None:
+            return False
+        self.version += 1
+        return True
+
+    def get(self, group_id: int) -> Group:
+        group = self._groups.get(group_id)
+        if group is None:
+            raise GroupError(f"no group with id {group_id}")
+        return group
+
+    def __contains__(self, group_id: int) -> bool:
+        return group_id in self._groups
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+
+@dataclass(frozen=True)
+class GroupAction(Action):
+    """Send the packet through a group (OFPAT_GROUP).
+
+    Binds the switch's :class:`GroupTable` so bucket resolution happens at
+    execution time — group modifications are visible immediately on every
+    datapath, cached fast paths included.
+    """
+
+    table: GroupTable
+    group_id: int
+
+    def apply(self, view: ParsedPacket, verdict: "Verdict") -> None:
+        group = self.table.get(self.group_id)
+        group.packets += 1
+        if group.group_type is GroupType.ALL:
+            for bucket in group.buckets:
+                for action in bucket.actions:
+                    action.apply(view, verdict)
+            return
+        if group.group_type is GroupType.INDIRECT:
+            bucket = group.buckets[0]
+        else:  # SELECT: weighted deterministic choice by flow hash
+            total = sum(b.weight for b in group.buckets)
+            point = flow_hash(view) % total
+            for bucket in group.buckets:
+                point -= bucket.weight
+                if point < 0:
+                    break
+        for action in bucket.actions:
+            action.apply(view, verdict)
+
+    def __hash__(self) -> int:
+        return hash((id(self.table), self.group_id))
+
+    def __repr__(self) -> str:
+        return f"GroupAction(group={self.group_id})"

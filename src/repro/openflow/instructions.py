@@ -1,0 +1,63 @@
+"""OpenFlow instructions attached to flow entries.
+
+The subset the paper's pipelines use: apply-actions, write-actions /
+clear-actions (action-set manipulation), write-metadata, and goto-table.
+Processing terminates when the matched entry carries no goto-table
+(Section 2), at which point the accumulated action set executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.openflow.actions import Action
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for all instructions."""
+
+
+@dataclass(frozen=True)
+class ApplyActions(Instruction):
+    """Execute actions immediately, in order."""
+
+    actions: tuple[Action, ...]
+
+    def __init__(self, actions: Iterable[Action]):
+        object.__setattr__(self, "actions", tuple(actions))
+
+
+@dataclass(frozen=True)
+class WriteActions(Instruction):
+    """Merge actions into the packet's action set (executed at pipeline end)."""
+
+    actions: tuple[Action, ...]
+
+    def __init__(self, actions: Iterable[Action]):
+        object.__setattr__(self, "actions", tuple(actions))
+
+
+@dataclass(frozen=True)
+class ClearActions(Instruction):
+    """Clear the packet's accumulated action set."""
+
+
+@dataclass(frozen=True)
+class WriteMetadata(Instruction):
+    """``metadata = (metadata & ~mask) | (value & mask)``."""
+
+    value: int
+    mask: int = field(default=(1 << 64) - 1)
+
+
+@dataclass(frozen=True)
+class GotoTable(Instruction):
+    """Continue processing at a later flow table."""
+
+    table_id: int
+
+    def __post_init__(self) -> None:
+        if self.table_id < 0:
+            raise ValueError(f"invalid table id {self.table_id}")

@@ -1,0 +1,65 @@
+"""OpenFlow channel messages: flow-mods and packet-in/out.
+
+The controller manages flow entries through these messages, reactively or
+proactively (Section 2). Both switch implementations expose an
+``apply_flow_mod`` entry point so the update benchmarks (Fig. 17/18) drive
+them identically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.instructions import Instruction
+from repro.openflow.match import Match
+from repro.packet.packet import Packet
+
+
+class FlowModCommand(enum.Enum):
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+
+
+@dataclass
+class FlowMod:
+    """A flow-table modification request."""
+
+    command: FlowModCommand
+    table_id: int
+    match: Match
+    priority: int = 0
+    instructions: Sequence[Instruction] = field(default_factory=tuple)
+    cookie: int = 0
+    idle_timeout: float = 0.0
+    hard_timeout: float = 0.0
+
+    def to_entry(self) -> FlowEntry:
+        return FlowEntry(
+            match=self.match,
+            priority=self.priority,
+            instructions=tuple(self.instructions),
+            cookie=self.cookie,
+            idle_timeout=self.idle_timeout,
+            hard_timeout=self.hard_timeout,
+        )
+
+
+@dataclass
+class PacketIn:
+    """A packet punted to the controller (table miss or explicit action)."""
+
+    pkt: Packet
+    table_id: int
+    reason: str = "miss"
+
+
+@dataclass
+class PacketOut:
+    """A controller-injected packet."""
+
+    pkt: Packet
+    out_port: int

@@ -1,0 +1,129 @@
+"""OpenFlow meters: per-flow token-bucket rate limiting (OFPIT_METER).
+
+A flow entry's ``MeterInstruction`` runs before its other instructions;
+if the meter's drop band fires, the packet dies there. Meters live in the
+pipeline's :class:`MeterTable` and — like groups — are resolved at
+execution time, so cached fast paths (ESWITCH outcomes, OVS megaflows)
+enforce current rates without any invalidation.
+
+Time is simulation time: every pipeline carries a :class:`SimClock` that
+tests and harnesses advance explicitly (measurement harnesses can derive
+it from accumulated cycles). Token buckets refill continuously at
+``rate_pps`` and hold at most ``burst`` tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class SimClock:
+    """Explicitly advanced simulation time (seconds)."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self.now += seconds
+        return self.now
+
+    def set(self, now: float) -> None:
+        if now < self.now:
+            raise ValueError("time cannot move backwards")
+        self.now = now
+
+
+class MeterError(ValueError):
+    """Raised on malformed meters or dangling references."""
+
+
+@dataclass
+class MeterStats:
+    packets_in: int = 0
+    packets_dropped: int = 0
+
+
+class Meter:
+    """One meter: a drop band implemented as a token bucket."""
+
+    def __init__(self, meter_id: int, rate_pps: float, burst: float = 0.0,
+                 clock: "SimClock | None" = None):
+        if meter_id < 1:
+            raise MeterError(f"invalid meter id {meter_id}")
+        if rate_pps <= 0:
+            raise MeterError("meter rate must be positive")
+        self.meter_id = meter_id
+        self.rate_pps = rate_pps
+        self.burst = max(burst, 1.0)
+        self.clock = clock or SimClock()
+        self._tokens = self.burst
+        self._last = self.clock.now
+        self.stats = MeterStats()
+
+    def allow(self) -> bool:
+        """Account one packet; False means the drop band fired."""
+        now = self.clock.now
+        if now > self._last:
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._last) * self.rate_pps)
+            self._last = now
+        self.stats.packets_in += 1
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        self.stats.packets_dropped += 1
+        return False
+
+
+class MeterTable:
+    """The switch's meter inventory, sharing one simulation clock."""
+
+    def __init__(self, clock: "SimClock | None" = None):
+        self.clock = clock or SimClock()
+        self._meters: dict[int, Meter] = {}
+        self.version = 0
+
+    def add(self, meter_id: int, rate_pps: float, burst: float = 0.0) -> Meter:
+        meter = Meter(meter_id, rate_pps, burst, clock=self.clock)
+        self._meters[meter_id] = meter
+        self.version += 1
+        return meter
+
+    def remove(self, meter_id: int) -> bool:
+        if self._meters.pop(meter_id, None) is None:
+            return False
+        self.version += 1
+        return True
+
+    def get(self, meter_id: int) -> Meter:
+        meter = self._meters.get(meter_id)
+        if meter is None:
+            raise MeterError(f"no meter with id {meter_id}")
+        return meter
+
+    def __contains__(self, meter_id: int) -> bool:
+        return meter_id in self._meters
+
+    def __len__(self) -> int:
+        return len(self._meters)
+
+
+@dataclass(frozen=True)
+class MeterInstruction:
+    """Send matching packets through a meter before other instructions."""
+
+    table: MeterTable
+    meter_id: int
+
+    def allow(self) -> bool:
+        return self.table.get(self.meter_id).allow()
+
+    def __hash__(self) -> int:
+        return hash((id(self.table), self.meter_id))
+
+    def __repr__(self) -> str:
+        return f"MeterInstruction(meter={self.meter_id})"

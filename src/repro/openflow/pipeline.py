@@ -1,0 +1,266 @@
+"""The OpenFlow pipeline and the reference interpreter.
+
+:class:`Pipeline` is the declarative program: a linked hierarchy of flow
+tables (Section 2). :meth:`Pipeline.process` is the *direct datapath* of
+Section 2.1 — it interprets the tables exactly, walking entries in priority
+order. It is deliberately unoptimized: it serves as
+
+* the semantic ground truth that both fast switches are differentially
+  tested against,
+* the OVS slow path (``vswitchd`` calls it with tracing enabled to learn
+  which entries a packet probed, the input to megaflow generation), and
+* the fallback the ESWITCH compiler's output must be equivalent to.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.openflow.actions import Action, Output
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable, TableMissPolicy
+from repro.openflow.instructions import (
+    ApplyActions,
+    ClearActions,
+    GotoTable,
+    WriteActions,
+    WriteMetadata,
+)
+from repro.openflow.meters import MeterInstruction, MeterTable, SimClock
+from repro.packet.packet import Packet
+from repro.packet.parser import ParsedPacket, parse
+
+#: Hard bound on tables visited per packet; decomposition may produce far
+#: more than OpenFlow's 255-table limit (Section 3.2), but any single packet
+#: traverses at most one table per input field, so this is a loop guard only.
+MAX_TABLE_HOPS = 10_000
+
+
+class PipelineError(Exception):
+    """Raised on malformed pipeline programs (bad goto, missing table)."""
+
+
+class Verdict:
+    """The fate of one packet: where it went and how it got there.
+
+    Attributes:
+        output_ports: ports the packet was forwarded to (empty = dropped).
+        dropped: an explicit drop action or a drop-policy table miss fired.
+        to_controller: the packet was punted to the controller.
+        table_miss: at least one table lookup missed.
+        path: ``(table_id, entry | None)`` per table visited, in order.
+        probed: per-table list of entries examined (populated when the
+            interpreter runs with ``trace=True``); feeds megaflow wildcards.
+    """
+
+    __slots__ = (
+        "output_ports",
+        "dropped",
+        "to_controller",
+        "table_miss",
+        "reparse_needed",
+        "path",
+        "probed",
+    )
+
+    def __init__(self) -> None:
+        self.output_ports: list[int] = []
+        self.dropped = False
+        self.to_controller = False
+        self.table_miss = False
+        self.reparse_needed = False
+        self.path: list[tuple[int, FlowEntry | None]] = []
+        self.probed: list[tuple[int, list[FlowEntry]]] = []
+
+    @property
+    def forwarded(self) -> bool:
+        return bool(self.output_ports) and not self.dropped
+
+    def summary(self) -> tuple[tuple[int, ...], bool, bool]:
+        """Canonical fate triple for differential testing."""
+        return tuple(self.output_ports), self.dropped, self.to_controller
+
+    def __repr__(self) -> str:
+        if self.dropped:
+            return "Verdict(drop)"
+        if not self.output_ports:
+            return "Verdict(no-op)"
+        return f"Verdict(ports={self.output_ports})"
+
+
+class Pipeline:
+    """A linked hierarchy of flow tables, keyed by table id.
+
+    ``groups`` is the switch's group table (OpenFlow group entries);
+    reference it from flow entries via
+    :class:`~repro.openflow.groups.GroupAction`.
+    """
+
+    def __init__(self, tables: Iterable[FlowTable] = ()):
+        from repro.openflow.groups import GroupTable
+
+        self._tables: dict[int, FlowTable] = {}
+        self.groups = GroupTable()
+        self.clock = SimClock()
+        self.meters = MeterTable(clock=self.clock)
+        for table in tables:
+            self.add_table(table)
+
+    # -- construction -------------------------------------------------------
+
+    def add_table(self, table: FlowTable) -> FlowTable:
+        if table.table_id in self._tables:
+            raise PipelineError(f"duplicate table id {table.table_id}")
+        self._tables[table.table_id] = table
+        return table
+
+    def table(self, table_id: int) -> FlowTable:
+        try:
+            return self._tables[table_id]
+        except KeyError:
+            raise PipelineError(f"no table with id {table_id}") from None
+
+    def get_or_create(self, table_id: int, **kwargs: object) -> FlowTable:
+        if table_id not in self._tables:
+            self._tables[table_id] = FlowTable(table_id, **kwargs)  # type: ignore[arg-type]
+        return self._tables[table_id]
+
+    @property
+    def tables(self) -> tuple[FlowTable, ...]:
+        """Tables in ascending id order."""
+        return tuple(self._tables[tid] for tid in sorted(self._tables))
+
+    @property
+    def first_table(self) -> FlowTable:
+        if not self._tables:
+            raise PipelineError("pipeline has no tables")
+        return self._tables[min(self._tables)]
+
+    def total_entries(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    def matched_fields(self) -> tuple[str, ...]:
+        names: set[str] = set()
+        for table in self._tables.values():
+            names.update(table.matched_fields())
+        return tuple(sorted(names))
+
+    def validate(self) -> None:
+        """Check every goto-table target exists and moves forward."""
+        for table in self._tables.values():
+            for entry in table:
+                target = entry.goto_table
+                if target is None:
+                    continue
+                if target not in self._tables:
+                    raise PipelineError(
+                        f"table {table.table_id} jumps to missing table {target}"
+                    )
+                if target <= table.table_id:
+                    raise PipelineError(
+                        f"table {table.table_id} jumps backwards to {target}"
+                    )
+
+    # -- the reference interpreter (direct datapath) --------------------------
+
+    def process(self, pkt: Packet, trace: bool = False) -> Verdict:
+        """Interpret the pipeline on one packet.
+
+        With ``trace=True`` the verdict's ``probed`` lists every entry
+        examined in each table — the raw material of megaflow wildcards.
+        """
+        verdict = Verdict()
+        view = parse(pkt)
+        self._run(view, verdict, trace)
+        return verdict
+
+    def process_view(self, view: ParsedPacket, trace: bool = False) -> Verdict:
+        """Interpret starting from an already-parsed view."""
+        verdict = Verdict()
+        self._run(view, verdict, trace)
+        return verdict
+
+    def _run(self, view: ParsedPacket, verdict: Verdict, trace: bool) -> None:
+        if not self._tables:
+            raise PipelineError("pipeline has no tables")
+        table_id = min(self._tables)
+        action_set: list[Action] = []
+        hops = 0
+        while True:
+            hops += 1
+            if hops > MAX_TABLE_HOPS:
+                raise PipelineError("pipeline loop detected")
+            table = self._tables.get(table_id)
+            if table is None:
+                raise PipelineError(f"goto_table to missing table {table_id}")
+
+            probed: list[FlowEntry] | None = [] if trace else None
+            entry = table.lookup(view, probed)
+            if trace:
+                verdict.probed.append((table_id, probed or []))
+            verdict.path.append((table_id, entry))
+
+            if entry is None:
+                verdict.table_miss = True
+                if table.miss_policy is TableMissPolicy.CONTROLLER:
+                    verdict.to_controller = True
+                else:
+                    verdict.dropped = True
+                return
+
+            entry.counters.record(len(view.pkt))
+            # Meters run before the entry's other instructions (OF 1.3):
+            # a fired drop band kills the packet here, earlier entries'
+            # already-applied effects standing.
+            for instr in entry.instructions:
+                if isinstance(instr, MeterInstruction):
+                    if not instr.allow():
+                        verdict.dropped = True
+                        return
+                    break
+            next_table: int | None = None
+            for instr in entry.instructions:
+                if isinstance(instr, ApplyActions):
+                    for action in instr.actions:
+                        action.apply(view, verdict)
+                        if verdict.reparse_needed:
+                            # VLAN push/pop moved header offsets; later
+                            # actions must see the new layout immediately.
+                            view = parse(view.pkt)
+                            verdict.reparse_needed = False
+                elif isinstance(instr, WriteActions):
+                    action_set.extend(instr.actions)
+                elif isinstance(instr, ClearActions):
+                    action_set.clear()
+                elif isinstance(instr, WriteMetadata):
+                    view.pkt.metadata = (view.pkt.metadata & ~instr.mask) | (
+                        instr.value & instr.mask
+                    )
+                elif isinstance(instr, GotoTable):
+                    next_table = instr.table_id
+            if verdict.dropped:
+                return
+            if next_table is None:
+                break
+            table_id = next_table
+
+        if action_set:
+            # Execute the accumulated action set; outputs go last, matching
+            # the spec's action-set execution order.
+            ordered = [a for a in action_set if not isinstance(a, Output)] + [
+                a for a in action_set if isinstance(a, Output)
+            ]
+            for action in ordered:
+                action.apply(view, verdict)
+                if verdict.reparse_needed:
+                    view = parse(view.pkt)
+                    verdict.reparse_needed = False
+
+    def __iter__(self) -> Iterator[FlowTable]:
+        return iter(self.tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __repr__(self) -> str:
+        return f"Pipeline(tables={len(self._tables)}, entries={self.total_entries()})"

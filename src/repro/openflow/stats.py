@@ -1,0 +1,101 @@
+"""Controller-side statistics collection (OFPMP_FLOW / OFPMP_TABLE).
+
+Works against any switch in this repo: the statistics live on the logical
+flow entries, which all three datapaths keep truthful (the compiled fast
+path records per-outcome, the OVS caches attribute hits back through the
+megaflow's ``stat_entries``, and the interpreter records directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.match import Match
+from repro.openflow.pipeline import Pipeline
+
+
+@dataclass(frozen=True)
+class FlowStatsEntry:
+    """One rule's statistics, as a flow-stats reply would carry them."""
+
+    table_id: int
+    priority: int
+    match: Match
+    packets: int
+    bytes: int
+    cookie: int
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Per-table aggregate statistics."""
+
+    table_id: int
+    active_entries: int
+    packets: int
+    bytes: int
+
+
+def collect_flow_stats(
+    pipeline: Pipeline,
+    table_id: "int | None" = None,
+    match: "Match | None" = None,
+    cookie: "int | None" = None,
+) -> list[FlowStatsEntry]:
+    """Flow statistics, optionally filtered.
+
+    ``match`` filters like an OpenFlow stats request: a rule is reported
+    when its match is *covered by* the filter (the filter is equal or more
+    general).
+    """
+    out: list[FlowStatsEntry] = []
+    for table in pipeline:
+        if table_id is not None and table.table_id != table_id:
+            continue
+        for entry in table:
+            if match is not None and not match.covers(entry.match):
+                continue
+            if cookie is not None and entry.cookie != cookie:
+                continue
+            out.append(
+                FlowStatsEntry(
+                    table_id=table.table_id,
+                    priority=entry.priority,
+                    match=entry.match,
+                    packets=entry.counters.packets,
+                    bytes=entry.counters.bytes,
+                    cookie=entry.cookie,
+                )
+            )
+    return out
+
+
+def collect_table_stats(pipeline: Pipeline) -> list[TableStats]:
+    out = []
+    for table in pipeline:
+        packets = sum(e.counters.packets for e in table)
+        nbytes = sum(e.counters.bytes for e in table)
+        out.append(
+            TableStats(
+                table_id=table.table_id,
+                active_entries=len(table),
+                packets=packets,
+                bytes=nbytes,
+            )
+        )
+    return out
+
+
+def aggregate_stats(
+    pipeline: Pipeline,
+    table_id: "int | None" = None,
+    match: "Match | None" = None,
+) -> tuple[int, int, int]:
+    """(flow count, packets, bytes) over the filtered rule set."""
+    entries = collect_flow_stats(pipeline, table_id=table_id, match=match)
+    return (
+        len(entries),
+        sum(e.packets for e in entries),
+        sum(e.bytes for e in entries),
+    )

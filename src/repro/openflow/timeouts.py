@@ -1,0 +1,120 @@
+"""Flow-entry expiry: OpenFlow idle and hard timeouts.
+
+The fast paths are never burdened with clock reads; instead an
+:class:`ExpiryManager` polls the pipeline — the way production switches run
+periodic expiry sweeps — comparing per-entry packet counters between ticks
+to detect idleness, and wall-positions to detect hard expiry. Expired
+entries are removed through the owning switch's ``apply_flow_mod`` so all
+of its datapath invalidation/update machinery engages (ESWITCH recompiles
+or incrementally updates the table; OVS flushes its caches).
+
+The clock is caller-supplied seconds (floats): simulations advance it
+explicitly, deterministic tests included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.openflow.pipeline import Pipeline
+
+
+@dataclass
+class _Tracked:
+    table_id: int
+    entry: FlowEntry
+    installed_at: float
+    last_active: float
+    last_packets: int
+
+
+class ExpiryManager:
+    """Polls a switch's pipeline and removes timed-out entries.
+
+    Args:
+        switch: anything with ``pipeline`` and ``apply_flow_mod`` (ESwitch,
+            OvsSwitch, or a bare Pipeline wrapper).
+        on_expired: optional callback ``(table_id, entry, reason)`` with
+            reason ``"idle"`` or ``"hard"`` (e.g. to emit flow-removed
+            messages to a controller).
+    """
+
+    def __init__(
+        self,
+        switch,
+        on_expired: "Callable[[int, FlowEntry, str], None] | None" = None,
+    ):
+        self.switch = switch
+        self.pipeline: Pipeline = switch.pipeline
+        self.on_expired = on_expired
+        self._tracked: dict[int, _Tracked] = {}
+        self.expired_idle = 0
+        self.expired_hard = 0
+        self._now = 0.0
+
+    def observe(self, now: float) -> None:
+        """Register (new) timed entries; call after installing flows."""
+        self._now = max(self._now, now)
+        seen: set[int] = set()
+        for table in self.pipeline:
+            for entry in table:
+                if not (entry.idle_timeout or entry.hard_timeout):
+                    continue
+                seen.add(entry.entry_id)
+                if entry.entry_id not in self._tracked:
+                    self._tracked[entry.entry_id] = _Tracked(
+                        table_id=table.table_id,
+                        entry=entry,
+                        installed_at=now,
+                        last_active=now,
+                        last_packets=entry.counters.packets,
+                    )
+        # Forget entries that were removed out from under us.
+        for entry_id in list(self._tracked):
+            if entry_id not in seen:
+                del self._tracked[entry_id]
+
+    def tick(self, now: float) -> list[tuple[int, FlowEntry, str]]:
+        """Advance to ``now``; expire and remove due entries."""
+        if now < self._now:
+            raise ValueError("the clock cannot move backwards")
+        self.observe(now)
+        self._now = now
+        expired: list[tuple[int, FlowEntry, str]] = []
+        for entry_id, tracked in list(self._tracked.items()):
+            entry = tracked.entry
+            # Counter progress since the last tick proves activity.
+            if entry.counters.packets != tracked.last_packets:
+                tracked.last_packets = entry.counters.packets
+                tracked.last_active = now
+            reason = None
+            if entry.hard_timeout and now - tracked.installed_at >= entry.hard_timeout:
+                reason = "hard"
+            elif entry.idle_timeout and now - tracked.last_active >= entry.idle_timeout:
+                reason = "idle"
+            if reason is None:
+                continue
+            del self._tracked[entry_id]
+            self.switch.apply_flow_mod(
+                FlowMod(
+                    FlowModCommand.DELETE,
+                    tracked.table_id,
+                    entry.match,
+                    priority=entry.priority,
+                )
+            )
+            if reason == "idle":
+                self.expired_idle += 1
+            else:
+                self.expired_hard += 1
+            expired.append((tracked.table_id, entry, reason))
+            if self.on_expired is not None:
+                self.on_expired(tracked.table_id, entry, reason)
+        return expired
+
+    @property
+    def tracked_count(self) -> int:
+        return len(self._tracked)

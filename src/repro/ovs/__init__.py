@@ -1,0 +1,36 @@
+"""The Open vSwitch baseline — a behavioral model of the OVS datapath.
+
+Section 2.2's four-level hierarchy, faithfully reproduced:
+
+1. **microflow cache** (:mod:`repro.ovs.microflow`) — per-transport-
+   connection exact-match store; any header change (even TTL) misses;
+2. **megaflow cache** (:mod:`repro.ovs.megaflow`) — wildcard match store
+   over disjoint traffic aggregates, looked up by tuple space search and
+   populated reactively by the slow path;
+3. **vswitchd** (:mod:`repro.ovs.vswitchd`) — the complete OpenFlow
+   pipeline (the reference interpreter), computing megaflow wildcards from
+   the entries each packet probed;
+4. the **controller**, reached on table miss.
+
+:class:`repro.ovs.switch.OvsSwitch` wires the levels together, charges the
+cost model, and exposes the per-level hit statistics Fig. 14 plots.
+"""
+
+from repro.ovs.flowkey import EMC_KEY_FIELDS, extract_key, emc_key
+from repro.ovs.microflow import MicroflowCache
+from repro.ovs.megaflow import MegaflowCache, MegaflowEntry, WildcardMode
+from repro.ovs.vswitchd import Vswitchd
+from repro.ovs.switch import OvsSwitch, OvsStats
+
+__all__ = [
+    "EMC_KEY_FIELDS",
+    "extract_key",
+    "emc_key",
+    "MicroflowCache",
+    "MegaflowCache",
+    "MegaflowEntry",
+    "WildcardMode",
+    "Vswitchd",
+    "OvsSwitch",
+    "OvsStats",
+]

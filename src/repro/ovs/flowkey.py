@@ -1,0 +1,84 @@
+"""Flow-key extraction (the OVS ``miniflow_extract`` analogue).
+
+OVS parses every received packet once into a flow key covering all match
+fields; the microflow cache exact-matches the *entire* key ("essentially
+any change in the packet header inside an established flow (e.g., the IP
+TTL field) results in a cache miss", Section 2.2), so the key includes
+volatile fields like TTL that no OpenFlow rule may even reference.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.packet import parser as pp
+from repro.packet.packet import Packet
+from repro.packet.parser import ParsedPacket
+from repro.openflow.fields import FIELDS
+
+#: Fields with wire support, in registry order — the columns of a flow key.
+KEY_FIELDS: tuple[str, ...] = tuple(
+    f.name
+    for f in FIELDS
+    if f.name
+    in {
+        "in_port",
+        "metadata",
+        "eth_dst",
+        "eth_src",
+        "eth_type",
+        "vlan_vid",
+        "vlan_pcp",
+        "ip_dscp",
+        "ip_ecn",
+        "ip_proto",
+        "ipv4_src",
+        "ipv4_dst",
+        "tcp_src",
+        "tcp_dst",
+        "udp_src",
+        "udp_dst",
+        "icmpv4_type",
+        "icmpv4_code",
+        "arp_op",
+        "arp_spa",
+        "arp_tpa",
+        "arp_sha",
+        "arp_tha",
+        "ipv6_src",
+        "ipv6_dst",
+        "ipv6_flabel",
+        "icmpv6_type",
+        "icmpv6_code",
+        "tunnel_id",
+    }
+)
+
+_EXTRACTORS = [(f.name, f.extract) for f in FIELDS if f.name in set(KEY_FIELDS)]
+
+#: Microflow keys additionally cover volatile non-OXM header state.
+EMC_KEY_FIELDS: tuple[str, ...] = KEY_FIELDS + ("ip_ttl",)
+
+
+def _extract_ttl(view: ParsedPacket) -> "int | None":
+    if not view.proto & pp.PROTO_IPV4:
+        return None
+    return view.pkt.data[view.l3 + 8]
+
+
+def extract_key(view: ParsedPacket) -> dict[str, "int | None"]:
+    """The full flow key: every supported field's value (None = absent)."""
+    return {name: extract(view) for name, extract in _EXTRACTORS}
+
+
+def emc_key(view: ParsedPacket, key: "Mapping[str, int | None] | None" = None) -> tuple:
+    """The exact-match (microflow) key tuple, TTL included."""
+    if key is None:
+        key = extract_key(view)
+    return tuple(key[name] for name in KEY_FIELDS) + (_extract_ttl(view),)
+
+
+def parse_and_key(pkt: Packet) -> tuple[ParsedPacket, dict[str, "int | None"]]:
+    """One-stop parse + key extraction, as ``miniflow_extract`` does."""
+    view = pp.parse(pkt)
+    return view, extract_key(view)

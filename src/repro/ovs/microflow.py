@@ -1,0 +1,70 @@
+"""The microflow (exact-match) cache — OVS's EMC.
+
+"The microflow cache stores the forwarding decisions for the least recently
+seen transport connections in a very fast collision-free hash … the
+microflow cache indexes into the megaflow cache and megaflow cache hits
+trigger a microflow cache update." (Section 2.2)
+
+Entries map full exact keys to megaflow-entry references; capacity-bounded
+with LRU replacement (the real EMC evicts per hash slot — LRU preserves the
+property that matters here: a bounded working set that thrashes once the
+active flow count exceeds capacity).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Hashable
+
+if TYPE_CHECKING:
+    from repro.ovs.megaflow import MegaflowEntry
+
+#: OVS's EMC holds 8192 entries per datapath thread.
+DEFAULT_CAPACITY = 8192
+
+
+class MicroflowCache:
+    """Exact-match key -> megaflow entry, LRU-bounded."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, MegaflowEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def lookup(self, key: Hashable) -> "MegaflowEntry | None":
+        entry = self._entries.get(key)
+        if entry is None or entry.dead:
+            if entry is not None:
+                del self._entries[key]  # lazy invalidation of dead refs
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def insert(self, key: Hashable, entry: "MegaflowEntry") -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self.insertions += 1
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def slot_of(self, key: Hashable) -> int:
+        """Abstract slot index for the cache-line model."""
+        return hash(key) % self.capacity
+
+    def invalidate(self) -> None:
+        """Flush everything (flow-table revalidation)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"MicroflowCache(entries={len(self._entries)}/{self.capacity})"

@@ -1,0 +1,185 @@
+"""Fluent packet builder used by tests, examples, and traffic generators.
+
+>>> pkt = (PacketBuilder(in_port=1)
+...        .eth(src="00:00:00:00:00:01", dst="00:00:00:00:00:02")
+...        .ipv4(src="10.0.0.1", dst="192.0.2.1")
+...        .tcp(dst_port=80)
+...        .build())
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+from repro.net.addresses import EthAddr, IPv4Addr
+from repro.packet import headers as hdr
+from repro.packet.packet import Packet
+
+
+def _ipv6_int(value: "int | str") -> int:
+    if isinstance(value, int):
+        if not 0 <= value < (1 << 128):
+            raise ValueError(f"IPv6 integer out of range: {value:#x}")
+        return value
+    return int(ipaddress.IPv6Address(value))
+
+
+class PacketBuilder:
+    """Accumulates headers and emits a padded :class:`Packet`."""
+
+    def __init__(self, in_port: int = 0, pad_to: int = 64):
+        self._in_port = in_port
+        self._pad_to = pad_to
+        self._eth: hdr.Ethernet | None = None
+        self._vlans: list[hdr.Vlan] = []
+        self._l3: hdr.IPv4 | hdr.ARP | None = None
+        self._l4: hdr.TCP | hdr.UDP | hdr.ICMP | None = None
+        self._payload = b""
+
+    def eth(
+        self,
+        src: int | str = "00:00:00:00:00:01",
+        dst: int | str = "00:00:00:00:00:02",
+        ethertype: int | None = None,
+    ) -> "PacketBuilder":
+        self._eth = hdr.Ethernet(
+            src=EthAddr(src).value,
+            dst=EthAddr(dst).value,
+            ethertype=ethertype if ethertype is not None else hdr.ETH_TYPE_IPV4,
+        )
+        return self
+
+    def vlan(self, vid: int, pcp: int = 0) -> "PacketBuilder":
+        self._vlans.append(hdr.Vlan(vid=vid, pcp=pcp))
+        return self
+
+    def ipv4(
+        self,
+        src: int | str = "10.0.0.1",
+        dst: int | str = "10.0.0.2",
+        proto: int | None = None,
+        ttl: int = 64,
+        dscp: int = 0,
+        ecn: int = 0,
+    ) -> "PacketBuilder":
+        self._l3 = hdr.IPv4(
+            src=IPv4Addr(src).value,
+            dst=IPv4Addr(dst).value,
+            proto=proto if proto is not None else hdr.IP_PROTO_TCP,
+            ttl=ttl,
+            dscp=dscp,
+            ecn=ecn,
+        )
+        return self
+
+    def ipv6(
+        self,
+        src: "int | str" = "2001:db8::1",
+        dst: "int | str" = "2001:db8::2",
+        hop_limit: int = 64,
+        traffic_class: int = 0,
+        flow_label: int = 0,
+    ) -> "PacketBuilder":
+        self._l3 = hdr.IPv6(
+            src=_ipv6_int(src),
+            dst=_ipv6_int(dst),
+            hop_limit=hop_limit,
+            traffic_class=traffic_class,
+            flow_label=flow_label,
+        )
+        return self
+
+    def icmpv6(self, type: int = 128, code: int = 0) -> "PacketBuilder":
+        self._l4 = hdr.ICMPv6(type=type, code=code)
+        return self
+
+    def arp(
+        self,
+        op: int = 1,
+        sha: int | str = 0,
+        spa: int | str = 0,
+        tha: int | str = 0,
+        tpa: int | str = 0,
+    ) -> "PacketBuilder":
+        self._l3 = hdr.ARP(
+            op=op,
+            sha=EthAddr(sha).value if isinstance(sha, str) else sha,
+            spa=IPv4Addr(spa).value if isinstance(spa, str) else spa,
+            tha=EthAddr(tha).value if isinstance(tha, str) else tha,
+            tpa=IPv4Addr(tpa).value if isinstance(tpa, str) else tpa,
+        )
+        return self
+
+    def tcp(self, src_port: int = 12345, dst_port: int = 80, flags: int = 0x02) -> "PacketBuilder":
+        self._l4 = hdr.TCP(src_port=src_port, dst_port=dst_port, flags=flags)
+        return self
+
+    def udp(self, src_port: int = 12345, dst_port: int = 53) -> "PacketBuilder":
+        self._l4 = hdr.UDP(src_port=src_port, dst_port=dst_port)
+        return self
+
+    def icmp(self, type: int = 8, code: int = 0) -> "PacketBuilder":
+        self._l4 = hdr.ICMP(type=type, code=code)
+        return self
+
+    def payload(self, data: bytes) -> "PacketBuilder":
+        self._payload = data
+        return self
+
+    def build(self) -> Packet:
+        """Assemble the packet, fixing up ethertypes and IP proto/length."""
+        eth = self._eth or hdr.Ethernet()
+        stack: list[object] = [eth]
+
+        inner_type = hdr.ETH_TYPE_IPV4
+        if isinstance(self._l3, hdr.ARP):
+            inner_type = hdr.ETH_TYPE_ARP
+        elif isinstance(self._l3, hdr.IPv6):
+            inner_type = hdr.ETH_TYPE_IPV6
+
+        if self._vlans:
+            eth.ethertype = hdr.ETH_TYPE_VLAN
+            for i, tag in enumerate(self._vlans):
+                tag.ethertype = (
+                    hdr.ETH_TYPE_VLAN if i + 1 < len(self._vlans) else inner_type
+                )
+                stack.append(tag)
+        elif self._l3 is not None:
+            eth.ethertype = inner_type
+
+        if isinstance(self._l3, hdr.IPv4):
+            ip = self._l3
+            if self._l4 is not None:
+                if isinstance(self._l4, hdr.TCP):
+                    ip.proto = hdr.IP_PROTO_TCP
+                elif isinstance(self._l4, hdr.UDP):
+                    ip.proto = hdr.IP_PROTO_UDP
+                elif isinstance(self._l4, hdr.ICMP):
+                    ip.proto = hdr.IP_PROTO_ICMP
+            l4_len = len(self._l4.pack()) if self._l4 is not None else 0
+            ip.total_length = ip.header_len + l4_len + len(self._payload)
+            stack.append(ip)
+            if self._l4 is not None:
+                stack.append(self._l4)
+        elif isinstance(self._l3, hdr.IPv6):
+            ip6 = self._l3
+            if self._l4 is not None:
+                if isinstance(self._l4, hdr.TCP):
+                    ip6.next_header = hdr.IP_PROTO_TCP
+                elif isinstance(self._l4, hdr.UDP):
+                    ip6.next_header = hdr.IP_PROTO_UDP
+                elif isinstance(self._l4, hdr.ICMPv6):
+                    ip6.next_header = hdr.IP_PROTO_ICMPV6
+                elif isinstance(self._l4, hdr.ICMP):
+                    raise ValueError("use icmpv6() with an IPv6 packet")
+            l4_len = len(self._l4.pack()) if self._l4 is not None else 0
+            ip6.payload_length = l4_len + len(self._payload)
+            stack.append(ip6)
+            if self._l4 is not None:
+                stack.append(self._l4)
+        elif isinstance(self._l3, hdr.ARP):
+            stack.append(self._l3)
+
+        if self._payload:
+            stack.append(hdr.Payload(self._payload))
+        return Packet.from_headers(stack, in_port=self._in_port, pad_to=self._pad_to)

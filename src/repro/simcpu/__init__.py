@@ -1,0 +1,36 @@
+"""The performance model: platforms, caches, cost atoms, meters, bounds.
+
+The paper's prototype is measured in CPU cycles on real hardware; this
+reproduction replaces the hardware with a transparent model built from the
+paper's own performance atoms (Fig. 20 and Section 4.4):
+
+* :mod:`repro.simcpu.platform` — the Table 1 Xeon and the Fig. 19 Atom;
+* :mod:`repro.simcpu.cache` — an inclusive LRU L1/L2/L3 hierarchy fed with
+  the abstract cache-line ids the datapaths touch;
+* :mod:`repro.simcpu.costs` — per-template fixed cycle costs;
+* :mod:`repro.simcpu.recorder` — meters the datapaths charge cycles and
+  memory touches to (a null meter makes metering free when unused);
+* :mod:`repro.simcpu.model` — the closed-form best/worst-case bounds
+  ("model-ub" / "model-lb" in Figs. 13 and 16).
+"""
+
+from repro.simcpu.platform import ATOM_C2750, XEON_E5_2620, Platform
+from repro.simcpu.cache import CacheHierarchy
+from repro.simcpu.costs import CostBook, DEFAULT_COSTS
+from repro.simcpu.recorder import CycleMeter, Meter, NULL_METER, NullMeter
+from repro.simcpu.model import AnalyticModel, StageCost
+
+__all__ = [
+    "Platform",
+    "XEON_E5_2620",
+    "ATOM_C2750",
+    "CacheHierarchy",
+    "CostBook",
+    "DEFAULT_COSTS",
+    "Meter",
+    "NullMeter",
+    "NULL_METER",
+    "CycleMeter",
+    "AnalyticModel",
+    "StageCost",
+]

@@ -1,0 +1,124 @@
+"""An inclusive, fully-associative LRU cache-hierarchy simulator.
+
+Datapaths report memory touches as abstract cache-line ids (any hashable
+value; the conventions use small tuples like ``("lpm24", 1234)``). The
+hierarchy resolves each touch to the level it hits and returns the access
+latency, maintaining LRU state in all three levels.
+
+Full associativity is a simplification over the SUT's real set-associative
+caches, but the quantity the paper's model cares about — *which level the
+working set fits in* (Section 4.4) — depends on capacities, which are exact
+(Table 1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.simcpu.platform import Platform
+
+DRAM_LEVEL = 4
+
+
+class CacheStats:
+    """Hit counters per level plus derived rates."""
+
+    __slots__ = ("accesses", "l1_hits", "l2_hits", "l3_hits", "dram_accesses")
+
+    def __init__(self) -> None:
+        self.accesses = 0
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.l3_hits = 0
+        self.dram_accesses = 0
+
+    @property
+    def llc_misses(self) -> int:
+        """Last-level-cache misses (what Fig. 15 plots per packet)."""
+        return self.dram_accesses
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.l3_hits = 0
+        self.dram_accesses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(n={self.accesses}, L1={self.l1_hits}, "
+            f"L2={self.l2_hits}, L3={self.l3_hits}, DRAM={self.dram_accesses})"
+        )
+
+
+class CacheHierarchy:
+    """Three-level inclusive LRU cache fed with abstract line ids."""
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        self._l1: OrderedDict[Hashable, None] = OrderedDict()
+        self._l2: OrderedDict[Hashable, None] = OrderedDict()
+        self._l3: OrderedDict[Hashable, None] = OrderedDict()
+        self.stats = CacheStats()
+
+    def access(self, line: Hashable) -> int:
+        """Touch one line; returns the access latency in cycles."""
+        stats = self.stats
+        stats.accesses += 1
+        platform = self.platform
+
+        if line in self._l1:
+            self._l1.move_to_end(line)
+            stats.l1_hits += 1
+            return platform.lat_l1
+
+        if line in self._l2:
+            self._l2.move_to_end(line)
+            stats.l2_hits += 1
+            level_latency = platform.lat_l2
+        elif line in self._l3:
+            self._l3.move_to_end(line)
+            stats.l3_hits += 1
+            level_latency = platform.lat_l3
+        else:
+            stats.dram_accesses += 1
+            level_latency = platform.lat_dram
+
+        self._fill(line)
+        return level_latency
+
+    def install_l3(self, line: Hashable) -> None:
+        """Place a line in L3 without an access — models NIC DDIO, which
+        "loads the packet directly into the L3 cache" (Section 4.4)."""
+        self._l3[line] = None
+        self._l3.move_to_end(line)
+        if len(self._l3) > self.platform.l3_lines:
+            self._l3.popitem(last=False)
+
+    def _fill(self, line: Hashable) -> None:
+        self._l1[line] = None
+        if len(self._l1) > self.platform.l1_lines:
+            self._l1.popitem(last=False)
+        self._l2[line] = None
+        self._l2.move_to_end(line)
+        if len(self._l2) > self.platform.l2_lines:
+            self._l2.popitem(last=False)
+        self._l3[line] = None
+        self._l3.move_to_end(line)
+        if len(self._l3) > self.platform.l3_lines:
+            self._l3.popitem(last=False)
+
+    def warm(self, lines: "list[Hashable]") -> None:
+        """Pre-touch lines without counting stats (warm-up phases)."""
+        saved = self.stats
+        self.stats = CacheStats()
+        for line in lines:
+            self.access(line)
+        self.stats = saved
+
+    def clear(self) -> None:
+        self._l1.clear()
+        self._l2.clear()
+        self._l3.clear()
+        self.stats.reset()

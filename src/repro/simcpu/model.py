@@ -1,0 +1,133 @@
+"""The analytic performance model of Section 4.4.
+
+A compiled datapath "is just a handful of templates linked into a binary",
+so its per-packet cost decomposes into performance atoms: a fixed
+instruction component per template plus a variable component — the memory
+accesses, each costing ``Lx`` cycles depending on which cache level the
+working set occupies.
+
+:class:`AnalyticModel` is a list of :class:`StageCost` atoms; evaluating it
+under an optimistic all-L1 assumption gives the paper's *model-ub* packet
+rate, under a pessimistic all-L3 assumption *model-lb* (Figs. 13 and 16).
+
+For the gateway pipeline the paper's Fig. 20 rundown gives
+``166 + 3*Lx`` cycles per packet: 178 cycles / 11.2 Mpps optimistic,
+202 / 9.9 Mpps with L2 accesses, 253 / 7.9 Mpps pessimistic — reproduced by
+:func:`gateway_model` and asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.simcpu.costs import CostBook, DEFAULT_COSTS
+from repro.simcpu.platform import Platform, XEON_E5_2620
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """One pipeline stage's performance atom.
+
+    ``fixed`` cycles always accrue; each of the ``mem_accesses`` costs the
+    latency of whatever cache level it is assumed (or measured) to hit.
+    """
+
+    name: str
+    fixed: float
+    mem_accesses: int = 0
+    comment: str = ""
+
+
+class AnalyticModel:
+    """A composable per-packet cost model: sum of stage atoms."""
+
+    def __init__(self, stages: Iterable[StageCost], platform: Platform = XEON_E5_2620):
+        self.stages = tuple(stages)
+        self.platform = platform
+
+    @property
+    def fixed_cycles(self) -> float:
+        return sum(stage.fixed for stage in self.stages)
+
+    @property
+    def mem_accesses(self) -> int:
+        return sum(stage.mem_accesses for stage in self.stages)
+
+    def cycles(self, cache_level: int) -> float:
+        """Per-packet cycles assuming every access hits ``cache_level``."""
+        return self.fixed_cycles + self.mem_accesses * self.platform.latency(cache_level)
+
+    def pps(self, cache_level: int) -> float:
+        return self.platform.pps(self.cycles(cache_level))
+
+    def bounds(self) -> tuple[float, float]:
+        """(model-lb, model-ub) packet rates: all-L3 vs all-L1 accesses."""
+        return self.pps(3), self.pps(1)
+
+    def cycle_bounds(self) -> tuple[float, float]:
+        """(best-case, worst-case) per-packet cycles: all-L1 vs all-L3."""
+        return self.cycles(1), self.cycles(3)
+
+    def rundown(self) -> list[tuple[str, str, str]]:
+        """Fig. 20-style table rows: (stage, cycles, comment)."""
+        rows = []
+        for stage in self.stages:
+            if stage.mem_accesses == 0:
+                cycles = f"{stage.fixed:g}"
+            elif stage.mem_accesses == 1:
+                cycles = f"{stage.fixed:g} + Lx"
+            else:
+                cycles = f"{stage.fixed:g} + {stage.mem_accesses}*Lx"
+            rows.append((stage.name, cycles, stage.comment))
+        return rows
+
+    def __add__(self, other: "AnalyticModel") -> "AnalyticModel":
+        if self.platform is not other.platform:
+            raise ValueError("cannot add models for different platforms")
+        return AnalyticModel(self.stages + other.stages, self.platform)
+
+
+def gateway_model(
+    costs: CostBook = DEFAULT_COSTS, platform: Platform = XEON_E5_2620
+) -> AnalyticModel:
+    """The Fig. 20 rundown for the access-gateway use case (user→network).
+
+    PKT_IN 40, parser 28, Table 0 hash 8+L1, per-CE hash 8+Lx,
+    LPM 13+2*Lx, actions 25, PKT_OUT 40 — i.e. ``166 + 3*Lx``: Table 0 is
+    small enough to "warrant a safe L1 CPU cache access" so its 8+L1 is
+    folded into the fixed component, leaving 3 variable accesses (one for
+    the per-CE hash, two for the DIR-24-8 LPM).
+    """
+    return AnalyticModel(
+        (
+            StageCost("PKT_IN", costs.pkt_in, 0, "DPDK packet receive IO"),
+            StageCost("parser template", costs.parser_combined, 0, "Parse header fields"),
+            StageCost(
+                "hash template 1",
+                costs.hash_base + platform.lat_l1,
+                0,
+                "Table 0 lookup (8 + L1)",
+            ),
+            StageCost("hash template 2", costs.hash_base, 1, "Per-CE table lookup"),
+            StageCost("LPM template", costs.lpm_base, 2, "Routing table LPM"),
+            StageCost("action templates", costs.action_set, 0, "Action set processing"),
+            StageCost("PKT_OUT", costs.pkt_out, 0, "DPDK packet transmit IO"),
+        ),
+        platform,
+    )
+
+
+def gateway_paper_bounds(platform: Platform = XEON_E5_2620) -> dict[str, float]:
+    """The paper's three headline estimates for the gateway (Section 4.4).
+
+    ``166 + 3*Lx`` cycles per packet: all-L1 → 178 cycles / 11.2 Mpps;
+    all-L2 → 202 / 9.9 Mpps; all-L3 → 253 / 7.9 Mpps.
+    """
+    fixed = 166.0
+    out = {}
+    for label, level in (("ub", 1), ("mid", 2), ("lb", 3)):
+        cycles = fixed + 3 * platform.latency(level)
+        out[f"cycles_{label}"] = cycles
+        out[f"pps_{label}"] = platform.pps(cycles)
+    return out

@@ -1,0 +1,85 @@
+"""CPU platform descriptions.
+
+``XEON_E5_2620`` transcribes Table 1 of the paper (the system-under-test);
+``ATOM_C2750`` approximates the "slower 2.40 GHz Intel Atom platform" the
+multi-core experiment (Fig. 19) downgrades to so forwarding stays
+CPU-bounded rather than IO-bounded.
+
+Cache sizes are expressed in 64-byte lines, which is the granularity the
+datapaths report their memory touches at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CACHE_LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A CPU model for the cycle-cost engine."""
+
+    name: str
+    freq_hz: float
+    l1_lines: int
+    l2_lines: int
+    l3_lines: int
+    lat_l1: int
+    lat_l2: int
+    lat_l3: int
+    lat_dram: int
+    cores: int = 6
+    #: NIC line-rate ceiling in packets/sec for 64-byte frames (Section 4.3:
+    #: the XL710 "supports only about 23 Mpps packet rate with 64-byte
+    #: packets"); None = not NIC-limited.
+    nic_pps_limit: "float | None" = None
+    #: CPI scaling of instruction-cost atoms relative to the Sandy Bridge
+    #: reference the atoms were calibrated on (the in-order Atom retires
+    #: far fewer instructions per cycle). Memory latencies are unscaled —
+    #: they are already per-platform.
+    cycle_factor: float = 1.0
+
+    def latency(self, level: int) -> int:
+        """Access latency in cycles for cache level 1–3 or DRAM (4)."""
+        return (self.lat_l1, self.lat_l2, self.lat_l3, self.lat_dram)[level - 1]
+
+    def pps(self, cycles_per_packet: float) -> float:
+        """Convert a per-packet cycle cost to packets per second."""
+        if cycles_per_packet <= 0:
+            raise ValueError("cycles per packet must be positive")
+        return self.freq_hz / cycles_per_packet
+
+
+#: Table 1: Intel Xeon E5-2620 @ 2.00 GHz (Sandy Bridge), 32 KB L1d,
+#: 256 KB L2, 15 MB L3; latencies L1=4, L2=12, L3=29 cycles; 40 Gb XL710.
+XEON_E5_2620 = Platform(
+    name="Intel Xeon E5-2620 @ 2.00GHz (Sandy Bridge)",
+    freq_hz=2.0e9,
+    l1_lines=32 * 1024 // CACHE_LINE_BYTES,
+    l2_lines=256 * 1024 // CACHE_LINE_BYTES,
+    l3_lines=15 * 1024 * 1024 // CACHE_LINE_BYTES,
+    lat_l1=4,
+    lat_l2=12,
+    lat_l3=29,
+    lat_dram=150,
+    cores=6,
+    nic_pps_limit=23e6,
+)
+
+#: The 2.40 GHz Atom used for the CPU-scalability experiment: smaller,
+#: slower caches and no L3 worth speaking of (modeled as a thin 4 MB LLC).
+ATOM_C2750 = Platform(
+    name="Intel Atom @ 2.40GHz",
+    freq_hz=2.4e9,
+    l1_lines=24 * 1024 // CACHE_LINE_BYTES,
+    l2_lines=1024 * 1024 // CACHE_LINE_BYTES,
+    l3_lines=4 * 1024 * 1024 // CACHE_LINE_BYTES,
+    lat_l1=3,
+    lat_l2=15,
+    lat_l3=40,
+    lat_dram=180,
+    cores=8,
+    nic_pps_limit=None,
+    cycle_factor=5.0,
+)

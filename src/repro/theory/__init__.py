@@ -1,0 +1,19 @@
+"""The Appendix: hardness of flow-table decomposition (REGDECOMP)."""
+
+from repro.theory.regdecomp import (
+    AbstractTable,
+    brute_force_satisfiable,
+    evaluate,
+    is_regular,
+    reduction_table,
+    single_regular_equivalent,
+)
+
+__all__ = [
+    "AbstractTable",
+    "brute_force_satisfiable",
+    "evaluate",
+    "is_regular",
+    "reduction_table",
+    "single_regular_equivalent",
+]

@@ -1,0 +1,14 @@
+"""Workload generation and measurement (the NFPA analogue).
+
+The evaluation sweeps two axes per use case: pipeline complexity (table
+sizes) and traffic diversity (active flow count). :mod:`repro.traffic.flows`
+builds deterministic flow sets; :mod:`repro.traffic.nfpa` replays them
+round-robin — deliberately removing temporal locality, as the paper's
+traces do — through any switch and reports packet rate, cycles/packet, and
+cache behavior.
+"""
+
+from repro.traffic.flows import FlowSet, round_robin
+from repro.traffic.nfpa import Measurement, measure, measure_multicore
+
+__all__ = ["FlowSet", "round_robin", "Measurement", "measure", "measure_multicore"]

@@ -1,0 +1,203 @@
+"""The measurement harness (the paper's NFPA + pktgen stand-in).
+
+Replays a flow set through a switch under the cycle/cache model and
+reports the quantities the evaluation figures plot: packet rate,
+cycles/packet (latency), LLC misses/packet, and the switch's own
+hierarchy statistics.
+
+Switches are duck-typed: anything with ``process(pkt, meter) -> Verdict``
+works (ESwitch, OvsSwitch, or a bare pipeline wrapped in
+:class:`DirectSwitch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.openflow.pipeline import Pipeline, Verdict
+from repro.packet.packet import Packet
+from repro.simcpu.costs import CostBook, DEFAULT_COSTS
+from repro.simcpu.platform import Platform, XEON_E5_2620
+from repro.simcpu.recorder import CycleMeter, Meter, NULL_METER
+from repro.traffic.flows import FlowSet
+
+
+def auto_params(n_flows: int) -> tuple[int, int]:
+    """(n_packets, warmup) so that steady state is actually measured.
+
+    Warm-up must cover at least one full round-robin cycle of the flow set
+    (so flow caches and CPU caches reach steady state) and the measured
+    window a couple more — until the flow set is too large to ever revisit
+    within a realistic budget, which *is* the thrashing steady state.
+    """
+    warmup = min(max(2_000, n_flows), 40_000)
+    n_packets = min(max(12_000, 2 * n_flows), 60_000)
+    return n_packets, warmup
+
+
+class DirectSwitch:
+    """The reference interpreter wrapped as a switch (a direct datapath)."""
+
+    def __init__(self, pipeline: Pipeline):
+        self.pipeline = pipeline
+
+    def process(self, pkt: Packet, meter: Meter = NULL_METER) -> Verdict:
+        return self.pipeline.process(pkt)
+
+
+@dataclass
+class Measurement:
+    """One measurement point."""
+
+    pps: float
+    cycles_per_packet: float
+    llc_misses_per_packet: float
+    packets: int
+    forwarded: int
+    dropped: int
+    to_controller: int
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def mpps(self) -> float:
+        return self.pps / 1e6
+
+    def __repr__(self) -> str:
+        return (
+            f"Measurement({self.mpps:.2f} Mpps, {self.cycles_per_packet:.0f} cyc/pkt, "
+            f"{self.llc_misses_per_packet:.2f} LLC miss/pkt)"
+        )
+
+
+def measure(
+    switch,
+    flows: FlowSet,
+    n_packets: int = 20_000,
+    warmup: int = 2_000,
+    platform: Platform = XEON_E5_2620,
+    update_hook: "Callable[[int, CycleMeter], None] | None" = None,
+    batch_size: "int | None" = None,
+    costs: CostBook = DEFAULT_COSTS,
+) -> Measurement:
+    """Replay ``flows`` round-robin through ``switch`` and measure.
+
+    ``warmup`` packets run first with costs discarded (caches and flow
+    caches warm up); the remaining ``n_packets`` are measured.
+    ``update_hook(i, meter)``, if given, fires before each measured packet
+    — the update-intensity experiments (Fig. 18) inject flow-mods there.
+
+    ``batch_size`` models the IO burst the datapath polls in: the
+    per-packet costs are calibrated at the DPDK-typical burst of
+    ``costs.reference_burst``; other sizes re-amortize the per-burst
+    framework cost (None = the reference burst, no adjustment).
+    """
+    meter = CycleMeter(platform)
+    burst_adjust = 0.0
+    if batch_size is not None:
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        burst_adjust = costs.io_burst_cost * (
+            1.0 / batch_size - 1.0 / costs.reference_burst
+        )
+    n = len(flows)
+    for i in range(warmup):
+        meter.begin_packet()
+        switch.process(flows[i % n].copy(), meter)
+        meter.end_packet()
+    # Keep cache state, discard the warm-up counters.
+    meter.total_cycles = 0.0
+    meter.packets = 0
+    meter.cache.stats.reset()
+
+    forwarded = dropped = to_controller = 0
+    for i in range(n_packets):
+        meter.begin_packet()
+        if burst_adjust:
+            meter.charge(burst_adjust)
+        # The hook runs inside the packet's accounting window so any cycles
+        # it charges (e.g. update work sharing the core) are not lost.
+        if update_hook is not None:
+            update_hook(i, meter)
+        verdict = switch.process(flows[(warmup + i) % n].copy(), meter)
+        meter.end_packet()
+        if verdict.forwarded:
+            forwarded += 1
+        elif verdict.to_controller:
+            to_controller += 1
+        else:
+            dropped += 1
+
+    return Measurement(
+        pps=meter.mean_pps(),
+        cycles_per_packet=meter.mean_cycles_per_packet,
+        llc_misses_per_packet=meter.llc_misses_per_packet(),
+        packets=n_packets,
+        forwarded=forwarded,
+        dropped=dropped,
+        to_controller=to_controller,
+    )
+
+
+def measure_multicore(
+    make_switch: Callable[[], object],
+    flows: FlowSet,
+    cores: int,
+    n_packets: int = 8_000,
+    warmup: int = 1_000,
+    platform: Platform = XEON_E5_2620,
+    coherence_cycles_per_core: float = 0.0,
+    shared_switch: bool = False,
+    costs: CostBook = DEFAULT_COSTS,
+) -> float:
+    """Aggregate packet rate with RSS-style flow sharding across cores.
+
+    Each core gets its own cycle meter (private caches). ``shared_switch``
+    models OVS's shared flow caches: one switch instance serves all cores
+    and every packet pays a coherence penalty per *additional* core —
+    the fine-grained locking of Section 2.3. ESWITCH shares only read-only
+    compiled code, so it runs one switch per core with a negligible
+    penalty.
+
+    Returns the aggregate pps (sum over cores), NIC-capped.
+    """
+    if cores < 1:
+        raise ValueError("need at least one core")
+    shards: list[list] = [[] for _ in range(cores)]
+    for i, pkt in enumerate(flows):
+        shards[i % cores].append(pkt)
+    shards = [s for s in shards if s]
+    active = len(shards)
+    penalty = coherence_cycles_per_core * (cores - 1)
+    # Warm-up must cover at least one full pass of every shard so shared
+    # caches reach their true steady state before measurement.
+    warmup = max(warmup, max(len(s) for s in shards) + 256)
+
+    shared = make_switch() if shared_switch else None
+    switches = [shared if shared_switch else make_switch() for _ in range(active)]
+    meters = [CycleMeter(platform) for _ in range(active)]
+
+    # Cores run concurrently: interleave their packet streams so shared
+    # state (the OVS flow caches) sees the true mixed working set instead
+    # of one core's shard at a time.
+    for phase, count in (("warmup", warmup), ("measure", n_packets)):
+        if phase == "measure":
+            for meter in meters:
+                meter.total_cycles = 0.0
+                meter.packets = 0
+        for i in range(count):
+            for core in range(active):
+                meter = meters[core]
+                shard = shards[core]
+                offset = i if phase == "warmup" else warmup + i
+                meter.begin_packet()
+                meter.charge(penalty)
+                switches[core].process(shard[offset % len(shard)].copy(), meter)
+                meter.end_packet()
+
+    total_pps = sum(
+        platform.freq_hz / meter.mean_cycles_per_packet for meter in meters
+    )
+    if platform.nic_pps_limit is not None:
+        total_pps = min(total_pps, platform.nic_pps_limit)
+    return total_pps

@@ -1,0 +1,16 @@
+"""The evaluation use cases (Section 4.1) plus the firewall of Fig. 1.
+
+Each module builds the OpenFlow pipeline and the matching traffic:
+
+* :mod:`repro.usecases.firewall` — the running example of Fig. 1;
+* :mod:`repro.usecases.l2` — MAC learning-table forwarding;
+* :mod:`repro.usecases.l3` — IP routing over a sampled Internet FIB;
+* :mod:`repro.usecases.loadbalancer` — the web frontend of Fig. 7;
+* :mod:`repro.usecases.gateway` — the telco access gateway (vPE) of Fig. 8;
+* :mod:`repro.usecases.acl` — synthetic snort-style five-tuple ACLs for
+  the decomposition stress test of Section 3.2.
+"""
+
+from repro.usecases import acl, firewall, gateway, l2, l3, loadbalancer
+
+__all__ = ["acl", "firewall", "gateway", "l2", "l3", "loadbalancer"]

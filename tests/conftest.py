@@ -1,0 +1,7 @@
+"""Shared test configuration."""
+
+import sys
+from pathlib import Path
+
+# Make `import strategies` work from any test subdirectory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,127 @@
+"""Tests for the gateway controller and the update channels."""
+
+import pytest
+
+from repro.controller import (
+    CLI_CHANNEL,
+    CONTROLLER_CHANNEL,
+    GatewayController,
+    setup_time,
+)
+from repro.core import ESwitch
+from repro.ovs import OvsSwitch
+from repro.openflow.actions import Output
+from repro.openflow.instructions import ApplyActions
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.usecases import gateway, loadbalancer
+
+
+def lb_mods(n_services):
+    """Flow-mods that build the single-table LB pipeline rule by rule."""
+    pipeline = loadbalancer.build_single_table(n_services)
+    mods = []
+    for entry in pipeline.table(0):
+        mods.append(
+            FlowMod(FlowModCommand.ADD, 0, entry.match, priority=entry.priority,
+                    instructions=entry.instructions)
+        )
+    return mods
+
+
+class TestGatewayController:
+    def make(self, n_ce=2, users=3):
+        pipeline, fib = gateway.build(
+            n_ce=n_ce, users_per_ce=users, n_prefixes=100, provision_users=False
+        )
+        sw = ESwitch.from_pipeline(pipeline)
+        ctrl = GatewayController(sw, n_ce=n_ce, users_per_ce=users)
+        sw.packet_in_handler = ctrl
+        return sw, ctrl, fib
+
+    def test_admission_installs_rules(self):
+        sw, ctrl, fib = self.make()
+        flows = gateway.traffic(fib, 6, n_ce=2, users_per_ce=3)
+        first = sw.process(flows[0].copy())
+        assert first.to_controller
+        assert len(ctrl.admitted) == 1
+        # The retransmission takes the fast path.
+        assert sw.process(flows[0].copy()).forwarded
+
+    def test_all_users_admitted_once(self):
+        sw, ctrl, fib = self.make()
+        flows = gateway.traffic(fib, 6, n_ce=2, users_per_ce=3)
+        for _round in range(3):
+            for i in range(len(flows)):
+                sw.process(flows[i].copy())
+        assert len(ctrl.admitted) == 6
+        assert ctrl.packet_ins == 6  # one punt per user, no re-admission
+
+    def test_unknown_subscriber_rejected(self):
+        from repro.packet import PacketBuilder
+
+        sw, ctrl, _fib = self.make()
+        intruder = (
+            PacketBuilder(in_port=gateway.ACCESS_PORT).eth()
+            .vlan(vid=gateway.ce_vlan(0))
+            .ipv4(src="172.16.0.1", dst="8.8.8.8").tcp().build()
+        )
+        sw.process(intruder)
+        assert ctrl.rejected == 1
+        assert len(ctrl.admitted) == 0
+
+    def test_wrong_vlan_rejected(self):
+        from repro.packet import PacketBuilder
+        from repro.net.addresses import int_to_ip
+
+        sw, ctrl, _fib = self.make()
+        spoofed = (
+            PacketBuilder(in_port=gateway.ACCESS_PORT).eth()
+            .vlan(vid=gateway.ce_vlan(1))  # CE 1's VLAN...
+            .ipv4(src=int_to_ip(gateway.private_ip(0, 0)), dst="8.8.8.8")  # CE 0's user
+            .tcp().build()
+        )
+        sw.process(spoofed)
+        assert ctrl.rejected == 1
+
+
+class TestUpdateChannels:
+    def test_cli_faster_for_eswitch(self):
+        """Fig. 17: 'it takes just one fifth the time for ESWITCH to set up
+        the use case than for OVS, when using the CLI tool'."""
+        mods = lb_mods(20)
+        t_es = setup_time(
+            ESwitch.from_pipeline(loadbalancer_empty()), mods, CLI_CHANNEL
+        )
+        t_ovs = setup_time(OvsSwitch(loadbalancer_empty()), lb_mods(20), CLI_CHANNEL)
+        assert t_ovs / t_es > 3
+
+    def test_controller_channel_dominates(self):
+        """Fig. 17: 'with the controller the two perform similarly'."""
+        t_es = setup_time(
+            ESwitch.from_pipeline(loadbalancer_empty()), lb_mods(20), CONTROLLER_CHANNEL
+        )
+        t_ovs = setup_time(
+            OvsSwitch(loadbalancer_empty()), lb_mods(20), CONTROLLER_CHANNEL
+        )
+        assert 0.5 < t_ovs / t_es < 2
+
+    def test_linear_scaling(self):
+        times = []
+        for n in (5, 10, 20):
+            times.append(
+                setup_time(ESwitch.from_pipeline(loadbalancer_empty()),
+                           lb_mods(n), CLI_CHANNEL)
+            )
+        assert times[0] < times[1] < times[2]
+        # Roughly proportional to the mod count.
+        assert times[2] / times[0] == pytest.approx(len(lb_mods(20)) / len(lb_mods(5)),
+                                                    rel=0.5)
+
+
+def loadbalancer_empty():
+    """An empty table-0 pipeline the channel tests populate via flow-mods."""
+    from repro.openflow.flow_table import FlowTable
+    from repro.openflow.pipeline import Pipeline
+
+    return Pipeline([FlowTable(0)])

@@ -1,0 +1,150 @@
+"""Tests for template selection (Fig. 4 prerequisites and fallbacks)."""
+
+from repro.core.analysis import (
+    CompileConfig,
+    TemplateKind,
+    hash_applicable,
+    lpm_applicable,
+    select_template,
+    split_catch_all,
+)
+from repro.openflow.actions import Output
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.match import Match
+
+
+def e(prio, **match):
+    return FlowEntry(Match(**match), priority=prio, actions=[Output(1)])
+
+
+class TestSplitCatchAll:
+    def test_trailing_catch_all_split(self):
+        entries = [e(10, tcp_dst=80), e(0)]
+        rules, catch = split_catch_all(entries)
+        assert len(rules) == 1 and catch is not None
+
+    def test_no_catch_all(self):
+        rules, catch = split_catch_all([e(10, tcp_dst=80)])
+        assert catch is None and len(rules) == 1
+
+    def test_mid_table_catch_all_prevents_split(self):
+        # A high-priority catch-all shadows the rest; splitting the final
+        # one as a default rule would be unsound, so nothing splits.
+        entries = [e(10), e(5, tcp_dst=80), e(0)]
+        rules, catch = split_catch_all(entries)
+        assert catch is None and len(rules) == 3
+
+
+class TestDirectThreshold:
+    def test_small_tables_go_direct(self):
+        entries = [e(10, tcp_dst=80), e(9, udp_dst=53), e(0)]
+        assert select_template(entries) is TemplateKind.DIRECT
+
+    def test_threshold_is_four(self):
+        entries = [e(10 - i, tcp_dst=80 + i) for i in range(4)]
+        assert select_template(entries) is TemplateKind.DIRECT
+        entries.append(e(1, tcp_dst=99))
+        assert select_template(entries) is not TemplateKind.DIRECT
+
+    def test_threshold_configurable(self):
+        entries = [e(10 - i, tcp_dst=80 + i) for i in range(8)]
+        assert select_template(entries, CompileConfig(direct_threshold=10)) is TemplateKind.DIRECT
+
+
+class TestHashPrerequisite:
+    def test_uniform_exact_matches(self):
+        entries = [e(1, eth_dst=i) for i in range(10)]
+        assert hash_applicable(entries)
+        assert select_template(entries) is TemplateKind.HASH
+
+    def test_global_mask_multi_field(self):
+        entries = [
+            e(1, ipv4_dst=(0xC0000200 + (i << 8), 0xFFFFFF00), tcp_dst=80 + i)
+            for i in range(8)
+        ]
+        assert hash_applicable(entries)
+
+    def test_paper_example_mask_violation(self):
+        """Section 3.1: adding a wildcard-port entry breaks the global mask."""
+        good = [
+            e(3, ipv4_dst="192.0.2.0/24", tcp_dst=80),
+            e(2, ipv4_dst="198.51.100.0/24", tcp_dst=21),
+        ]
+        assert hash_applicable(good)
+        bad = good + [e(1, ipv4_dst="203.0.113.0/24")]
+        assert not hash_applicable(bad)
+
+    def test_catch_all_allowed(self):
+        entries = [e(1, eth_dst=i) for i in range(10)] + [e(0)]
+        assert hash_applicable(entries)
+
+    def test_different_masks_rejected(self):
+        entries = [
+            e(2, ipv4_dst="10.0.0.0/8"),
+            e(1, ipv4_dst="192.0.2.0/24"),
+        ] * 3
+        assert not hash_applicable(entries)
+
+    def test_empty_not_applicable(self):
+        assert not hash_applicable([])
+        assert not hash_applicable([e(0)])
+
+
+class TestLpmPrerequisite:
+    def prefixes(self, *specs):
+        return [e(depth, ipv4_dst=f"{addr}/{depth}") for addr, depth in specs]
+
+    def test_prefix_rules_accepted(self):
+        entries = self.prefixes(("10.0.0.0", 8), ("10.1.0.0", 16), ("192.0.2.0", 24))
+        assert lpm_applicable(entries)
+        entries = entries * 2  # > direct threshold
+        assert select_template(self.prefixes(
+            ("10.0.0.0", 8), ("10.1.0.0", 16), ("192.0.2.0", 24),
+            ("10.2.0.0", 16), ("10.3.0.0", 16),
+        )) is TemplateKind.LPM
+
+    def test_paper_priority_inversion_rejected(self):
+        """Section 3.1's example: a /30 below a /24 in priority."""
+        entries = [
+            FlowEntry(Match(ipv4_dst="192.0.2.0/24"), priority=100,
+                      actions=[Output(1)]),
+            FlowEntry(Match(ipv4_dst="192.0.2.12/30"), priority=20,
+                      actions=[Output(2)]),
+        ]
+        assert not lpm_applicable(entries)
+
+    def test_non_prefix_mask_rejected(self):
+        # A suffix mask is not a contiguous prefix: LPM cannot represent it.
+        entries = [e(2, ipv4_dst=(0, 0x0000FFFF)), e(1, ipv4_dst=(1, 0xFFFFFFFF))]
+        assert not lpm_applicable(entries)
+
+    def test_multi_field_rejected(self):
+        entries = [e(1, ipv4_dst="10.0.0.0/8", tcp_dst=80)]
+        assert not lpm_applicable(entries)
+
+    def test_non_lpm_field_rejected(self):
+        entries = [e(1, eth_dst=(0x10, 0xFFFF00000000))]
+        assert not lpm_applicable(entries)
+
+    def test_catch_all_as_default_route(self):
+        entries = self.prefixes(("10.0.0.0", 8), ("10.1.0.0", 16)) + [e(0)]
+        assert lpm_applicable(entries)
+
+
+class TestFallbackChain:
+    def test_linked_list_is_universal(self):
+        # Mixed field sets, arbitrary masks: only the linked list applies.
+        entries = [
+            e(5, tcp_dst=80),
+            e(4, ipv4_dst="10.0.0.0/8"),
+            e(3, eth_dst=1),
+            e(2, udp_dst=53),
+            e(1, in_port=1),
+        ]
+        assert select_template(entries) is TemplateKind.LINKED_LIST
+
+    def test_efficiency_order(self):
+        # LPM-eligible rules that also satisfy hash prerequisites (all /32)
+        # compile to the *hash* template (more efficient).
+        entries = [e(32, ipv4_dst=f"10.0.0.{i}/32") for i in range(8)]
+        assert select_template(entries) is TemplateKind.HASH

@@ -1,0 +1,137 @@
+"""Tests for the compiled datapath driver: trampoline, parser plan, costs."""
+
+import pytest
+
+from repro.core.codegen import compile_table
+from repro.core.datapath import CompiledDatapath, required_layer
+from repro.openflow.actions import Output
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable
+from repro.openflow.instructions import ApplyActions, GotoTable
+from repro.openflow.match import Match
+from repro.openflow.pipeline import Pipeline, PipelineError
+from repro.packet import PacketBuilder
+from repro.simcpu.costs import DEFAULT_COSTS
+from repro.simcpu.platform import XEON_E5_2620
+from repro.simcpu.recorder import CycleMeter
+
+
+def simple_table(tid, port, goto=None, **match):
+    t = FlowTable(tid)
+    instrs = [ApplyActions([Output(port)])]
+    if goto is not None:
+        instrs.append(GotoTable(goto))
+    t.add(FlowEntry(Match(**match), priority=1, instructions=instrs))
+    return t
+
+
+def pkt():
+    return PacketBuilder(in_port=1).eth().ipv4().tcp(dst_port=80).build()
+
+
+class TestTrampoline:
+    def test_atomic_swap_changes_behavior(self):
+        dp = CompiledDatapath(first_table=0)
+        dp.install(compile_table(simple_table(0, 5)))
+        assert dp.process(pkt()).output_ports == [5]
+        # Build the replacement side by side, then one-shot swap.
+        replacement = compile_table(simple_table(0, 9))
+        dp.install(replacement)
+        assert dp.process(pkt()).output_ports == [9]
+
+    def test_goto_through_trampoline(self):
+        dp = CompiledDatapath(first_table=0)
+        dp.install(compile_table(simple_table(0, 1, goto=1)))
+        dp.install(compile_table(simple_table(1, 2)))
+        v = dp.process(pkt())
+        assert v.output_ports == [1, 2]
+        assert [tid for tid, _e in v.path] == [0, 1]
+
+    def test_dangling_goto_raises(self):
+        dp = CompiledDatapath(first_table=0)
+        dp.install(compile_table(simple_table(0, 1, goto=7)))
+        with pytest.raises(PipelineError):
+            dp.process(pkt())
+
+    def test_uninstall(self):
+        dp = CompiledDatapath(first_table=0)
+        dp.install(compile_table(simple_table(0, 1)))
+        dp.uninstall(0)
+        with pytest.raises(PipelineError):
+            dp.process(pkt())
+
+
+class TestParserPlan:
+    def test_invalid_layer_rejected(self):
+        with pytest.raises(ValueError):
+            CompiledDatapath(first_table=0, parser_layer=5)
+
+    def test_parser_cost_by_layer(self):
+        costs = DEFAULT_COSTS
+        expected = {
+            2: costs.parser_l2,
+            3: costs.parser_l2 + costs.parser_l3,
+            4: costs.parser_combined,
+        }
+        base = costs.pkt_in + costs.es_dispatch
+        for layer, parser_cost in expected.items():
+            dp = CompiledDatapath(first_table=0, parser_layer=layer)
+            dp.install(compile_table(FlowTable(0)))  # empty: immediate miss
+            meter = CycleMeter(XEON_E5_2620)
+            meter.begin_packet()
+            dp.process(pkt(), meter)
+            cycles = meter.end_packet()
+            # The empty table is direct code: its base charge accrues too.
+            assert cycles == pytest.approx(
+                base + parser_cost + costs.direct_base + costs.table_miss
+            ), layer
+
+    def test_required_layer_metadata_only(self):
+        t = FlowTable(0)
+        t.add(FlowEntry(Match(in_port=1), priority=1, actions=[Output(1)]))
+        assert required_layer(Pipeline([t])) == 2
+
+    def test_set_parser_layer_recomputes_cost(self):
+        dp = CompiledDatapath(first_table=0, parser_layer=2)
+        cost_l2 = dp._parser_cost
+        dp.set_parser_layer(4)
+        assert dp._parser_cost == pytest.approx(DEFAULT_COSTS.parser_combined)
+        assert dp._parser_cost > cost_l2
+
+
+class TestCostAccounting:
+    def test_goto_charges_trampoline(self):
+        dp = CompiledDatapath(first_table=0)
+        dp.install(compile_table(simple_table(0, 1, goto=1)))
+        dp.install(compile_table(simple_table(1, 2)))
+        single = CompiledDatapath(first_table=0)
+        single.install(compile_table(simple_table(0, 1)))
+        m_two, m_one = CycleMeter(XEON_E5_2620), CycleMeter(XEON_E5_2620)
+        m_two.begin_packet()
+        dp.process(pkt(), m_two)
+        two = m_two.end_packet()
+        m_one.begin_packet()
+        single.process(pkt(), m_one)
+        one = m_one.end_packet()
+        # Second table adds its template cost + trampoline + extra pkt_out.
+        assert two > one
+
+    def test_forwarded_pays_pkt_out_dropped_does_not(self):
+        drop_table = FlowTable(0)
+        drop_table.add(FlowEntry(Match(), priority=1, actions=[]))
+        dp_drop = CompiledDatapath(first_table=0)
+        dp_drop.install(compile_table(drop_table))
+        dp_fwd = CompiledDatapath(first_table=0)
+        dp_fwd.install(compile_table(simple_table(0, 1)))
+        md, mf = CycleMeter(XEON_E5_2620), CycleMeter(XEON_E5_2620)
+        md.begin_packet()
+        dp_drop.process(pkt(), md)
+        drop_cycles = md.end_packet()
+        mf.begin_packet()
+        dp_fwd.process(pkt(), mf)
+        fwd_cycles = mf.end_packet()
+        # The forwarding path additionally executes its action set and
+        # transmits; the drop path does neither.
+        assert fwd_cycles - drop_cycles == pytest.approx(
+            DEFAULT_COSTS.pkt_out + DEFAULT_COSTS.action_set
+        )

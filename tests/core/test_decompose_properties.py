@@ -1,0 +1,46 @@
+"""Additional decomposition properties: dedup equivalence, determinism."""
+
+from hypothesis import given, settings
+
+import strategies as sts
+
+from repro.core.decompose import decompose_table
+from repro.openflow.pipeline import Pipeline
+
+
+class TestDedupEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(sts.flow_tables(max_entries=8), sts.packets(), sts.packets())
+    def test_dedup_preserves_semantics(self, table, p1, p2):
+        """Sharing identical subtables must never change behavior."""
+        plain = decompose_table(table, 100, dedup=False)
+        if plain is None:
+            return
+        shared = decompose_table(table, 100, dedup=True)
+        assert shared is not None
+        assert len(shared) <= len(plain)
+        a, b = Pipeline(plain), Pipeline(shared)
+        for pkt in (p1, p2):
+            assert (a.process(pkt.copy()).summary()
+                    == b.process(pkt.copy()).summary())
+
+    @settings(max_examples=30, deadline=None)
+    @given(sts.flow_tables(max_entries=8))
+    def test_deterministic(self, table):
+        """Same input, same decomposition (no hidden randomness)."""
+        first = decompose_table(table, 100)
+        second = decompose_table(table, 100)
+        if first is None:
+            assert second is None
+            return
+        assert [t.table_id for t in first] == [t.table_id for t in second]
+        assert [len(t) for t in first] == [len(t) for t in second]
+
+    @settings(max_examples=30, deadline=None)
+    @given(sts.flow_tables(max_entries=8))
+    def test_leaves_are_single_column(self, table):
+        tables = decompose_table(table, 100)
+        if tables is None:
+            return
+        for t in tables:
+            assert len(t.matched_fields()) <= 1

@@ -1,0 +1,141 @@
+"""Tests for the ESwitch facade: compilation, dispatch, parser layers."""
+
+import pytest
+from hypothesis import given, settings
+
+import strategies as sts
+
+from repro.core import CompileConfig, ESwitch
+from repro.core.datapath import required_layer
+from repro.openflow.actions import DecTtl, Output, SetField
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable
+from repro.openflow.match import Match
+from repro.openflow.pipeline import Pipeline, PipelineError
+from repro.packet import PacketBuilder
+from repro.usecases import firewall, gateway, l2, l3, loadbalancer
+
+
+class TestCompilation:
+    def test_l2_compiles_to_hash(self):
+        """Section 4.1: 'the L2 pipeline compiles into the hash table
+        template, effectively reducing into a conventional Ethernet
+        software switch'."""
+        p, _macs = l2.build(100)
+        assert ESwitch.from_pipeline(p).table_kinds() == {0: "hash"}
+
+    def test_l3_compiles_to_lpm(self):
+        """'the L3 pipeline is compiled into the LPM template yielding a
+        datapath identical to that of an IP softrouter'."""
+        p, _fib = l3.build(100)
+        assert ESwitch.from_pipeline(p).table_kinds() == {0: "lpm"}
+
+    def test_lb_single_table_decomposed(self):
+        sw = ESwitch.from_pipeline(loadbalancer.build_single_table(10))
+        kinds = sw.table_kinds()
+        assert kinds[0].startswith("decomposed[")
+        assert sw.compiled_table_count > 1
+
+    def test_decomposition_can_be_disabled(self):
+        sw = ESwitch.from_pipeline(
+            loadbalancer.build_single_table(10), config=CompileConfig(decompose=False)
+        )
+        assert sw.table_kinds() == {0: "linked_list"}
+
+    def test_gateway_template_mix(self):
+        """Section 4.1: 'the hash template for each table except for Table
+        110 that is mapped to the LPM store'."""
+        p, _fib = gateway.build(n_ce=10, users_per_ce=20, n_prefixes=500)
+        kinds = ESwitch.from_pipeline(p).table_kinds()
+        assert kinds[gateway.ROUTING_TABLE] == "lpm"
+        assert kinds[gateway.REVERSE_TABLE] == "hash"
+        for ce in range(10):
+            assert kinds[gateway.CE_TABLE_BASE + ce] == "hash"
+
+    def test_invalid_pipeline_rejected(self):
+        from repro.openflow.instructions import GotoTable
+
+        t = FlowTable(0)
+        t.add(FlowEntry(Match(), priority=1, instructions=(GotoTable(42),)))
+        with pytest.raises(PipelineError):
+            ESwitch.from_pipeline(Pipeline([t]))
+
+
+class TestParserSpecialization:
+    def test_pure_l2_skips_upper_layers(self):
+        p, _macs = l2.build(10)
+        sw = ESwitch.from_pipeline(p)
+        assert sw.datapath.parser_layer == 2
+
+    def test_l3_pipeline_parses_to_l3(self):
+        p, _fib = l3.build(10)
+        assert ESwitch.from_pipeline(p).datapath.parser_layer == 3
+
+    def test_l4_matches_force_full_parse(self):
+        assert (
+            ESwitch.from_pipeline(firewall.build_single_stage()).datapath.parser_layer
+            == 4
+        )
+
+    def test_actions_count_toward_parser_depth(self):
+        t = FlowTable(0)
+        t.add(
+            FlowEntry(
+                Match(eth_dst=1),
+                priority=1,
+                actions=[SetField("tcp_dst", 8080), Output(1)],
+            )
+        )
+        assert required_layer(Pipeline([t])) == 4
+
+    def test_dec_ttl_needs_l3(self):
+        t = FlowTable(0)
+        t.add(FlowEntry(Match(eth_dst=1), priority=1, actions=[DecTtl(), Output(1)]))
+        assert required_layer(Pipeline([t])) == 3
+
+    def test_l2_switch_still_forwards_ip_traffic(self):
+        p, macs = l2.build(5)
+        sw = ESwitch.from_pipeline(p)
+        pkt = PacketBuilder().eth(dst=macs[0]).ipv4().tcp().build()
+        assert sw.process(pkt).forwarded
+
+
+class TestProcessing:
+    @settings(max_examples=60, deadline=None)
+    @given(sts.pipelines(), sts.packets())
+    def test_differential_vs_interpreter(self, pipeline, pkt):
+        sw = ESwitch.from_pipeline(pipeline)
+        assert sw.process(pkt.copy()).summary() == pipeline.process(pkt.copy()).summary()
+
+    @settings(max_examples=30, deadline=None)
+    @given(sts.pipelines(), sts.packets())
+    def test_differential_without_decomposition(self, pipeline, pkt):
+        sw = ESwitch.from_pipeline(pipeline, config=CompileConfig(decompose=False))
+        assert sw.process(pkt.copy()).summary() == pipeline.process(pkt.copy()).summary()
+
+    def test_counters_recorded(self):
+        p = firewall.build_single_stage()
+        sw = ESwitch.from_pipeline(p)
+        pkt = (PacketBuilder(in_port=firewall.INTERNAL).eth().ipv4().tcp().build())
+        sw.process(pkt)
+        assert p.table(0).entries[0].counters.packets == 1
+
+    def test_packet_in_handler_called(self):
+        from repro.openflow.flow_table import TableMissPolicy
+
+        t = FlowTable(0, miss_policy=TableMissPolicy.CONTROLLER)
+        punted = []
+        sw = ESwitch.from_pipeline(Pipeline([t]), packet_in_handler=punted.append)
+        sw.process(PacketBuilder().eth().build())
+        assert len(punted) == 1
+
+    def test_gateway_nat_rewrites_packet(self):
+        p, fib = gateway.build(n_ce=1, users_per_ce=1, n_prefixes=100)
+        sw = ESwitch.from_pipeline(p)
+        pkt = gateway.traffic(fib, 1, n_ce=1, users_per_ce=1)[0].copy()
+        verdict = sw.process(pkt)
+        if verdict.forwarded:
+            src = int.from_bytes(pkt.data[26:30], "big")
+            assert src == gateway.public_ip(0, 0)
+            # The VLAN tag was popped on the way out.
+            assert (pkt.data[12] << 8) | pkt.data[13] != 0x8100

@@ -1,0 +1,70 @@
+"""Tests for Outcome compilation from flow entries."""
+
+from repro.core.outcome import miss_outcome, outcome_of
+from repro.openflow.actions import Output, SetField
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable, TableMissPolicy
+from repro.openflow.instructions import (
+    ApplyActions,
+    ClearActions,
+    GotoTable,
+    WriteActions,
+    WriteMetadata,
+)
+from repro.openflow.match import Match
+
+
+class TestOutcomeOf:
+    def test_apply_and_goto(self):
+        e = FlowEntry(Match(), priority=1,
+                      instructions=(ApplyActions([Output(3)]), GotoTable(9)))
+        out = outcome_of(e)
+        assert out.apply_actions == (Output(3),)
+        assert out.goto == 9
+        assert not out.is_miss
+        assert out.entry is e
+
+    def test_write_actions_accumulate(self):
+        e = FlowEntry(
+            Match(), priority=1,
+            instructions=(WriteActions([Output(1)]), WriteActions([Output(2)])),
+        )
+        assert outcome_of(e).write_actions == (Output(1), Output(2))
+
+    def test_clear_wipes_earlier_writes(self):
+        e = FlowEntry(
+            Match(), priority=1,
+            instructions=(WriteActions([Output(1)]), ClearActions(),
+                          WriteActions([Output(2)])),
+        )
+        out = outcome_of(e)
+        assert out.clear_actions
+        assert out.write_actions == (Output(2),)
+
+    def test_metadata(self):
+        e = FlowEntry(Match(), priority=1,
+                      instructions=(WriteMetadata(value=0xAB, mask=0xFF),))
+        assert outcome_of(e).metadata_write == (0xAB, 0xFF)
+
+    def test_multiple_apply_merge(self):
+        e = FlowEntry(
+            Match(), priority=1,
+            instructions=(ApplyActions([SetField("ipv4_dst", 1)]),
+                          ApplyActions([Output(2)])),
+        )
+        assert outcome_of(e).apply_actions == (SetField("ipv4_dst", 1), Output(2))
+
+
+class TestMissOutcome:
+    def test_drop_policy(self):
+        out = miss_outcome(FlowTable(0, miss_policy=TableMissPolicy.DROP))
+        assert out.is_miss and not out.to_controller
+
+    def test_controller_policy(self):
+        out = miss_outcome(FlowTable(0, miss_policy=TableMissPolicy.CONTROLLER))
+        assert out.is_miss and out.to_controller
+
+    def test_repr(self):
+        assert "controller" in repr(
+            miss_outcome(FlowTable(0, miss_policy=TableMissPolicy.CONTROLLER))
+        )

@@ -1,0 +1,195 @@
+"""Tests for the ESWITCH update engine (Section 3.4)."""
+
+import pytest
+
+from repro.core import CompileConfig, ESwitch
+from repro.core.analysis import TemplateKind
+from repro.openflow.actions import Output
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable
+from repro.openflow.instructions import ApplyActions
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.openflow.pipeline import Pipeline
+from repro.packet import PacketBuilder
+from repro.usecases import l2, l3
+
+
+def add(table_id, priority=1, port=1, **match):
+    return FlowMod(
+        FlowModCommand.ADD,
+        table_id,
+        Match(**match),
+        priority=priority,
+        instructions=(ApplyActions([Output(port)]),),
+    )
+
+
+def delete(table_id, priority=0, **match):
+    return FlowMod(FlowModCommand.DELETE, table_id, Match(**match), priority=priority)
+
+
+def mac_pkt(dst):
+    return PacketBuilder().eth(dst=dst).ipv4().tcp().build()
+
+
+class TestIncrementalHash:
+    def setup_method(self):
+        p, self.macs = l2.build(50)
+        self.sw = ESwitch.from_pipeline(p)
+
+    def test_add_is_incremental(self):
+        self.sw.apply_flow_mod(add(0, eth_dst=0xABCD))
+        assert self.sw.update_stats.incremental == 1
+        assert self.sw.update_stats.rebuilds == 0
+        assert self.sw.process(mac_pkt(0xABCD)).forwarded
+
+    def test_delete_is_incremental(self):
+        self.sw.apply_flow_mod(delete(0, priority=1, eth_dst=self.macs[0]))
+        assert self.sw.update_stats.incremental == 1
+        assert not self.sw.process(mac_pkt(self.macs[0])).forwarded
+
+    def test_same_code_object_after_incremental(self):
+        fn_before = self.sw.compiled_table(0).fn
+        self.sw.apply_flow_mod(add(0, eth_dst=0xABCD))
+        assert self.sw.compiled_table(0).fn is fn_before  # non-destructive
+
+    def test_catch_all_update_incremental(self):
+        self.sw.apply_flow_mod(add(0, priority=0, port=7))
+        assert self.sw.update_stats.incremental == 1
+        assert self.sw.process(mac_pkt(0xDEAD)).output_ports == [7]
+
+    def test_prereq_violation_falls_back(self):
+        """Adding a differently-shaped rule breaks the global mask: the
+        table falls back with a rebuild — and because the fallen-back
+        table is decomposable, ESWITCH promotes it straight back to fast
+        templates via table decomposition (Section 3.2)."""
+        self.sw.apply_flow_mod(add(0, priority=5, tcp_dst=80))
+        assert self.sw.update_stats.fallbacks == 1
+        assert self.sw.table_kinds()[0].startswith("decomposed[")
+        # And it still forwards correctly, on both rule shapes.
+        assert self.sw.process(mac_pkt(self.macs[3])).forwarded
+        http = PacketBuilder().eth(dst=0x123456).ipv4().tcp(dst_port=80).build()
+        assert self.sw.process(http).forwarded
+
+    def test_fallback_without_decomposition_is_linked_list(self):
+        p, macs = l2.build(50)
+        sw = ESwitch.from_pipeline(p, config=CompileConfig(decompose=False))
+        sw.apply_flow_mod(add(0, priority=5, tcp_dst=80))
+        assert sw.compiled_table(0).kind is TemplateKind.LINKED_LIST
+        assert sw.process(mac_pkt(macs[3])).forwarded
+
+
+class TestIncrementalLpm:
+    def setup_method(self):
+        p, self.fib = l3.build(100)
+        self.sw = ESwitch.from_pipeline(p)
+
+    def test_route_add_incremental(self):
+        self.sw.apply_flow_mod(add(0, priority=24, port=9, ipv4_dst="203.0.113.0/24"))
+        assert self.sw.update_stats.incremental == 1
+        pkt = PacketBuilder().eth().ipv4(dst="203.0.113.55").udp().build()
+        assert self.sw.process(pkt).output_ports == [9]
+
+    def test_route_delete_incremental(self):
+        value, depth, _port = self.fib[0]
+        from repro.net.addresses import int_to_ip
+
+        self.sw.apply_flow_mod(delete(0, priority=depth,
+                                      ipv4_dst=f"{int_to_ip(value)}/{depth}"))
+        assert self.sw.update_stats.incremental == 1
+
+    def test_lpm_kind_stable_across_updates(self):
+        for i in range(5):
+            self.sw.apply_flow_mod(
+                add(0, priority=24, port=i, ipv4_dst=f"203.0.{i}.0/24")
+            )
+        assert self.sw.compiled_table(0).kind is TemplateKind.LPM
+
+
+class TestDirectRebuild:
+    def test_direct_always_rebuilds(self):
+        """'Complete rebuilding happens only for the direct code template
+        (unconditionally)'."""
+        t = FlowTable(0)
+        t.add(FlowEntry(Match(tcp_dst=80), priority=1, actions=[Output(1)]))
+        sw = ESwitch.from_pipeline(Pipeline([t]))
+        assert sw.compiled_table(0).kind is TemplateKind.DIRECT
+        sw.apply_flow_mod(add(0, priority=2, tcp_dst=443))
+        assert sw.update_stats.rebuilds == 1
+        assert sw.update_stats.incremental == 0
+
+    def test_direct_upgrades_to_hash_when_growing(self):
+        t = FlowTable(0)
+        for i in range(3):
+            t.add(FlowEntry(Match(eth_dst=i), priority=1, actions=[Output(1)]))
+        sw = ESwitch.from_pipeline(Pipeline([t]))
+        assert sw.compiled_table(0).kind is TemplateKind.DIRECT
+        for i in range(3, 8):
+            sw.apply_flow_mod(add(0, eth_dst=i))
+        assert sw.compiled_table(0).kind is TemplateKind.HASH
+
+
+class TestNewTables:
+    def test_flow_mod_creates_table(self):
+        t = FlowTable(0)
+        t.add(FlowEntry(Match(tcp_dst=80), priority=1, actions=[Output(1)]))
+        sw = ESwitch.from_pipeline(Pipeline([t]))
+        sw.apply_flow_mod(add(3, eth_dst=5))
+        assert 3 in sw.table_kinds()
+
+
+class TestTransactions:
+    def setup_method(self):
+        p, self.macs = l2.build(20)
+        self.sw = ESwitch.from_pipeline(p)
+
+    def test_batch_applies_atomically(self):
+        mods = [add(0, eth_dst=0x9000 + i) for i in range(5)]
+        self.sw.apply_flow_mods(mods)
+        for i in range(5):
+            assert self.sw.process(mac_pkt(0x9000 + i)).forwarded
+
+    def test_failed_batch_rolls_back(self):
+        bad = FlowMod(
+            FlowModCommand.ADD, 0, Match(eth_dst=1), priority=-1  # invalid
+        )
+        mods = [add(0, eth_dst=0x9000), bad]
+        with pytest.raises(ValueError):
+            self.sw.apply_flow_mods(mods)
+        # The first mod must have been rolled back too.
+        assert not self.sw.process(mac_pkt(0x9000)).forwarded
+        assert len(self.sw.pipeline.table(0)) == 20
+
+    def test_rollback_restores_datapath_behavior(self):
+        victim = self.macs[0]
+        bad = FlowMod(FlowModCommand.ADD, 0, Match(eth_dst=2), priority=-1)
+        with pytest.raises(ValueError):
+            self.sw.apply_flow_mods(
+                [delete(0, priority=1, eth_dst=victim), bad]
+            )
+        assert self.sw.process(mac_pkt(victim)).forwarded
+
+    def test_rollback_removes_created_tables(self):
+        bad = FlowMod(FlowModCommand.ADD, 7, Match(eth_dst=2), priority=-1)
+        with pytest.raises(ValueError):
+            self.sw.apply_flow_mods([add(7, eth_dst=1), bad])
+        assert 7 not in self.sw.table_kinds()
+
+
+class TestUpdateCosts:
+    def test_incremental_cheaper_than_rebuild(self):
+        p, _ = l2.build(50)
+        sw = ESwitch.from_pipeline(p)
+        inc = sw.apply_flow_mod(add(0, eth_dst=0xAA))
+        reb = sw.apply_flow_mod(add(0, priority=5, tcp_dst=80))  # fallback
+        assert inc < reb
+
+    def test_no_cache_invalidation_concept(self):
+        """ESWITCH has no flow cache: updates never flush datapath state
+        for other tables."""
+        p, fib = l3.build(30)
+        sw = ESwitch.from_pipeline(p)
+        before = sw.compiled_table(0).fn
+        sw.apply_flow_mod(add(0, priority=24, port=3, ipv4_dst="203.0.113.0/24"))
+        assert sw.compiled_table(0).fn is before

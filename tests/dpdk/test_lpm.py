@@ -1,0 +1,135 @@
+"""Tests for the DIR-24-8 LPM, including equivalence with a naive oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dpdk.lpm import Dir24_8Lpm, LpmFullError
+
+
+def naive_lpm(rules: dict, ip: int):
+    """Oracle: scan all rules, pick the longest matching prefix."""
+    best = None
+    best_depth = 0
+    for (prefix, depth), hop in rules.items():
+        mask = ((1 << depth) - 1) << (32 - depth)
+        if (ip & mask) == prefix and depth >= best_depth:
+            best, best_depth = hop, depth
+    return best
+
+
+class TestBasics:
+    def test_empty_lookup(self):
+        assert Dir24_8Lpm(max_tbl8_groups=2).lookup(0x01020304) is None
+
+    def test_short_prefix(self):
+        lpm = Dir24_8Lpm(max_tbl8_groups=2)
+        lpm.add(0x0A000000, 8, 1)
+        assert lpm.lookup(0x0A123456) == 1
+        assert lpm.lookup(0x0B000000) is None
+
+    def test_nested_prefixes(self):
+        lpm = Dir24_8Lpm(max_tbl8_groups=2)
+        lpm.add(0x0A000000, 8, 1)
+        lpm.add(0x0A010000, 16, 2)
+        lpm.add(0x0A010100, 24, 3)
+        assert lpm.lookup(0x0A020202) == 1
+        assert lpm.lookup(0x0A01FF00) == 2
+        assert lpm.lookup(0x0A010177) == 3
+
+    def test_deep_prefix_uses_tbl8(self):
+        lpm = Dir24_8Lpm(max_tbl8_groups=2)
+        lpm.add(0x0A010100, 24, 1)
+        lpm.add(0x0A010180, 25, 2)
+        assert lpm.lookup(0x0A010101) == 1
+        assert lpm.lookup(0x0A0101C0) == 2
+        # Deep lookup takes two memory accesses, shallow takes one.
+        _, lines = lpm.lookup_traced(0x0A0101C0)
+        assert len(lines) == 2
+        lpm2 = Dir24_8Lpm(max_tbl8_groups=2)
+        lpm2.add(0x0A010100, 24, 1)
+        _, lines = lpm2.lookup_traced(0x0A010101)
+        assert len(lines) == 1
+
+    def test_host_route(self):
+        lpm = Dir24_8Lpm(max_tbl8_groups=2)
+        lpm.add(0x0A010101, 32, 9)
+        assert lpm.lookup(0x0A010101) == 9
+        assert lpm.lookup(0x0A010102) is None
+
+    def test_update_same_prefix(self):
+        lpm = Dir24_8Lpm(max_tbl8_groups=2)
+        lpm.add(0x0A000000, 8, 1)
+        lpm.add(0x0A000000, 8, 7)
+        assert lpm.lookup(0x0A123456) == 7
+        assert len(lpm) == 1
+
+    def test_validation(self):
+        lpm = Dir24_8Lpm(max_tbl8_groups=1)
+        with pytest.raises(ValueError):
+            lpm.add(0, 0, 1)
+        with pytest.raises(ValueError):
+            lpm.add(0, 33, 1)
+        with pytest.raises(ValueError):
+            lpm.add(1 << 32, 8, 1)
+        with pytest.raises(ValueError):
+            lpm.add(0, 8, -1)
+
+    def test_tbl8_exhaustion(self):
+        lpm = Dir24_8Lpm(max_tbl8_groups=1)
+        lpm.add(0x0A010180, 25, 1)
+        with pytest.raises(LpmFullError):
+            lpm.add(0x0B010180, 25, 2)
+
+
+class TestDelete:
+    def test_delete_restores_parent(self):
+        lpm = Dir24_8Lpm(max_tbl8_groups=2)
+        lpm.add(0x0A000000, 8, 1)
+        lpm.add(0x0A010000, 16, 2)
+        assert lpm.delete(0x0A010000, 16)
+        assert lpm.lookup(0x0A010101) == 1
+
+    def test_delete_without_parent_invalidates(self):
+        lpm = Dir24_8Lpm(max_tbl8_groups=2)
+        lpm.add(0x0A010000, 16, 2)
+        assert lpm.delete(0x0A010000, 16)
+        assert lpm.lookup(0x0A010101) is None
+
+    def test_delete_missing(self):
+        assert not Dir24_8Lpm(max_tbl8_groups=2).delete(0x0A000000, 8)
+
+    def test_delete_deep_recycles_group(self):
+        lpm = Dir24_8Lpm(max_tbl8_groups=1)
+        lpm.add(0x0A010180, 25, 1)
+        assert lpm.delete(0x0A010180, 25)
+        # The group must be free again for another deep prefix.
+        lpm.add(0x0B010180, 25, 2)
+        assert lpm.lookup(0x0B0101C0) == 2
+
+
+class TestOracleEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_random_tables_match_oracle(self, seed):
+        rng = random.Random(seed)
+        lpm = Dir24_8Lpm(max_tbl8_groups=64)
+        rules: dict = {}
+        for _ in range(rng.randrange(1, 40)):
+            depth = rng.choice([8, 12, 16, 20, 24, 26, 28, 32])
+            prefix = rng.getrandbits(32) & (((1 << depth) - 1) << (32 - depth))
+            hop = rng.randrange(16)
+            lpm.add(prefix, depth, hop)
+            rules[(prefix, depth)] = hop
+        # Mix in some deletions.
+        for key in list(rules):
+            if rng.random() < 0.3:
+                lpm.delete(*key)
+                del rules[key]
+        probes = [rng.getrandbits(32) for _ in range(200)]
+        # Bias probes into rule ranges so hits actually occur.
+        for (prefix, depth), _hop in list(rules.items())[:20]:
+            probes.append(prefix | rng.getrandbits(32 - depth) if depth < 32 else prefix)
+        for ip in probes:
+            assert lpm.lookup(ip) == naive_lpm(rules, ip), f"ip={ip:#010x}"

@@ -1,0 +1,55 @@
+"""Tests for simulated ports and the l2fwd reference loop."""
+
+import pytest
+
+from repro.dpdk.l2fwd import L2FWD_CYCLES_PER_PKT, l2fwd, l2fwd_rate_pps
+from repro.dpdk.ports import Port, PortSet
+from repro.packet import PacketBuilder
+from repro.simcpu.platform import ATOM_C2750, XEON_E5_2620
+from repro.simcpu.recorder import CycleMeter
+
+
+class TestPorts:
+    def test_counters(self):
+        port = Port(1)
+        pkt = PacketBuilder().eth().build()
+        port.record_rx(pkt)
+        port.record_tx(pkt)
+        port.record_tx(pkt)
+        assert (port.rx_packets, port.tx_packets) == (1, 2)
+        assert port.tx_bytes == 128
+
+    def test_capture(self):
+        port = Port(1, capture=True)
+        pkt = PacketBuilder().eth().build()
+        port.record_tx(pkt)
+        assert port.captured == [pkt]
+
+    def test_portset_on_demand(self):
+        ports = PortSet()
+        ports.port(3).record_tx(PacketBuilder().eth().build())
+        ports.port(1).record_rx(PacketBuilder().eth().build())
+        assert len(ports) == 2
+        assert [p.port_no for p in ports] == [1, 3]
+        assert ports.total_tx() == 1 and ports.total_rx() == 1
+
+
+class TestL2fwd:
+    def test_port_pairing(self):
+        assert l2fwd(PacketBuilder(in_port=0).eth().build()) == 1
+        assert l2fwd(PacketBuilder(in_port=1).eth().build()) == 0
+        assert l2fwd(PacketBuilder(in_port=6).eth().build()) == 7
+
+    def test_cycles_constant(self):
+        meter = CycleMeter(XEON_E5_2620)
+        meter.begin_packet()
+        l2fwd(PacketBuilder(in_port=0).eth().build(), meter)
+        assert meter.end_packet() == pytest.approx(L2FWD_CYCLES_PER_PKT)
+
+    def test_rate_scales_with_frequency_and_cpi(self):
+        xeon = l2fwd_rate_pps(XEON_E5_2620)
+        atom = l2fwd_rate_pps(ATOM_C2750)
+        expected = (ATOM_C2750.freq_hz / XEON_E5_2620.freq_hz) * (
+            XEON_E5_2620.cycle_factor / ATOM_C2750.cycle_factor
+        )
+        assert atom / xeon == pytest.approx(expected)

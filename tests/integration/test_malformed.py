@@ -1,0 +1,95 @@
+"""Failure injection: malformed and hostile packets must never crash a
+datapath, and all three datapaths must agree on their fate."""
+
+import random
+
+import pytest
+
+from repro.core import ESwitch
+from repro.ovs import OvsSwitch
+from repro.packet import PacketBuilder
+from repro.packet.packet import Packet
+from repro.usecases import firewall, gateway
+
+
+def switches():
+    return (
+        ESwitch.from_pipeline(firewall.build_single_stage()),
+        OvsSwitch(firewall.build_single_stage()),
+        firewall.build_single_stage(),
+    )
+
+
+def agree(pkt):
+    es, ovs, ref = switches()
+    expected = ref.process(pkt.copy()).summary()
+    assert es.process(pkt.copy()).summary() == expected
+    assert ovs.process(pkt.copy()).summary() == expected
+    return expected
+
+
+class TestMalformedPackets:
+    def test_runt_frame(self):
+        agree(Packet(b"\x00" * 10, in_port=1))
+
+    def test_empty_frame(self):
+        agree(Packet(b"", in_port=1))
+
+    def test_truncated_ip_header(self):
+        full = PacketBuilder(in_port=1).eth().ipv4().tcp().build()
+        agree(Packet(bytes(full.data[:18]), in_port=1))
+
+    def test_truncated_l4(self):
+        full = PacketBuilder(in_port=1).eth().ipv4().tcp().build()
+        agree(Packet(bytes(full.data[:36]), in_port=1))
+
+    def test_bogus_ihl(self):
+        pkt = PacketBuilder(in_port=1).eth().ipv4().tcp().build()
+        pkt.data[14] = 0x4F  # ihl = 15 words = 60 bytes > frame remainder
+        agree(pkt)
+
+    def test_ipv6_version_nibble(self):
+        pkt = PacketBuilder(in_port=1).eth().ipv4().tcp().build()
+        pkt.data[14] = 0x60
+        agree(pkt)
+
+    def test_vlan_tag_without_payload(self):
+        raw = bytes.fromhex("02000000000202000000000181000064")  # eth + tag only
+        agree(Packet(raw, in_port=1))
+
+    def test_random_garbage_never_crashes(self):
+        rng = random.Random(5)
+        es, ovs, ref = switches()
+        for _ in range(200):
+            raw = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 80)))
+            pkt = Packet(raw, in_port=rng.choice([1, 2, 9]))
+            expected = ref.process(pkt.copy()).summary()
+            assert es.process(pkt.copy()).summary() == expected
+            assert ovs.process(pkt.copy()).summary() == expected
+
+    def test_bitflip_fuzzing(self):
+        """Flip every byte of a valid packet, one at a time."""
+        base = (PacketBuilder(in_port=firewall.EXTERNAL).eth()
+                .ipv4(dst=firewall.SERVER_IP).tcp(dst_port=80).build())
+        es, ovs, ref = switches()
+        for pos in range(len(base.data)):
+            pkt = base.copy()
+            pkt.data[pos] ^= 0xFF
+            expected = ref.process(pkt.copy()).summary()
+            assert es.process(pkt.copy()).summary() == expected, pos
+            assert ovs.process(pkt.copy()).summary() == expected, pos
+
+
+class TestHostileGatewayTraffic:
+    def test_garbage_into_complex_pipeline(self):
+        rng = random.Random(6)
+        p, _fib = gateway.build(n_ce=2, users_per_ce=2, n_prefixes=100)
+        es = ESwitch.from_pipeline(gateway.build(n_ce=2, users_per_ce=2,
+                                                 n_prefixes=100)[0])
+        ovs = OvsSwitch(gateway.build(n_ce=2, users_per_ce=2, n_prefixes=100)[0])
+        for _ in range(150):
+            raw = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 96)))
+            pkt = Packet(raw, in_port=rng.choice([1, 2]))
+            expected = p.process(pkt.copy()).summary()
+            assert es.process(pkt.copy()).summary() == expected
+            assert ovs.process(pkt.copy()).summary() == expected

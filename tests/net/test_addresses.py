@@ -1,0 +1,111 @@
+"""Tests for MAC/IPv4 address helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import (
+    EthAddr,
+    IPv4Addr,
+    int_to_ip,
+    int_to_mac,
+    ip_to_int,
+    mac_to_int,
+    mask_to_prefix,
+    prefix_to_mask,
+)
+
+
+class TestMacConversion:
+    def test_roundtrip_known(self):
+        assert mac_to_int("00:11:22:33:44:55") == 0x001122334455
+        assert int_to_mac(0x001122334455) == "00:11:22:33:44:55"
+
+    def test_dash_separator(self):
+        assert mac_to_int("aa-bb-cc-dd-ee-ff") == 0xAABBCCDDEEFF
+
+    def test_case_insensitive(self):
+        assert mac_to_int("AA:BB:CC:DD:EE:FF") == mac_to_int("aa:bb:cc:dd:ee:ff")
+
+    @pytest.mark.parametrize("bad", ["", "00:11:22:33:44", "zz:11:22:33:44:55", "001122334455"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            mac_to_int(bad)
+
+    def test_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            int_to_mac(1 << 48)
+
+    @given(st.integers(0, (1 << 48) - 1))
+    def test_roundtrip_property(self, value):
+        assert mac_to_int(int_to_mac(value)) == value
+
+
+class TestIpConversion:
+    def test_roundtrip_known(self):
+        assert ip_to_int("192.0.2.1") == 0xC0000201
+        assert int_to_ip(0xC0000201) == "192.0.2.1"
+
+    @pytest.mark.parametrize("bad", ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "01.2.3.4", "a.b.c.d"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_roundtrip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestPrefixMasks:
+    def test_known_masks(self):
+        assert prefix_to_mask(0) == 0
+        assert prefix_to_mask(24) == 0xFFFFFF00
+        assert prefix_to_mask(32) == 0xFFFFFFFF
+
+    def test_mask_to_prefix_roundtrip(self):
+        for plen in range(33):
+            assert mask_to_prefix(prefix_to_mask(plen)) == plen
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(ValueError):
+            mask_to_prefix(0xFF00FF00)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            prefix_to_mask(33)
+
+
+class TestEthAddr:
+    def test_from_string_and_int_equal(self):
+        assert EthAddr("00:00:00:00:00:01") == EthAddr(1)
+
+    def test_compare_with_int(self):
+        assert EthAddr(5) == 5
+
+    def test_hashable(self):
+        assert len({EthAddr(1), EthAddr(1), EthAddr(2)}) == 2
+
+    def test_broadcast_and_multicast(self):
+        assert EthAddr("ff:ff:ff:ff:ff:ff").is_broadcast
+        assert EthAddr("01:00:5e:00:00:01").is_multicast
+        assert not EthAddr("02:00:00:00:00:01").is_multicast
+
+    def test_packed(self):
+        assert EthAddr(1).packed() == b"\x00\x00\x00\x00\x00\x01"
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            EthAddr(1.5)  # type: ignore[arg-type]
+
+
+class TestIPv4Addr:
+    def test_in_prefix(self):
+        addr = IPv4Addr("192.0.2.77")
+        assert addr.in_prefix("192.0.2.0", 24)
+        assert not addr.in_prefix("192.0.3.0", 24)
+        assert addr.in_prefix("0.0.0.0", 0)
+
+    def test_str_repr(self):
+        assert str(IPv4Addr(0xC0000201)) == "192.0.2.1"
+
+    def test_packed(self):
+        assert IPv4Addr("1.2.3.4").packed() == b"\x01\x02\x03\x04"

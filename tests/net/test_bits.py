@@ -1,0 +1,79 @@
+"""Tests for bit-manipulation helpers (Fig. 3 bit conventions)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.bits import (
+    bit_at,
+    contiguous_prefix_mask,
+    first_set_bit,
+    highest_differing_bit,
+    lowest_differing_bit,
+    mask_for_bit,
+)
+
+
+class TestContiguousPrefixMask:
+    def test_known(self):
+        assert contiguous_prefix_mask(0, 8)
+        assert contiguous_prefix_mask(0b11110000, 8)
+        assert contiguous_prefix_mask(0xFF, 8)
+        assert not contiguous_prefix_mask(0b01110000, 8)
+        assert not contiguous_prefix_mask(0b10101010, 8)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            contiguous_prefix_mask(1 << 8, 8)
+
+    @given(st.integers(0, 32))
+    def test_all_prefix_masks_pass(self, plen):
+        mask = (((1 << 32) - 1) >> (32 - plen)) << (32 - plen) if plen else 0
+        assert contiguous_prefix_mask(mask, 32)
+
+
+class TestDifferingBits:
+    def test_fig3_convention(self):
+        # Position 1 = MSB. 191 = 10111111, 255 = 11111111: they differ
+        # only at position 2 — the proof bit of Fig. 3's seq 2.
+        assert lowest_differing_bit(191, 255, 8) == 2
+        assert highest_differing_bit(191, 255, 8) == 2
+        # 190 = 10111110 differs from 255 at positions 2 and 8.
+        assert lowest_differing_bit(190, 255, 8) == 8
+        assert highest_differing_bit(190, 255, 8) == 2
+
+    def test_equal_values(self):
+        assert lowest_differing_bit(7, 7, 8) is None
+        assert highest_differing_bit(7, 7, 8) is None
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_differing_bit_really_differs(self, a, b):
+        pos = lowest_differing_bit(a, b, 8)
+        if pos is None:
+            assert a == b
+        else:
+            assert bit_at(a, pos, 8) != bit_at(b, pos, 8)
+            # No lower-order bit differs.
+            for lower in range(pos + 1, 9):
+                assert bit_at(a, lower, 8) == bit_at(b, lower, 8)
+
+
+class TestBitAccess:
+    def test_bit_at(self):
+        assert bit_at(0b10000000, 1, 8) == 1
+        assert bit_at(0b10000000, 8, 8) == 0
+        assert bit_at(0b00000001, 8, 8) == 1
+
+    def test_mask_for_bit(self):
+        assert mask_for_bit(1, 8) == 0b10000000
+        assert mask_for_bit(8, 8) == 0b00000001
+
+    def test_position_bounds(self):
+        with pytest.raises(ValueError):
+            bit_at(0, 0, 8)
+        with pytest.raises(ValueError):
+            mask_for_bit(9, 8)
+
+    def test_first_set_bit(self):
+        assert first_set_bit(0, 8) is None
+        assert first_set_bit(0b10000000, 8) == 1
+        assert first_set_bit(0b00000001, 8) == 8

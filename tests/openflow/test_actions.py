@@ -1,0 +1,143 @@
+"""Tests for actions and action sets."""
+
+import pytest
+
+from repro.openflow.actions import (
+    ActionSet,
+    Controller,
+    DecTtl,
+    Drop,
+    Flood,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+    FLOOD_PORT,
+)
+from repro.openflow.fields import field_by_name
+from repro.openflow.pipeline import Verdict
+from repro.packet import PacketBuilder
+from repro.packet.parser import parse
+
+
+def apply_one(action, pkt):
+    view = parse(pkt)
+    verdict = Verdict()
+    action.apply(view, verdict)
+    return view, verdict
+
+
+class TestBasicActions:
+    def test_output(self):
+        _, v = apply_one(Output(3), PacketBuilder().eth().build())
+        assert v.output_ports == [3]
+
+    def test_flood(self):
+        _, v = apply_one(Flood(), PacketBuilder().eth().build())
+        assert v.output_ports == [FLOOD_PORT]
+
+    def test_drop(self):
+        _, v = apply_one(Drop(), PacketBuilder().eth().build())
+        assert v.dropped
+
+    def test_controller(self):
+        _, v = apply_one(Controller(), PacketBuilder().eth().build())
+        assert v.to_controller
+
+
+class TestSetField:
+    def test_rewrites_bytes(self):
+        pkt = PacketBuilder().eth().ipv4(dst="10.0.0.1").tcp().build()
+        view, _ = apply_one(SetField("ipv4_dst", 0x01020304), pkt)
+        assert field_by_name("ipv4_dst").extract(view) == 0x01020304
+
+    def test_absent_header_is_noop(self):
+        pkt = PacketBuilder().eth().build()  # no IPv4 header
+        before = bytes(pkt.data)
+        apply_one(SetField("ipv4_dst", 0x01020304), pkt)
+        assert bytes(pkt.data) == before
+
+    def test_rejects_unwritable_field(self):
+        with pytest.raises(ValueError):
+            SetField("eth_type", 0x0800)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SetField("tcp_dst", 1 << 16)
+
+
+class TestVlanOps:
+    def test_push_then_fields_visible(self):
+        pkt = PacketBuilder().eth().ipv4().tcp(dst_port=80).build()
+        view, v = apply_one(PushVlan(vid=55, pcp=3), pkt)
+        assert v.reparse_needed
+        view = parse(pkt)
+        assert field_by_name("vlan_vid").extract(view) == 55
+        assert field_by_name("vlan_pcp").extract(view) == 3
+        assert field_by_name("tcp_dst").extract(view) == 80  # shifted, still right
+
+    def test_pop_restores_original(self):
+        pkt = PacketBuilder().eth().vlan(vid=55).ipv4(dst="192.0.2.1").tcp().build()
+        apply_one(PopVlan(), pkt)
+        view = parse(pkt)
+        assert field_by_name("vlan_vid").extract(view) is None
+        assert field_by_name("ipv4_dst").extract(view) == 0xC0000201
+
+    def test_pop_untagged_is_noop(self):
+        pkt = PacketBuilder().eth().ipv4().build()
+        before = bytes(pkt.data)
+        apply_one(PopVlan(), pkt)
+        assert bytes(pkt.data) == before
+
+    def test_push_pop_roundtrip(self):
+        pkt = PacketBuilder().eth().ipv4().udp().build()
+        original = bytes(pkt.data)
+        apply_one(PushVlan(vid=1), pkt)
+        apply_one(PopVlan(), pkt)
+        assert bytes(pkt.data) == original
+
+
+class TestDecTtl:
+    def test_decrements(self):
+        pkt = PacketBuilder().eth().ipv4(ttl=5).tcp().build()
+        view, v = apply_one(DecTtl(), pkt)
+        assert pkt.data[14 + 8] == 4
+        assert not v.dropped
+
+    def test_expiry_drops(self):
+        pkt = PacketBuilder().eth().ipv4(ttl=1).tcp().build()
+        _, v = apply_one(DecTtl(), pkt)
+        assert v.dropped
+
+    def test_non_ip_noop(self):
+        pkt = PacketBuilder().eth().arp().build()
+        _, v = apply_one(DecTtl(), pkt)
+        assert not v.dropped
+
+
+class TestActionSet:
+    def test_interning_shares_objects(self):
+        a = ActionSet.intern([Output(1), Drop()])
+        b = ActionSet.intern([Output(1), Drop()])
+        assert a is b
+
+    def test_different_sets_distinct(self):
+        assert ActionSet.intern([Output(1)]) is not ActionSet.intern([Output(2)])
+
+    def test_is_drop(self):
+        assert ActionSet([]).is_drop
+        assert ActionSet([Drop()]).is_drop
+        assert not ActionSet([Output(1)]).is_drop
+
+    def test_apply_runs_in_order(self):
+        pkt = PacketBuilder().eth().ipv4().tcp().build()
+        view = parse(pkt)
+        verdict = Verdict()
+        ActionSet([SetField("ipv4_dst", 7), Output(2)]).apply(view, verdict)
+        assert verdict.output_ports == [2]
+        assert field_by_name("ipv4_dst").extract(view) == 7
+
+    def test_hashable_and_len(self):
+        s = ActionSet([Output(1), Output(2)])
+        assert len(s) == 2
+        assert hash(s) == hash(ActionSet([Output(1), Output(2)]))

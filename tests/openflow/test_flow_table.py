@@ -1,0 +1,139 @@
+"""Tests for flow tables: ordering, modification, lookup, tracing."""
+
+import pytest
+
+from repro.openflow.actions import Output
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable, TableMissPolicy
+from repro.openflow.match import Match
+from repro.packet import PacketBuilder
+from repro.packet.parser import parse
+
+
+def entry(prio, **match):
+    return FlowEntry(Match(**match), priority=prio, actions=[Output(prio)])
+
+
+class TestOrdering:
+    def test_priority_descending(self):
+        t = FlowTable(0)
+        t.add(entry(5, tcp_dst=80))
+        t.add(entry(50, tcp_dst=22))
+        t.add(entry(10, tcp_dst=443))
+        assert [e.priority for e in t.entries] == [50, 10, 5]
+
+    def test_stable_within_priority(self):
+        t = FlowTable(0)
+        first = entry(10, tcp_dst=80)
+        second = entry(10, tcp_dst=443)
+        t.add(first)
+        t.add(second)
+        assert t.entries == (first, second)
+
+    def test_same_rule_replaces(self):
+        t = FlowTable(0)
+        t.add(entry(10, tcp_dst=80))
+        replacement = FlowEntry(Match(tcp_dst=80), priority=10, actions=[Output(99)])
+        t.add(replacement)
+        assert len(t) == 1
+        assert t.entries[0] is replacement
+
+
+class TestModification:
+    def test_remove_by_match(self):
+        t = FlowTable(0)
+        t.add(entry(10, tcp_dst=80))
+        t.add(entry(20, tcp_dst=80))
+        assert t.remove(Match(tcp_dst=80)) == 2
+        assert len(t) == 0
+
+    def test_remove_with_priority(self):
+        t = FlowTable(0)
+        t.add(entry(10, tcp_dst=80))
+        t.add(entry(20, tcp_dst=80))
+        assert t.remove(Match(tcp_dst=80), priority=10) == 1
+        assert [e.priority for e in t.entries] == [20]
+
+    def test_remove_missing_returns_zero(self):
+        t = FlowTable(0)
+        assert t.remove(Match(tcp_dst=80)) == 0
+
+    def test_version_bumps_only_on_change(self):
+        t = FlowTable(0)
+        v0 = t.version
+        t.remove(Match(tcp_dst=80))
+        assert t.version == v0
+        t.add(entry(1, tcp_dst=80))
+        assert t.version == v0 + 1
+
+    def test_remove_if(self):
+        t = FlowTable(0)
+        for p in (1, 2, 3):
+            t.add(entry(p, tcp_dst=80 + p))
+        assert t.remove_if(lambda e: e.priority < 3) == 2
+
+    def test_clear(self):
+        t = FlowTable(0)
+        t.add(entry(1, tcp_dst=80))
+        t.clear()
+        assert len(t) == 0
+
+
+class TestLookup:
+    def pkt(self, dport=80):
+        return parse(PacketBuilder().eth().ipv4().tcp(dst_port=dport).build())
+
+    def test_highest_priority_wins(self):
+        t = FlowTable(0)
+        t.add(entry(10, tcp_dst=80))
+        t.add(entry(20))  # catch-all at higher priority
+        found = t.lookup(self.pkt())
+        assert found is not None and found.priority == 20
+
+    def test_probed_includes_non_matching(self):
+        t = FlowTable(0)
+        t.add(entry(30, tcp_dst=443))
+        t.add(entry(20, tcp_dst=80))
+        probed: list = []
+        found = t.lookup(self.pkt(80), probed)
+        assert found is not None and found.priority == 20
+        assert [e.priority for e in probed] == [30, 20]
+
+    def test_miss_probes_everything(self):
+        t = FlowTable(0)
+        t.add(entry(30, tcp_dst=443))
+        probed: list = []
+        assert t.lookup(self.pkt(80), probed) is None
+        assert len(probed) == 1
+
+    def test_lookup_key(self):
+        t = FlowTable(0)
+        t.add(entry(10, tcp_dst=80))
+        assert t.lookup_key({"tcp_dst": 80}) is not None
+        assert t.lookup_key({"tcp_dst": 22}) is None
+
+    def test_counters_untouched_by_lookup(self):
+        t = FlowTable(0)
+        e = entry(10, tcp_dst=80)
+        t.add(e)
+        t.lookup(self.pkt())
+        assert e.counters.packets == 0  # counting is the interpreter's job
+
+
+class TestMisc:
+    def test_matched_fields_sorted_union(self):
+        t = FlowTable(0)
+        t.add(entry(1, tcp_dst=80))
+        t.add(entry(2, ipv4_dst="10.0.0.0/8", in_port=1))
+        assert t.matched_fields() == ("in_port", "ipv4_dst", "tcp_dst")
+
+    def test_invalid_table_id(self):
+        with pytest.raises(ValueError):
+            FlowTable(-1)
+
+    def test_default_miss_policy(self):
+        assert FlowTable(0).miss_policy is TableMissPolicy.DROP
+
+    def test_priority_bounds(self):
+        with pytest.raises(ValueError):
+            FlowEntry(Match(), priority=70000)

@@ -1,0 +1,202 @@
+"""Tests for group tables across all three datapaths."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import ESwitch
+from repro.openflow.actions import Output, SetField
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable
+from repro.openflow.groups import (
+    Bucket,
+    Group,
+    GroupAction,
+    GroupError,
+    GroupTable,
+    GroupType,
+    flow_hash,
+)
+from repro.openflow.match import Match
+from repro.openflow.pipeline import Pipeline
+from repro.ovs import OvsSwitch
+from repro.packet import PacketBuilder
+
+
+def tcp_pkt(sport):
+    return (PacketBuilder(in_port=1).eth()
+            .ipv4(src="10.0.0.1", dst="192.0.2.1")
+            .tcp(src_port=sport, dst_port=80).build())
+
+
+def ecmp_pipeline(groups: GroupTable):
+    groups.add(Group(1, GroupType.SELECT,
+                     [Bucket([Output(1)]), Bucket([Output(2)]),
+                      Bucket([Output(3)])]))
+    t = FlowTable(0)
+    t.add(FlowEntry(Match(tcp_dst=80), priority=1,
+                    actions=[GroupAction(groups, 1)]))
+    t.add(FlowEntry(Match(), priority=0, actions=[]))
+    return Pipeline([t])
+
+
+class TestDefinitions:
+    def test_indirect_needs_single_bucket(self):
+        with pytest.raises(GroupError):
+            Group(1, GroupType.INDIRECT, [Bucket([Output(1)]), Bucket([Output(2)])])
+
+    def test_all_group_rejects_rewrites(self):
+        with pytest.raises(GroupError):
+            Group(1, GroupType.ALL, [Bucket([SetField("ipv4_dst", 1), Output(1)])])
+
+    def test_needs_buckets(self):
+        with pytest.raises(GroupError):
+            Group(1, GroupType.SELECT, [])
+
+    def test_bad_weight(self):
+        with pytest.raises(GroupError):
+            Bucket([Output(1)], weight=0)
+
+    def test_dangling_reference(self):
+        groups = GroupTable()
+        action = GroupAction(groups, 42)
+        from repro.openflow.pipeline import Verdict
+        from repro.packet.parser import parse
+
+        with pytest.raises(GroupError):
+            action.apply(parse(tcp_pkt(1)), Verdict())
+
+    def test_table_crud(self):
+        groups = GroupTable()
+        groups.add(Group(1, GroupType.INDIRECT, [Bucket([Output(1)])]))
+        assert 1 in groups and len(groups) == 1
+        assert groups.remove(1)
+        assert not groups.remove(1)
+
+
+class TestSelectSemantics:
+    def test_deterministic_per_flow(self):
+        groups = GroupTable()
+        pipeline = ecmp_pipeline(groups)
+        pkt = tcp_pkt(1234)
+        first = pipeline.process(pkt.copy()).output_ports
+        for _ in range(5):
+            assert pipeline.process(pkt.copy()).output_ports == first
+
+    def test_spreads_across_buckets(self):
+        groups = GroupTable()
+        pipeline = ecmp_pipeline(groups)
+        counts = Counter()
+        for sport in range(1024, 1624):
+            (port,) = pipeline.process(tcp_pkt(sport)).output_ports
+            counts[port] += 1
+        assert set(counts) == {1, 2, 3}
+        assert min(counts.values()) > 600 * 0.15  # no starved bucket
+
+    def test_weights_respected(self):
+        groups = GroupTable()
+        groups.add(Group(1, GroupType.SELECT,
+                         [Bucket([Output(1)], weight=9),
+                          Bucket([Output(2)], weight=1)]))
+        t = FlowTable(0)
+        t.add(FlowEntry(Match(), priority=1, actions=[GroupAction(groups, 1)]))
+        pipeline = Pipeline([t])
+        counts = Counter()
+        for sport in range(1024, 2024):
+            (port,) = pipeline.process(tcp_pkt(sport)).output_ports
+            counts[port] += 1
+        assert counts[1] > counts[2] * 4
+
+    def test_flow_hash_uses_l3_l4(self):
+        from repro.packet.parser import parse
+
+        a = flow_hash(parse(tcp_pkt(1000)))
+        b = flow_hash(parse(tcp_pkt(1001)))
+        assert a != b
+
+
+class TestAllAndIndirect:
+    def test_all_replicates(self):
+        groups = GroupTable()
+        groups.add(Group(7, GroupType.ALL,
+                         [Bucket([Output(1)]), Bucket([Output(2)]),
+                          Bucket([Output(3)])]))
+        t = FlowTable(0)
+        t.add(FlowEntry(Match(), priority=1, actions=[GroupAction(groups, 7)]))
+        verdict = Pipeline([t]).process(tcp_pkt(1))
+        assert sorted(verdict.output_ports) == [1, 2, 3]
+
+    def test_indirect_retargets_without_flow_mod(self):
+        groups = GroupTable()
+        groups.add(Group(5, GroupType.INDIRECT, [Bucket([Output(1)])]))
+        t = FlowTable(0)
+        t.add(FlowEntry(Match(), priority=1, actions=[GroupAction(groups, 5)]))
+        sw = ESwitch.from_pipeline(Pipeline([t]))
+        assert sw.process(tcp_pkt(1).copy()).output_ports == [1]
+        fn_before = sw.compiled_table(0).fn
+        # Re-point the group: no flow-mod, no recompile, new behavior.
+        groups.add(Group(5, GroupType.INDIRECT, [Bucket([Output(9)])]))
+        assert sw.process(tcp_pkt(1).copy()).output_ports == [9]
+        assert sw.compiled_table(0).fn is fn_before
+
+
+class TestAcrossDatapaths:
+    def test_differential_with_groups(self):
+        groups_es, groups_ovs, groups_ref = GroupTable(), GroupTable(), GroupTable()
+        es = ESwitch.from_pipeline(ecmp_pipeline(groups_es))
+        ovs = OvsSwitch(ecmp_pipeline(groups_ovs))
+        ref = ecmp_pipeline(groups_ref)
+        rng = random.Random(3)
+        for _ in range(120):
+            pkt = tcp_pkt(rng.randrange(1024, 60000))
+            expected = ref.process(pkt.copy()).summary()
+            assert es.process(pkt.copy()).summary() == expected
+            assert ovs.process(pkt.copy()).summary() == expected
+
+    def test_group_update_visible_through_ovs_cache(self):
+        groups = GroupTable()
+        ovs = OvsSwitch(ecmp_pipeline(groups))
+        pkt = tcp_pkt(5000)
+        first = ovs.process(pkt.copy()).output_ports
+        ovs.process(pkt.copy())  # now cached in the EMC
+        assert ovs.stats.microflow_hits >= 1
+        groups.add(Group(1, GroupType.SELECT, [Bucket([Output(42)])]))
+        # The cached action program resolves the group at replay time.
+        assert ovs.process(pkt.copy()).output_ports == [42]
+
+    def test_group_stats(self):
+        groups = GroupTable()
+        pipeline = ecmp_pipeline(groups)
+        for sport in range(100):
+            pipeline.process(tcp_pkt(1024 + sport))
+        assert groups.get(1).packets == 100
+
+
+class TestParserDepthRegression:
+    def test_l3_pipeline_with_select_group_parses_l4(self):
+        """Regression: an LPM-only pipeline pointing at a SELECT group must
+        still parse L4, or the bucket hash sees no port fields and
+        diverges from the reference interpreter."""
+        from repro.usecases.l3 import synthetic_fib
+        from repro.net.addresses import int_to_ip
+
+        groups = GroupTable()
+        groups.add(Group(1, GroupType.SELECT,
+                         [Bucket([Output(p)]) for p in (1, 2, 3)]))
+        rib = FlowTable(0)
+        for value, depth, _h in synthetic_fib(60, seed=5):
+            rib.add(FlowEntry(Match(ipv4_dst=f"{int_to_ip(value)}/{depth}"),
+                              priority=depth, actions=[GroupAction(groups, 1)]))
+        rib.add(FlowEntry(Match(), priority=0, actions=[]))
+        pipeline = Pipeline([rib])
+        sw = ESwitch.from_pipeline(pipeline)
+        assert sw.datapath.parser_layer == 4
+
+        from repro.usecases import l3
+
+        flows = l3.traffic(synthetic_fib(60, seed=5), 200)
+        for i in range(len(flows)):
+            pkt = flows[i]
+            assert (sw.process(pkt.copy()).summary()
+                    == pipeline.process(pkt.copy()).summary()), i

@@ -1,0 +1,138 @@
+"""Tests for Match: construction, evaluation, and relations."""
+
+import pytest
+from hypothesis import given
+
+import strategies as sts
+
+from repro.net.addresses import ip_to_int
+from repro.openflow.match import Match
+from repro.packet import PacketBuilder
+from repro.packet.parser import parse
+
+
+class TestConstruction:
+    def test_string_specs(self):
+        m = Match(ipv4_dst="192.0.2.0/24", eth_dst="02:00:00:00:00:01", tcp_dst=80)
+        assert m.mask_of("ipv4_dst") == 0xFFFFFF00
+        assert m.is_exact("tcp_dst")
+        assert m.value_of("eth_dst") == 0x020000000001
+
+    def test_value_canonicalized_under_mask(self):
+        a = Match(ipv4_dst=("192.0.2.77", 0xFFFFFF00))
+        b = Match(ipv4_dst=("192.0.2.0", 0xFFFFFF00))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_zero_mask_dropped(self):
+        assert Match(ipv4_dst=(123, 0)).is_catch_all
+
+    def test_unknown_field(self):
+        with pytest.raises(KeyError):
+            Match(no_such_field=1)
+
+    def test_unmaskable_field_rejects_mask(self):
+        with pytest.raises(ValueError):
+            Match(tcp_dst=(80, 0xFF00))
+
+    def test_value_out_of_range(self):
+        with pytest.raises(ValueError):
+            Match(tcp_dst=1 << 16)
+
+    def test_bad_prefix_length(self):
+        with pytest.raises(ValueError):
+            Match(ipv4_dst="10.0.0.0/33")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            Match(tcp_dst=True)
+
+    def test_from_pairs(self):
+        m = Match.from_pairs({"ipv4_src": (0x0A000000, 0xFF000000)})
+        assert m.prefix_len("ipv4_src") == 8
+
+
+class TestEvaluation:
+    def pkt(self, **kw):
+        return parse(PacketBuilder(in_port=kw.pop("in_port", 1)).eth()
+                     .ipv4(src=kw.pop("src", "10.0.0.1"), dst=kw.pop("dst", "192.0.2.1"))
+                     .tcp(dst_port=kw.pop("dport", 80)).build())
+
+    def test_exact_hit_and_miss(self):
+        m = Match(tcp_dst=80)
+        assert m.matches(self.pkt())
+        assert not m.matches(self.pkt(dport=443))
+
+    def test_masked_hit(self):
+        m = Match(ipv4_dst="192.0.2.0/24")
+        assert m.matches(self.pkt(dst="192.0.2.200"))
+        assert not m.matches(self.pkt(dst="192.0.3.1"))
+
+    def test_absent_header_never_matches(self):
+        m = Match(tcp_dst=80)
+        udp = parse(PacketBuilder().eth().ipv4().udp(dst_port=80).build())
+        assert not m.matches(udp)
+
+    def test_catch_all_matches_everything(self):
+        assert Match().matches(self.pkt())
+
+    def test_matches_key(self):
+        m = Match(ipv4_dst="192.0.2.0/24", tcp_dst=80)
+        assert m.matches_key({"ipv4_dst": ip_to_int("192.0.2.5"), "tcp_dst": 80})
+        assert not m.matches_key({"ipv4_dst": ip_to_int("192.0.2.5"), "tcp_dst": None})
+
+
+class TestRelations:
+    def test_covers(self):
+        broad = Match(ipv4_dst="10.0.0.0/8")
+        narrow = Match(ipv4_dst="10.1.0.0/16", tcp_dst=80)
+        assert broad.covers(narrow)
+        assert not narrow.covers(broad)
+
+    def test_catch_all_covers_all(self):
+        assert Match().covers(Match(tcp_dst=80))
+
+    def test_overlap_disjoint_values(self):
+        assert not Match(tcp_dst=80).overlaps(Match(tcp_dst=443))
+
+    def test_overlap_different_fields(self):
+        assert Match(tcp_dst=80).overlaps(Match(ipv4_dst="10.0.0.0/8"))
+
+    def test_without_and_extended(self):
+        m = Match(ipv4_dst="10.0.0.0/8", tcp_dst=80)
+        assert m.without("tcp_dst") == Match(ipv4_dst="10.0.0.0/8")
+        assert Match().extended("tcp_dst", 80) == Match(tcp_dst=80)
+
+    @given(sts.matches(), sts.matches())
+    def test_covers_implies_overlaps(self, a, b):
+        if a.covers(b):
+            assert a.overlaps(b)
+
+    @given(sts.matches(), sts.packets())
+    def test_covers_semantics(self, m, pkt):
+        # Anything a narrower match accepts, the covering match accepts.
+        view = parse(pkt)
+        narrower = m  # compare m with itself extended
+        if m.fields:
+            name = m.fields[0]
+            if m.matches(view):
+                assert m.covers(narrower)
+
+    @given(sts.matches(), sts.matches(), sts.packets())
+    def test_no_overlap_means_no_common_packet(self, a, b, pkt):
+        if not a.overlaps(b):
+            view = parse(pkt)
+            assert not (a.matches(view) and b.matches(view))
+
+
+class TestProtocolPrereqs:
+    def test_required_protos_union(self):
+        from repro.packet.parser import PROTO_IPV4, PROTO_TCP
+
+        m = Match(ipv4_dst="10.0.0.0/8", tcp_dst=80)
+        req = m.required_protos()
+        assert req & PROTO_IPV4 and req & PROTO_TCP
+
+    def test_repr_stable(self):
+        m = Match(tcp_dst=80, ipv4_dst="10.0.0.0/8")
+        assert "tcp_dst" in repr(m) and "ipv4_dst" in repr(m)

@@ -1,0 +1,44 @@
+"""Tests for OpenFlow channel messages."""
+
+from repro.openflow.actions import Output
+from repro.openflow.instructions import ApplyActions, GotoTable
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand, PacketIn, PacketOut
+from repro.packet import PacketBuilder
+
+
+class TestFlowMod:
+    def test_to_entry_carries_everything(self):
+        mod = FlowMod(
+            FlowModCommand.ADD,
+            table_id=3,
+            match=Match(tcp_dst=80),
+            priority=7,
+            instructions=(ApplyActions([Output(1)]), GotoTable(4)),
+            cookie=0xC0FFEE,
+        )
+        entry = mod.to_entry()
+        assert entry.priority == 7
+        assert entry.match == Match(tcp_dst=80)
+        assert entry.goto_table == 4
+        assert entry.cookie == 0xC0FFEE
+
+    def test_default_instructions_empty(self):
+        entry = FlowMod(FlowModCommand.ADD, 0, Match()).to_entry()
+        assert entry.instructions == ()
+
+    def test_commands(self):
+        assert FlowModCommand("delete") is FlowModCommand.DELETE
+
+
+class TestPacketMessages:
+    def test_packet_in_defaults(self):
+        pkt = PacketBuilder().eth().build()
+        msg = PacketIn(pkt=pkt, table_id=5)
+        assert msg.reason == "miss"
+        assert msg.pkt is pkt
+
+    def test_packet_out(self):
+        pkt = PacketBuilder().eth().build()
+        msg = PacketOut(pkt=pkt, out_port=3)
+        assert msg.out_port == 3

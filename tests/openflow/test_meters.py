@@ -1,0 +1,137 @@
+"""Tests for meters across all three datapaths."""
+
+import pytest
+
+from repro.core import ESwitch
+from repro.openflow.actions import Output
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable
+from repro.openflow.instructions import ApplyActions
+from repro.openflow.match import Match
+from repro.openflow.meters import (
+    Meter,
+    MeterError,
+    MeterInstruction,
+    MeterTable,
+    SimClock,
+)
+from repro.openflow.pipeline import Pipeline
+from repro.ovs import OvsSwitch
+from repro.packet import PacketBuilder
+
+
+def metered_pipeline(rate_pps=10.0, burst=10.0):
+    pipeline = Pipeline()
+    pipeline.meters.add(1, rate_pps=rate_pps, burst=burst)
+    t = FlowTable(0)
+    t.add(FlowEntry(
+        Match(tcp_dst=80), priority=10,
+        instructions=(MeterInstruction(pipeline.meters, 1),
+                      ApplyActions([Output(2)])),
+    ))
+    t.add(FlowEntry(Match(), priority=0, actions=[Output(9)]))
+    pipeline.add_table(t)
+    return pipeline
+
+
+def http_pkt():
+    return PacketBuilder(in_port=1).eth().ipv4().tcp(dst_port=80).build()
+
+
+class TestMeterMechanics:
+    def test_validation(self):
+        with pytest.raises(MeterError):
+            Meter(0, rate_pps=10)
+        with pytest.raises(MeterError):
+            Meter(1, rate_pps=0)
+        with pytest.raises(MeterError):
+            MeterTable().get(5)
+
+    def test_clock_monotone(self):
+        clock = SimClock()
+        clock.advance(5)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.set(1)
+
+    def test_burst_then_throttle(self):
+        clock = SimClock()
+        meter = Meter(1, rate_pps=10, burst=5, clock=clock)
+        assert sum(meter.allow() for _ in range(10)) == 5  # burst drained
+        clock.advance(1.0)  # refills 10, capped at burst 5
+        assert sum(meter.allow() for _ in range(10)) == 5
+        assert meter.stats.packets_dropped == 10
+
+    def test_steady_state_rate(self):
+        clock = SimClock()
+        meter = Meter(1, rate_pps=100, burst=1, clock=clock)
+        passed = 0
+        for _ in range(1000):  # one packet per ms for a second
+            clock.advance(0.001)
+            passed += meter.allow()
+        assert 95 <= passed <= 105  # ~100 pps enforced
+
+
+class TestDatapathEnforcement:
+    @pytest.mark.parametrize("kind", ["es", "ovs", "ref"])
+    def test_burst_enforced(self, kind):
+        pipeline = metered_pipeline(rate_pps=5, burst=10)
+        if kind == "es":
+            switch = ESwitch.from_pipeline(pipeline)
+        elif kind == "ovs":
+            switch = OvsSwitch(pipeline)
+        else:
+            switch = pipeline
+        forwarded = sum(
+            switch.process(http_pkt()).forwarded for _ in range(30)
+        )
+        assert forwarded == 10  # burst, then drops (clock frozen)
+        # Unmetered traffic is untouched.
+        other = PacketBuilder(in_port=1).eth().ipv4().tcp(dst_port=22).build()
+        assert switch.process(other).output_ports == [9]
+
+    def test_refill_resumes_forwarding(self):
+        pipeline = metered_pipeline(rate_pps=10, burst=2)
+        switch = ESwitch.from_pipeline(pipeline)
+        assert sum(switch.process(http_pkt()).forwarded for _ in range(5)) == 2
+        pipeline.clock.advance(1.0)
+        assert switch.process(http_pkt()).forwarded
+
+    def test_rate_update_takes_effect_everywhere(self):
+        """Re-adding a meter re-rates compiled and cached paths alike."""
+        pipeline = metered_pipeline(rate_pps=10, burst=1)
+        es = ESwitch.from_pipeline(pipeline)
+        assert es.process(http_pkt()).forwarded      # token spent
+        assert not es.process(http_pkt()).forwarded  # throttled
+        pipeline.meters.add(1, rate_pps=10, burst=1000)  # replace: big burst
+        assert es.process(http_pkt()).forwarded
+
+    def test_ovs_cached_path_enforces_meter(self):
+        pipeline = metered_pipeline(rate_pps=5, burst=3)
+        ovs = OvsSwitch(pipeline)
+        results = [ovs.process(http_pkt()).forwarded for _ in range(6)]
+        assert results == [True, True, True, False, False, False]
+        # The denials came from the cached path, not fresh upcalls —
+        # denial during an upcall is not cached, so exactly the first
+        # conforming packet plus one post-burst upcall... assert hits:
+        assert ovs.stats.microflow_hits + ovs.stats.megaflow_hits >= 2
+
+    def test_differential_under_metering(self):
+        es = ESwitch.from_pipeline(metered_pipeline(rate_pps=7, burst=4))
+        ovs = OvsSwitch(metered_pipeline(rate_pps=7, burst=4))
+        ref = metered_pipeline(rate_pps=7, burst=4)
+        for i in range(12):
+            a = es.process(http_pkt()).summary()
+            b = ovs.process(http_pkt()).summary()
+            c = ref.process(http_pkt()).summary()
+            assert a == b == c, i
+
+    def test_meter_stats(self):
+        pipeline = metered_pipeline(rate_pps=5, burst=2)
+        switch = ESwitch.from_pipeline(pipeline)
+        for _ in range(5):
+            switch.process(http_pkt())
+        stats = pipeline.meters.get(1).stats
+        assert stats.packets_in == 5
+        assert stats.packets_dropped == 3

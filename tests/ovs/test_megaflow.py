@@ -1,0 +1,193 @@
+"""Tests for megaflow generation — including the exact Fig. 3 anomaly."""
+
+from hypothesis import given, settings
+
+import strategies as sts
+
+from repro.openflow.actions import Output
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable
+from repro.openflow.match import Match
+from repro.openflow.pipeline import Pipeline
+from repro.ovs.flowkey import extract_key
+from repro.ovs.megaflow import (
+    MegaflowCache,
+    WildcardMode,
+    build_megaflow,
+    wildcards_from_trace,
+)
+from repro.packet import PacketBuilder
+from repro.packet.parser import parse
+
+
+def port_pkt(dport):
+    return PacketBuilder(in_port=1).eth().ipv4().tcp(dst_port=dport).build()
+
+
+def fig3_pipeline():
+    """One exact rule the trace packets all miss, plus a catch-all."""
+    t = FlowTable(0)
+    t.add(FlowEntry(Match(tcp_dst=255), priority=10, actions=[]))
+    t.add(FlowEntry(Match(), priority=0, actions=[Output(3)]))
+    return Pipeline([t])
+
+
+def replay(pipeline, ports, mode):
+    """Replay a port sequence, building megaflows like the OVS slow path."""
+    cache = MegaflowCache()
+    for port in ports:
+        pkt = port_pkt(port)
+        view = parse(pkt)
+        key = extract_key(view)
+        entry, _probed = cache.lookup(key)
+        if entry is not None:
+            continue  # covered by an earlier megaflow
+        verdict = pipeline.process(pkt.copy(), trace=True)
+        cache.insert(build_megaflow(verdict, key, mode))
+    return cache
+
+
+SEQ_1 = [190, 189, 187, 183, 175, 159, 191]
+SEQ_2 = [191, 190, 189, 187, 183, 175, 159]
+
+
+class TestFig3:
+    def test_seq1_yields_seven_entries(self):
+        cache = replay(fig3_pipeline(), SEQ_1, WildcardMode.BIT_TRACKING)
+        assert len(cache) == 7
+
+    def test_seq2_yields_one_entry(self):
+        cache = replay(fig3_pipeline(), SEQ_2, WildcardMode.BIT_TRACKING)
+        assert len(cache) == 1
+
+    def test_seq1_entries_pin_one_zero_bit_each(self):
+        """Fig. 3's caption: one megaflow per zero bit in positions 2–8."""
+        cache = replay(fig3_pipeline(), SEQ_1, WildcardMode.BIT_TRACKING)
+        masks = sorted(
+            mask for entry in cache.entries() for name, mask in entry.sig
+            if name == "tcp_dst"
+        )
+        # Single-bit masks at bit positions 2..8 (values 1,2,4,...,64).
+        assert masks == [1 << i for i in range(7)]
+
+    def test_seq2_entry_matches_at_position_2(self):
+        cache = replay(fig3_pipeline(), SEQ_2, WildcardMode.BIT_TRACKING)
+        (entry,) = cache.entries()
+        sig = dict(entry.sig)
+        assert sig["tcp_dst"] == 1 << 6  # position 2 of a 16-bit... 8-bit port space
+        # The masked key requires a zero at that position.
+        assert entry.masked_key[list(dict(entry.sig)).index("tcp_dst")] == 0
+
+    def test_field_mode_is_order_insensitive(self):
+        a = replay(fig3_pipeline(), SEQ_1, WildcardMode.FIELD)
+        b = replay(fig3_pipeline(), SEQ_2, WildcardMode.FIELD)
+        assert len(a) == 7 and len(b) == 7  # one exact entry per port
+
+
+class TestWildcardComputation:
+    def test_matched_entry_unwildcards_all_bits(self):
+        t = FlowTable(0)
+        t.add(FlowEntry(Match(tcp_dst=80), priority=1, actions=[Output(1)]))
+        p = Pipeline([t])
+        pkt = port_pkt(80)
+        verdict = p.process(pkt.copy(), trace=True)
+        key = extract_key(parse(pkt))
+        sig = dict(wildcards_from_trace(verdict, key, WildcardMode.BIT_TRACKING))
+        assert sig["tcp_dst"] == 0xFFFF
+
+    def test_prereq_fields_included(self):
+        t = FlowTable(0)
+        t.add(FlowEntry(Match(tcp_dst=80), priority=1, actions=[Output(1)]))
+        p = Pipeline([t])
+        pkt = port_pkt(80)
+        verdict = p.process(pkt.copy(), trace=True)
+        sig = dict(wildcards_from_trace(verdict, extract_key(parse(pkt))))
+        assert "eth_type" in sig and "ip_proto" in sig
+
+    def test_absent_header_proof(self):
+        # A UDP packet misses a TCP rule: the proof is the protocol itself.
+        t = FlowTable(0)
+        t.add(FlowEntry(Match(tcp_dst=80), priority=1, actions=[Output(1)]))
+        t.add(FlowEntry(Match(), priority=0, actions=[Output(2)]))
+        p = Pipeline([t])
+        pkt = PacketBuilder().eth().ipv4().udp().build()
+        verdict = p.process(pkt.copy(), trace=True)
+        sig = dict(
+            wildcards_from_trace(
+                verdict, extract_key(parse(pkt)), WildcardMode.BIT_TRACKING
+            )
+        )
+        assert sig.get("ip_proto") == 0xFF
+        assert "tcp_dst" not in sig
+
+
+class TestMegaflowConsistency:
+    """Megaflow caching must never change a packet's fate."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(sts.pipelines(), sts.packets(), sts.packets())
+    def test_cached_decision_matches_slow_path(self, pipeline, pkt_a, pkt_b):
+        cache = MegaflowCache()
+        for pkt in (pkt_a, pkt_b):
+            view = parse(pkt)
+            key = extract_key(view)
+            entry, _ = cache.lookup(key)
+            expected = pipeline.process(pkt.copy()).summary()
+            if entry is None:
+                verdict = pipeline.process(pkt.copy(), trace=True)
+                if verdict.to_controller:
+                    continue  # OVS does not cache controller punts
+                cache.insert(build_megaflow(verdict, key))
+                continue
+            # Replay the cached actions on a fresh copy of the packet.
+            from repro.openflow.pipeline import Verdict
+
+            replay_view = parse(pkt.copy())
+            v = Verdict()
+            for action in entry.actions:
+                action.apply(replay_view, v)
+                if v.reparse_needed:
+                    replay_view = parse(replay_view.pkt)
+                    v.reparse_needed = False
+            if entry.dropped:
+                v.dropped = True
+            assert v.summary() == expected
+
+
+class TestCacheMechanics:
+    def make_entry(self, port):
+        pkt = port_pkt(port)
+        verdict = fig3_pipeline().process(pkt.copy(), trace=True)
+        return build_megaflow(verdict, extract_key(parse(pkt)))
+
+    def test_capacity_eviction(self):
+        cache = MegaflowCache(capacity=3)
+        for port in (80, 81, 82, 83):
+            cache.insert(self.make_entry(port))
+        assert len(cache) == 3
+        assert cache.evictions == 1
+
+    def test_evicted_entries_marked_dead(self):
+        cache = MegaflowCache(capacity=1)
+        first = self.make_entry(80)
+        cache.insert(first)
+        cache.insert(self.make_entry(81))
+        assert first.dead
+
+    def test_invalidate_flushes_and_kills(self):
+        cache = MegaflowCache()
+        entry = self.make_entry(80)
+        cache.insert(entry)
+        cache.invalidate()
+        assert len(cache) == 0
+        assert entry.dead
+        assert cache.invalidations == 1
+
+    def test_hit_miss_counters(self):
+        cache = MegaflowCache()
+        pkt = port_pkt(80)
+        key = extract_key(parse(pkt))
+        assert cache.lookup(key)[0] is None
+        cache.insert(self.make_entry(80))
+        assert cache.lookup(key)[0] is not None
+        assert cache.hits == 1 and cache.misses == 1

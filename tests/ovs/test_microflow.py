@@ -1,0 +1,53 @@
+"""Tests for the microflow (EMC) cache."""
+
+import pytest
+
+from repro.ovs.megaflow import MegaflowEntry
+from repro.ovs.microflow import MicroflowCache
+
+
+def mf(sig=(("tcp_dst", 0xFFFF),), key=(80,)):
+    return MegaflowEntry(sig=sig, masked_key=key, actions=(), dropped=False)
+
+
+class TestMicroflowCache:
+    def test_miss_then_hit(self):
+        c = MicroflowCache(capacity=4)
+        assert c.lookup("k") is None
+        entry = mf()
+        c.insert("k", entry)
+        assert c.lookup("k") is entry
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_lru_eviction(self):
+        c = MicroflowCache(capacity=2)
+        c.insert("a", mf())
+        c.insert("b", mf())
+        c.lookup("a")  # refresh a
+        c.insert("c", mf())  # evicts b
+        assert c.lookup("b") is None
+        assert c.lookup("a") is not None
+        assert c.evictions == 1
+
+    def test_dead_megaflow_lazily_dropped(self):
+        c = MicroflowCache(capacity=4)
+        entry = mf()
+        c.insert("k", entry)
+        entry.dead = True
+        assert c.lookup("k") is None
+        assert len(c) == 0
+
+    def test_invalidate(self):
+        c = MicroflowCache(capacity=4)
+        c.insert("k", mf())
+        c.invalidate()
+        assert len(c) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MicroflowCache(capacity=0)
+
+    def test_slot_stability(self):
+        c = MicroflowCache(capacity=128)
+        assert c.slot_of("x") == c.slot_of("x")
+        assert 0 <= c.slot_of("x") < 128

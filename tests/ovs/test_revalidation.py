@@ -1,0 +1,84 @@
+"""Tests for the partial-invalidation (revalidation) mode."""
+
+import pytest
+
+from repro.openflow.actions import Output
+from repro.openflow.instructions import ApplyActions
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.ovs import OvsSwitch
+from repro.packet import PacketBuilder
+from repro.usecases import firewall, l3
+
+
+def http_pkt(src="198.51.100.9"):
+    return (PacketBuilder(in_port=firewall.EXTERNAL).eth()
+            .ipv4(src=src, dst=firewall.SERVER_IP).tcp(dst_port=80).build())
+
+
+class TestRevalidateMode:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            OvsSwitch(firewall.build_single_stage(), invalidation="bogus")
+
+    def test_unrelated_update_keeps_cache(self):
+        sw = OvsSwitch(firewall.build_single_stage(), invalidation="revalidate")
+        sw.process(http_pkt())
+        assert len(sw.megaflow) == 1
+        # A rule for a totally different destination does not overlap.
+        sw.apply_flow_mod(
+            FlowMod(FlowModCommand.ADD, 0, Match(ipv4_dst="203.0.113.7"),
+                    priority=25, instructions=(ApplyActions([Output(9)]),))
+        )
+        assert len(sw.megaflow) == 1
+        sw.process(http_pkt())
+        assert sw.stats.microflow_hits == 1  # still cached
+
+    def test_overlapping_update_kills_entry(self):
+        sw = OvsSwitch(firewall.build_single_stage(), invalidation="revalidate")
+        sw.process(http_pkt())
+        sw.apply_flow_mod(
+            FlowMod(
+                FlowModCommand.ADD, 0,
+                Match(ipv4_dst=firewall.SERVER_IP, tcp_dst=80),
+                priority=40,  # outranks the old rule: behavior changes
+                instructions=(ApplyActions([Output(7)]),),
+            )
+        )
+        assert len(sw.megaflow) == 0
+        # The next packet relearns the new behavior.
+        assert sw.process(http_pkt()).output_ports == [7]
+
+    def test_full_mode_still_flushes_everything(self):
+        sw = OvsSwitch(firewall.build_single_stage(), invalidation="full")
+        sw.process(http_pkt())
+        sw.apply_flow_mod(
+            FlowMod(FlowModCommand.ADD, 0, Match(ipv4_dst="203.0.113.7"),
+                    priority=25, instructions=(ApplyActions([Output(9)]),))
+        )
+        assert len(sw.megaflow) == 0
+
+    def test_revalidation_correctness_under_route_churn(self):
+        """Partial invalidation must never serve stale decisions."""
+        p, fib = l3.build(60)
+        sw = OvsSwitch(l3.build(60)[0], invalidation="revalidate")
+        flows = l3.traffic(fib, 20)
+        for i in range(20):
+            sw.process(flows[i].copy())
+        # Install a more specific route shadowing one flow's prefix.
+        value, depth, _port = fib[0]
+        from repro.net.addresses import int_to_ip
+
+        new_depth = min(depth + 4, 32)
+        mod = FlowMod(
+            FlowModCommand.ADD, 0,
+            Match(ipv4_dst=f"{int_to_ip(value)}/{new_depth}"),
+            priority=new_depth,
+            instructions=(ApplyActions([Output(15)]),),
+        )
+        sw.apply_flow_mod(mod)
+        p.table(0).add(mod.to_entry())  # mirror into the oracle pipeline
+        for i in range(20):
+            pkt = flows[i]
+            assert (sw.process(pkt.copy()).summary()
+                    == p.process(pkt.copy()).summary()), i

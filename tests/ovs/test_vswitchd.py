@@ -1,0 +1,106 @@
+"""Tests for the vswitchd slow path: traversal, megaflow output, NAT."""
+
+from hypothesis import given, settings
+
+import strategies as sts
+
+from repro.openflow.flow_table import TableMissPolicy
+from repro.ovs.vswitchd import Vswitchd
+from repro.packet import PacketBuilder
+from repro.usecases import firewall, gateway
+
+
+class TestTraversal:
+    def test_agrees_with_reference_interpreter(self):
+        vsw = Vswitchd(firewall.build_single_stage())
+        reference = firewall.build_single_stage()
+        pkt = (PacketBuilder(in_port=2).eth().ipv4(dst=firewall.SERVER_IP)
+               .tcp(dst_port=80).build())
+        result = vsw.upcall(pkt.copy())
+        assert result.verdict.summary() == reference.process(pkt.copy()).summary()
+
+    @settings(max_examples=60, deadline=None)
+    @given(sts.pipelines(), sts.packets())
+    def test_differential_vs_interpreter(self, pipeline, pkt):
+        vsw = Vswitchd(pipeline)
+        expected = pipeline.process(pkt.copy()).summary()
+        result = vsw.upcall(pkt.copy())
+        assert result.verdict.summary() == expected
+
+    def test_multi_stage_visits_tables(self):
+        vsw = Vswitchd(firewall.build_multi_stage())
+        pkt = (PacketBuilder(in_port=1).eth().ipv4(dst=firewall.SERVER_IP)
+               .tcp(dst_port=80).build())
+        result = vsw.upcall(pkt)
+        assert result.tables_visited == 2
+
+
+class TestMegaflowGeneration:
+    def test_megaflow_keyed_on_ingress_values(self):
+        """NAT rewrites ipv4_src mid-pipeline; the megaflow must still be
+        keyed on the *pre-NAT* source address."""
+        pipeline, fib = gateway.build(n_ce=2, users_per_ce=2, n_prefixes=50)
+        vsw = Vswitchd(pipeline)
+        flows = gateway.traffic(fib, 4, n_ce=2, users_per_ce=2)
+        pkt = flows[0].copy()
+        result = vsw.upcall(pkt)
+        assert result.megaflow is not None
+        sig = dict(result.megaflow.sig)
+        assert "ipv4_src" in sig
+        index = list(dict(result.megaflow.sig)).index("ipv4_src")
+        private = gateway.private_ip(0, 0)
+        assert result.megaflow.masked_key[index] == private & sig["ipv4_src"]
+
+    def test_controller_punt_not_cacheable(self):
+        pipeline, fib = gateway.build(
+            n_ce=1, users_per_ce=1, n_prefixes=20, provision_users=False
+        )
+        vsw = Vswitchd(pipeline)
+        pkt = gateway.traffic(fib, 1, n_ce=1, users_per_ce=1)[0]
+        result = vsw.upcall(pkt.copy())
+        assert result.verdict.to_controller
+        assert result.megaflow is None
+
+    def test_drop_miss_is_cacheable(self):
+        from repro.openflow.actions import Output
+        from repro.openflow.flow_entry import FlowEntry
+        from repro.openflow.flow_table import FlowTable
+        from repro.openflow.match import Match
+        from repro.openflow.pipeline import Pipeline
+
+        table = FlowTable(0, miss_policy=TableMissPolicy.DROP)
+        table.add(FlowEntry(Match(tcp_dst=443), priority=1, actions=[Output(1)]))
+        vsw = Vswitchd(Pipeline([table]))
+        pkt = PacketBuilder(in_port=9).eth().ipv4().tcp(dst_port=80).build()
+        result = vsw.upcall(pkt)
+        assert result.verdict.dropped and result.verdict.table_miss
+        assert result.megaflow is not None
+        assert result.megaflow.dropped
+
+    def test_probed_subtable_masks_folded_in(self):
+        vsw = Vswitchd(firewall.build_single_stage())
+        # An inbound HTTP packet probes the in_port=INTERNAL rule (misses),
+        # then matches the full firewall rule: the megaflow mask must
+        # include all of that rule's fields.
+        pkt = (PacketBuilder(in_port=firewall.EXTERNAL).eth()
+               .ipv4(dst=firewall.SERVER_IP).tcp(dst_port=80).build())
+        result = vsw.upcall(pkt)
+        sig = dict(result.megaflow.sig)
+        for name in ("in_port", "ipv4_dst", "tcp_dst"):
+            assert name in sig
+
+    def test_upcall_counter(self):
+        vsw = Vswitchd(firewall.build_single_stage())
+        pkt = PacketBuilder(in_port=1).eth().ipv4().tcp().build()
+        vsw.upcall(pkt.copy())
+        vsw.upcall(pkt.copy())
+        assert vsw.upcalls == 2
+
+
+class TestSubtableAccounting:
+    def test_subtable_count_for_lpm_table(self):
+        pipeline, _fib = gateway.build(n_ce=1, users_per_ce=1, n_prefixes=500)
+        vsw = Vswitchd(pipeline)
+        # One subtable per distinct prefix length (plus the catch-all).
+        assert vsw.subtable_count(gateway.ROUTING_TABLE) <= 33
+        assert vsw.subtable_count(gateway.ROUTING_TABLE) >= 5

@@ -1,0 +1,82 @@
+"""Tests for the fluent packet builder."""
+
+from repro.net.addresses import ip_to_int, mac_to_int
+from repro.packet import PacketBuilder, headers as hdr
+from repro.packet.parser import parse
+from repro.openflow.fields import field_by_name
+
+
+def field(view, name):
+    return field_by_name(name).extract(view)
+
+
+class TestBuilder:
+    def test_minimum_frame_padding(self):
+        pkt = PacketBuilder().eth().build()
+        assert len(pkt) == 64
+
+    def test_custom_padding(self):
+        pkt = PacketBuilder(pad_to=128).eth().ipv4().build()
+        assert len(pkt) == 128
+
+    def test_in_port(self):
+        assert PacketBuilder(in_port=7).eth().build().in_port == 7
+
+    def test_fields_land_where_expected(self):
+        pkt = (
+            PacketBuilder()
+            .eth(src="02:00:00:00:00:0a", dst="02:00:00:00:00:0b")
+            .ipv4(src="10.1.2.3", dst="192.0.2.9", ttl=17, dscp=3)
+            .tcp(src_port=4444, dst_port=80)
+            .build()
+        )
+        view = parse(pkt)
+        assert field(view, "eth_src") == mac_to_int("02:00:00:00:00:0a")
+        assert field(view, "eth_dst") == mac_to_int("02:00:00:00:00:0b")
+        assert field(view, "eth_type") == hdr.ETH_TYPE_IPV4
+        assert field(view, "ipv4_src") == ip_to_int("10.1.2.3")
+        assert field(view, "ipv4_dst") == ip_to_int("192.0.2.9")
+        assert field(view, "ip_dscp") == 3
+        assert field(view, "tcp_src") == 4444
+        assert field(view, "tcp_dst") == 80
+
+    def test_vlan_tagging_fixes_ethertypes(self):
+        pkt = PacketBuilder().eth().vlan(vid=42, pcp=6).ipv4().udp(dst_port=53).build()
+        view = parse(pkt)
+        assert field(view, "vlan_vid") == 42
+        assert field(view, "vlan_pcp") == 6
+        # The *effective* eth_type skips the tag per the OF spec.
+        assert field(view, "eth_type") == hdr.ETH_TYPE_IPV4
+        assert field(view, "udp_dst") == 53
+
+    def test_arp_packet(self):
+        pkt = PacketBuilder().eth().arp(op=2, spa="10.0.0.1", tpa="10.0.0.2").build()
+        view = parse(pkt)
+        assert field(view, "eth_type") == hdr.ETH_TYPE_ARP
+        assert field(view, "arp_op") == 2
+        assert field(view, "arp_spa") == ip_to_int("10.0.0.1")
+        assert field(view, "arp_tpa") == ip_to_int("10.0.0.2")
+
+    def test_proto_autoset_from_l4(self):
+        view = parse(PacketBuilder().eth().ipv4().udp().build())
+        assert field(view, "ip_proto") == hdr.IP_PROTO_UDP
+        view = parse(PacketBuilder().eth().ipv4().icmp().build())
+        assert field(view, "ip_proto") == hdr.IP_PROTO_ICMP
+
+    def test_headers_stack_roundtrip(self):
+        pkt = PacketBuilder().eth().vlan(vid=5).ipv4().tcp().build()
+        stack = pkt.headers()
+        kinds = [type(h).__name__ for h in stack]
+        assert kinds == ["Ethernet", "Vlan", "IPv4", "TCP"]
+
+    def test_payload(self):
+        pkt = PacketBuilder().eth().ipv4().udp().payload(b"hello").build()
+        assert b"hello" in bytes(pkt.data)
+
+    def test_copy_is_independent(self):
+        pkt = PacketBuilder(in_port=3).eth().ipv4().tcp().build()
+        clone = pkt.copy()
+        clone.data[0] = 0xFF
+        clone.in_port = 9
+        assert pkt.data[0] != 0xFF
+        assert pkt.in_port == 3

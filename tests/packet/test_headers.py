@@ -1,0 +1,112 @@
+"""Pack/unpack round-trips for every header class."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.checksum import verify_checksum
+from repro.packet import headers as hdr
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        eth = hdr.Ethernet(dst=0x0200AB, src=0x0300CD, ethertype=0x0800)
+        packed = eth.pack()
+        assert len(packed) == hdr.ETH_HEADER_LEN
+        parsed, offset = hdr.Ethernet.unpack(packed)
+        assert parsed == eth
+        assert offset == 14
+
+    def test_truncated(self):
+        with pytest.raises(hdr.HeaderError):
+            hdr.Ethernet.unpack(b"\x00" * 10)
+
+    @given(st.integers(0, (1 << 48) - 1), st.integers(0, (1 << 48) - 1),
+           st.integers(0, 0xFFFF))
+    def test_roundtrip_property(self, dst, src, ethertype):
+        eth = hdr.Ethernet(dst=dst, src=src, ethertype=ethertype)
+        parsed, _ = hdr.Ethernet.unpack(eth.pack())
+        assert parsed == eth
+
+
+class TestVlan:
+    def test_roundtrip(self):
+        tag = hdr.Vlan(vid=123, pcp=5, dei=1, ethertype=0x0806)
+        parsed, offset = hdr.Vlan.unpack(tag.pack(), 0)
+        assert parsed == tag
+        assert offset == hdr.VLAN_TAG_LEN
+
+    @given(st.integers(0, 0xFFF), st.integers(0, 7))
+    def test_vid_pcp_preserved(self, vid, pcp):
+        parsed, _ = hdr.Vlan.unpack(hdr.Vlan(vid=vid, pcp=pcp).pack(), 0)
+        assert (parsed.vid, parsed.pcp) == (vid, pcp)
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        ip = hdr.IPv4(src=0x0A000001, dst=0xC0000201, proto=6, ttl=63,
+                      dscp=10, ecn=1, ident=777, total_length=40)
+        parsed, offset = hdr.IPv4.unpack(ip.pack(), 0)
+        assert offset == 20
+        for attr in ("src", "dst", "proto", "ttl", "dscp", "ecn", "ident", "total_length"):
+            assert getattr(parsed, attr) == getattr(ip, attr)
+
+    def test_checksum_valid(self):
+        assert verify_checksum(hdr.IPv4(src=1, dst=2).pack())
+
+    def test_rejects_ipv6_version(self):
+        data = bytearray(hdr.IPv4().pack())
+        data[0] = 0x60
+        with pytest.raises(hdr.HeaderError):
+            hdr.IPv4.unpack(bytes(data), 0)
+
+    def test_rejects_short_ihl(self):
+        data = bytearray(hdr.IPv4().pack())
+        data[0] = 0x44  # ihl = 4 words = 16 bytes < minimum
+        with pytest.raises(hdr.HeaderError):
+            hdr.IPv4.unpack(bytes(data), 0)
+
+    def test_options_respected(self):
+        ip = hdr.IPv4(header_len=24)
+        data = ip.pack() + b"\x00" * 4
+        _parsed, offset = hdr.IPv4.unpack(data + b"\x00" * 4, 0)
+        assert offset == 24
+
+
+class TestTcpUdpIcmp:
+    def test_tcp_roundtrip(self):
+        tcp = hdr.TCP(src_port=1234, dst_port=80, seq=99, ack=100, flags=0x18,
+                      window=1024)
+        parsed, offset = hdr.TCP.unpack(tcp.pack(), 0)
+        assert offset == 20
+        assert (parsed.src_port, parsed.dst_port, parsed.seq, parsed.ack,
+                parsed.flags, parsed.window) == (1234, 80, 99, 100, 0x18, 1024)
+
+    def test_tcp_bad_offset(self):
+        data = bytearray(hdr.TCP().pack())
+        data[12] = 0x10  # data offset = 1 word
+        with pytest.raises(hdr.HeaderError):
+            hdr.TCP.unpack(bytes(data), 0)
+
+    def test_udp_roundtrip(self):
+        udp = hdr.UDP(src_port=53, dst_port=5353, length=12)
+        parsed, offset = hdr.UDP.unpack(udp.pack(), 0)
+        assert offset == 8
+        assert (parsed.src_port, parsed.dst_port, parsed.length) == (53, 5353, 12)
+
+    def test_icmp_roundtrip(self):
+        parsed, _ = hdr.ICMP.unpack(hdr.ICMP(type=3, code=1).pack(), 0)
+        assert (parsed.type, parsed.code) == (3, 1)
+
+
+class TestArp:
+    def test_roundtrip(self):
+        arp = hdr.ARP(op=2, sha=0xAA, spa=0x0A000001, tha=0xBB, tpa=0x0A000002)
+        parsed, offset = hdr.ARP.unpack(arp.pack(), 0)
+        assert offset == hdr.ARP_IPV4_LEN
+        assert parsed == arp
+
+    def test_rejects_non_eth_ipv4(self):
+        data = bytearray(hdr.ARP().pack())
+        data[1] = 99  # wrong htype
+        with pytest.raises(hdr.HeaderError):
+            hdr.ARP.unpack(bytes(data), 0)

@@ -1,0 +1,166 @@
+"""Tests for IPv6 parsing, fields, and matching."""
+
+import ipaddress
+
+import pytest
+
+from repro.openflow.fields import field_by_name
+from repro.openflow.match import Match
+from repro.packet import PacketBuilder, headers as hdr
+from repro.packet.packet import Packet
+from repro.packet.parser import (
+    PROTO_ICMP6,
+    PROTO_IPV6,
+    PROTO_TCP,
+    PROTO_UDP,
+    parse,
+)
+
+V6_SRC = int(ipaddress.IPv6Address("2001:db8::1"))
+V6_DST = int(ipaddress.IPv6Address("2001:db8::2"))
+
+
+def v6_tcp(dport=80, **kw):
+    return PacketBuilder().eth().ipv6(**kw).tcp(dst_port=dport).build()
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        ip6 = hdr.IPv6(src=V6_SRC, dst=V6_DST, next_header=6, hop_limit=63,
+                       traffic_class=0x2C, flow_label=0x12345, payload_length=20)
+        parsed, offset = hdr.IPv6.unpack(ip6.pack(), 0)
+        assert offset == 40
+        assert parsed == ip6
+
+    def test_rejects_v4(self):
+        data = bytearray(hdr.IPv6().pack())
+        data[0] = 0x45
+        with pytest.raises(hdr.HeaderError):
+            hdr.IPv6.unpack(bytes(data), 0)
+
+    def test_truncated(self):
+        with pytest.raises(hdr.HeaderError):
+            hdr.IPv6.unpack(b"\x60" + b"\x00" * 20, 0)
+
+    def test_icmpv6_roundtrip(self):
+        parsed, _ = hdr.ICMPv6.unpack(hdr.ICMPv6(type=135, code=0).pack(), 0)
+        assert parsed.type == 135
+
+
+class TestParsing:
+    def test_tcp_over_v6(self):
+        view = parse(v6_tcp())
+        assert view.has(PROTO_IPV6) and view.has(PROTO_TCP)
+        assert view.l3 == 14 and view.l4 == 54
+        assert view.l4_proto == hdr.IP_PROTO_TCP
+
+    def test_udp_over_v6(self):
+        view = parse(PacketBuilder().eth().ipv6().udp(dst_port=53).build())
+        assert view.has(PROTO_UDP)
+
+    def test_icmpv6(self):
+        view = parse(PacketBuilder().eth().ipv6().icmpv6(type=135).build())
+        assert view.has(PROTO_ICMP6)
+        assert view.l4_proto == hdr.IP_PROTO_ICMPV6
+
+    def test_vlan_plus_v6(self):
+        view = parse(PacketBuilder().eth().vlan(vid=7).ipv6().tcp().build())
+        assert view.has(PROTO_IPV6) and view.has(PROTO_TCP)
+        assert view.l3 == 18
+
+    def test_extension_header_chain(self):
+        # eth + v6(next=hop-by-hop) + hbh(next=tcp, len 0 -> 8 bytes) + tcp
+        ip6 = hdr.IPv6(src=V6_SRC, dst=V6_DST, next_header=0, payload_length=28)
+        hbh = bytes([hdr.IP_PROTO_TCP, 0]) + b"\x00" * 6
+        raw = (hdr.Ethernet(ethertype=hdr.ETH_TYPE_IPV6).pack() + ip6.pack()
+               + hbh + hdr.TCP(dst_port=443).pack())
+        view = parse(Packet(raw))
+        assert view.has(PROTO_TCP)
+        assert view.l4 == 14 + 40 + 8
+        assert view.l4_proto == hdr.IP_PROTO_TCP
+        assert field_by_name("tcp_dst").extract(view) == 443
+
+    def test_v6_fragment_has_no_l4(self):
+        ip6 = hdr.IPv6(src=V6_SRC, dst=V6_DST, next_header=44, payload_length=28)
+        frag = bytes([hdr.IP_PROTO_TCP, 0, 0x01, 0x00, 0, 0, 0, 1])  # offset != 0
+        raw = (hdr.Ethernet(ethertype=hdr.ETH_TYPE_IPV6).pack() + ip6.pack()
+               + frag + hdr.TCP().pack())
+        view = parse(Packet(raw))
+        assert view.has(PROTO_IPV6) and not view.has(PROTO_TCP)
+        assert view.l4 == -1
+
+    def test_truncated_extension_chain(self):
+        ip6 = hdr.IPv6(next_header=0, payload_length=4)
+        raw = hdr.Ethernet(ethertype=hdr.ETH_TYPE_IPV6).pack() + ip6.pack() + b"\x06"
+        view = parse(Packet(raw, pad_to=0) if False else Packet(raw))
+        assert view.has(PROTO_IPV6)
+        assert not view.has(PROTO_TCP)
+
+
+class TestFields:
+    def test_v6_addresses(self):
+        view = parse(v6_tcp(src="2001:db8::aa", dst="2001:db8::bb"))
+        assert field_by_name("ipv6_src").extract(view) == int(
+            ipaddress.IPv6Address("2001:db8::aa")
+        )
+        assert field_by_name("ipv6_dst").extract(view) == int(
+            ipaddress.IPv6Address("2001:db8::bb")
+        )
+        assert field_by_name("ipv4_dst").extract(view) is None
+
+    def test_flow_label_and_tc(self):
+        view = parse(v6_tcp(traffic_class=0xAD, flow_label=0x9BEEF))
+        assert field_by_name("ipv6_flabel").extract(view) == 0x9BEEF
+        assert field_by_name("ip_dscp").extract(view) == 0xAD >> 2
+        assert field_by_name("ip_ecn").extract(view) == 0xAD & 3
+
+    def test_ip_proto_dual_family(self):
+        v6 = parse(v6_tcp())
+        v4 = parse(PacketBuilder().eth().ipv4().udp().build())
+        assert field_by_name("ip_proto").extract(v6) == 6
+        assert field_by_name("ip_proto").extract(v4) == 17
+
+    def test_l4_ports_over_v6(self):
+        view = parse(PacketBuilder().eth().ipv6().tcp(src_port=1234,
+                                                      dst_port=80).build())
+        assert field_by_name("tcp_src").extract(view) == 1234
+        assert field_by_name("tcp_dst").extract(view) == 80
+
+    def test_icmpv6_fields(self):
+        view = parse(PacketBuilder().eth().ipv6().icmpv6(type=136, code=1).build())
+        assert field_by_name("icmpv6_type").extract(view) == 136
+        assert field_by_name("icmpv6_code").extract(view) == 1
+        assert field_by_name("icmpv4_type").extract(view) is None
+
+    def test_v6_writers(self):
+        pkt = v6_tcp()
+        view = parse(pkt)
+        new = int(ipaddress.IPv6Address("2001:db8::ff"))
+        field_by_name("ipv6_dst").store(view, new)
+        assert field_by_name("ipv6_dst").extract(view) == new
+        field_by_name("ip_dscp").store(view, 21)
+        assert field_by_name("ip_dscp").extract(view) == 21
+        field_by_name("ip_ecn").store(view, 2)
+        assert field_by_name("ip_ecn").extract(view) == 2
+        assert field_by_name("ip_dscp").extract(view) == 21  # undisturbed
+
+
+class TestMatching:
+    def test_exact_and_masked_v6(self):
+        m_exact = Match(ipv6_dst=V6_DST)
+        m_prefix = Match(ipv6_dst=(V6_DST, ((1 << 64) - 1) << 64))  # /64
+        view = parse(v6_tcp())
+        assert m_exact.matches(view)
+        assert m_prefix.matches(view)
+        other = parse(v6_tcp(dst="2001:db9::2"))
+        assert not m_exact.matches(other)
+        assert not m_prefix.matches(other)
+
+    def test_v4_rule_never_matches_v6(self):
+        assert not Match(ipv4_dst="10.0.0.0/8").matches(parse(v6_tcp()))
+
+    def test_ip_proto_matches_both_families(self):
+        m = Match(ip_proto=6)
+        assert m.matches(parse(v6_tcp()))
+        assert m.matches(parse(PacketBuilder().eth().ipv4().tcp().build()))
+        assert not m.matches(parse(PacketBuilder().eth().ipv6().udp().build()))

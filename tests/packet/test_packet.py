@@ -1,0 +1,59 @@
+"""Tests for the Packet container."""
+
+import pytest
+
+from repro.packet import PacketBuilder, headers as hdr
+from repro.packet.packet import Packet
+
+
+class TestPacket:
+    def test_from_headers_padding(self):
+        pkt = Packet.from_headers([hdr.Ethernet()], pad_to=64)
+        assert len(pkt) == 64
+
+    def test_metadata_defaults(self):
+        pkt = Packet(b"\x00" * 14)
+        assert pkt.in_port == 0 and pkt.metadata == 0 and pkt.tunnel_id == 0
+
+    def test_copy_preserves_metadata(self):
+        pkt = Packet(b"\x00" * 14, in_port=3, metadata=7, tunnel_id=9)
+        clone = pkt.copy()
+        assert (clone.in_port, clone.metadata, clone.tunnel_id) == (3, 7, 9)
+
+    def test_data_is_mutable(self):
+        pkt = Packet(b"\x00" * 14)
+        pkt.data[0] = 0xFF
+        assert pkt.data[0] == 0xFF
+
+    def test_repr(self):
+        assert "in_port=2" in repr(Packet(b"\x00" * 14, in_port=2))
+
+    def test_headers_stack_v4(self):
+        pkt = PacketBuilder().eth().ipv4().icmp().build()
+        kinds = [type(h).__name__ for h in pkt.headers()]
+        assert kinds == ["Ethernet", "IPv4", "ICMP"]
+
+    def test_headers_stack_v6(self):
+        pkt = PacketBuilder().eth().ipv6().icmpv6().build()
+        kinds = [type(h).__name__ for h in pkt.headers()]
+        assert kinds == ["Ethernet", "IPv6", "ICMPv6"]
+
+    def test_headers_stack_arp(self):
+        pkt = PacketBuilder().eth().arp().build()
+        kinds = [type(h).__name__ for h in pkt.headers()]
+        assert kinds == ["Ethernet", "ARP"]
+
+
+class TestBuilderValidation:
+    def test_icmp_on_v6_rejected(self):
+        with pytest.raises(ValueError):
+            PacketBuilder().eth().ipv6().icmp().build()
+
+    def test_v6_address_range(self):
+        with pytest.raises(ValueError):
+            PacketBuilder().eth().ipv6(src=1 << 128).build()
+
+    def test_v6_payload_length(self):
+        pkt = PacketBuilder().eth().ipv6().udp().payload(b"abcd").build()
+        (eth, ip6, udp) = pkt.headers()[:3]
+        assert ip6.payload_length == 8 + 4

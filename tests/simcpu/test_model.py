@@ -1,0 +1,76 @@
+"""Tests for the Section 4.4 analytic model — the paper's exact numbers."""
+
+import pytest
+
+from repro.dpdk.l2fwd import l2fwd_rate_pps
+from repro.simcpu.model import (
+    AnalyticModel,
+    StageCost,
+    gateway_model,
+    gateway_paper_bounds,
+)
+from repro.simcpu.platform import XEON_E5_2620
+
+
+class TestGatewayModel:
+    def test_fig20_cycle_counts(self):
+        """The paper: 166 + 3*Lx -> 178 / 202 / 253 cycles."""
+        model = gateway_model()
+        assert model.cycles(1) == pytest.approx(178.0)
+        assert model.cycles(2) == pytest.approx(202.0)
+        assert model.cycles(3) == pytest.approx(253.0)
+
+    def test_paper_pps_estimates(self):
+        """11.2 Mpps optimistic, 9.9 Mpps mid, 7.9 Mpps pessimistic."""
+        bounds = gateway_paper_bounds()
+        assert bounds["pps_ub"] == pytest.approx(11.2e6, rel=0.01)
+        assert bounds["pps_mid"] == pytest.approx(9.9e6, rel=0.01)
+        assert bounds["pps_lb"] == pytest.approx(7.9e6, rel=0.01)
+
+    def test_bounds_ordering(self):
+        lb, ub = gateway_model().bounds()
+        assert lb < ub
+
+    def test_rundown_shape(self):
+        rows = gateway_model().rundown()
+        names = [name for name, _c, _comment in rows]
+        assert names == [
+            "PKT_IN",
+            "parser template",
+            "hash template 1",
+            "hash template 2",
+            "LPM template",
+            "action templates",
+            "PKT_OUT",
+        ]
+        # Fig. 20 notation: Lx markers on the variable stages.
+        by_name = {name: cycles for name, cycles, _ in rows}
+        assert by_name["hash template 2"] == "8 + Lx"
+        assert by_name["LPM template"] == "13 + 2*Lx"
+
+
+class TestComposition:
+    def test_add_models(self):
+        a = AnalyticModel([StageCost("x", 10, 1)])
+        b = AnalyticModel([StageCost("y", 20, 0)])
+        combined = a + b
+        assert combined.fixed_cycles == 30
+        assert combined.mem_accesses == 1
+
+    def test_add_requires_same_platform(self):
+        from repro.simcpu.platform import ATOM_C2750
+
+        a = AnalyticModel([StageCost("x", 1)], platform=XEON_E5_2620)
+        b = AnalyticModel([StageCost("y", 1)], platform=ATOM_C2750)
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_cycles_requires_positive(self):
+        with pytest.raises(ValueError):
+            XEON_E5_2620.pps(0)
+
+
+class TestPlatformBenchmark:
+    def test_l2fwd_ceiling(self):
+        """Section 4.2: 15.7 Mpps port-forward ceiling."""
+        assert l2fwd_rate_pps() == pytest.approx(15.7e6, rel=0.005)

@@ -1,0 +1,158 @@
+"""Shared hypothesis strategies and helpers for property-based tests."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.openflow.actions import Controller, Drop, Output, SetField
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable, TableMissPolicy
+from repro.openflow.instructions import ApplyActions, GotoTable
+from repro.openflow.match import Match
+from repro.openflow.pipeline import Pipeline
+from repro.packet.builder import PacketBuilder
+from repro.packet.packet import Packet
+
+#: Fields random pipelines draw from, with their widths. Small value
+#: domains make rule/packet collisions likely — that's the point.
+V6_A = 0x20010DB8000000000000000000000001
+V6_B = 0x20010DB8000000000000000000000002
+
+FIELD_DOMAINS: dict[str, list[int]] = {
+    "in_port": [1, 2, 3],
+    "eth_dst": [0x0200_0000_0001, 0x0200_0000_0002, 0x0200_0000_0003],
+    "ipv4_src": [0x0A000001, 0x0A000002, 0xC0A80001],
+    "ipv4_dst": [0xC0000201, 0xC0000202, 0x08080808],
+    "ipv6_dst": [V6_A, V6_B],
+    "ip_proto": [6, 17],
+    "tcp_dst": [22, 80, 443],
+    "udp_dst": [53, 123],
+    "vlan_vid": [100, 200],
+}
+
+MASKS = {
+    "ipv4_src": [0xFFFFFFFF, 0xFFFFFF00, 0xFFFF0000, 0x80000000],
+    "ipv4_dst": [0xFFFFFFFF, 0xFFFFFF00, 0xFFFF0000],
+    "ipv6_dst": [(1 << 128) - 1, ((1 << 64) - 1) << 64],  # exact and /64
+    "eth_dst": [0xFFFFFFFFFFFF],
+}
+
+
+@st.composite
+def matches(draw) -> Match:
+    """A random match over a small field/value domain."""
+    names = draw(
+        st.lists(
+            st.sampled_from(sorted(FIELD_DOMAINS)), min_size=0, max_size=3, unique=True
+        )
+    )
+    pairs = {}
+    for name in names:
+        value = draw(st.sampled_from(FIELD_DOMAINS[name]))
+        mask_options = MASKS.get(name)
+        if mask_options and draw(st.booleans()):
+            mask = draw(st.sampled_from(mask_options))
+            pairs[name] = (value, mask)
+        else:
+            pairs[name] = value
+    return Match(**pairs)
+
+
+@st.composite
+def actions(draw, allow_rewrites: bool = True):
+    choice = draw(st.integers(0, 3 if allow_rewrites else 2))
+    if choice == 0:
+        return Output(draw(st.integers(1, 4)))
+    if choice == 1:
+        return Drop()
+    if choice == 2:
+        return Controller()
+    return SetField("ipv4_dst", draw(st.sampled_from(FIELD_DOMAINS["ipv4_dst"])))
+
+
+@st.composite
+def flow_tables(draw, table_id: int = 0, max_entries: int = 8, goto_ids=()):
+    table = FlowTable(
+        table_id,
+        miss_policy=draw(st.sampled_from(list(TableMissPolicy))),
+    )
+    n = draw(st.integers(1, max_entries))
+    for i in range(n):
+        match = draw(matches())
+        instrs: list = [ApplyActions([draw(actions())])]
+        if goto_ids and draw(st.booleans()):
+            instrs.append(GotoTable(draw(st.sampled_from(list(goto_ids)))))
+        table.add(
+            FlowEntry(match, priority=draw(st.integers(0, 20)), instructions=instrs)
+        )
+    return table
+
+
+@st.composite
+def pipelines(draw, max_tables: int = 3):
+    n = draw(st.integers(1, max_tables))
+    tables = []
+    for i in range(n):
+        goto_targets = range(i + 1, n)
+        tables.append(draw(flow_tables(table_id=i, goto_ids=tuple(goto_targets))))
+    return Pipeline(tables)
+
+
+@st.composite
+def packets(draw) -> Packet:
+    """A random packet whose fields collide with FIELD_DOMAINS values."""
+    builder = PacketBuilder(in_port=draw(st.sampled_from(FIELD_DOMAINS["in_port"])))
+    builder.eth(
+        src=0x0200_0000_0099,
+        dst=draw(st.sampled_from(FIELD_DOMAINS["eth_dst"] + [0x0200_0000_00FF])),
+    )
+    if draw(st.booleans()):
+        builder.vlan(vid=draw(st.sampled_from(FIELD_DOMAINS["vlan_vid"] + [300])))
+    l3 = draw(st.integers(0, 3))
+    if l3 == 0:
+        return builder.build()  # L2-only frame
+    if l3 == 3:
+        builder.ipv6(dst=draw(st.sampled_from(FIELD_DOMAINS["ipv6_dst"] + [V6_A + 99])))
+    else:
+        builder.ipv4(
+            src=draw(st.sampled_from(FIELD_DOMAINS["ipv4_src"] + [0x0A0000FF])),
+            dst=draw(st.sampled_from(FIELD_DOMAINS["ipv4_dst"] + [0x01010101])),
+        )
+    l4 = draw(st.integers(0, 2))
+    if l4 == 0:
+        builder.tcp(
+            src_port=draw(st.integers(1024, 1030)),
+            dst_port=draw(st.sampled_from(FIELD_DOMAINS["tcp_dst"] + [9999])),
+        )
+    elif l4 == 1:
+        builder.udp(
+            src_port=draw(st.integers(1024, 1030)),
+            dst_port=draw(st.sampled_from(FIELD_DOMAINS["udp_dst"] + [9999])),
+        )
+    return builder.build()
+
+
+def random_packet(rng: random.Random) -> Packet:
+    """Non-hypothesis random packet for plain randomized tests."""
+    builder = PacketBuilder(in_port=rng.choice(FIELD_DOMAINS["in_port"]))
+    builder.eth(src=0x0200_0000_0099, dst=rng.choice(FIELD_DOMAINS["eth_dst"]))
+    if rng.random() < 0.3:
+        builder.vlan(vid=rng.choice(FIELD_DOMAINS["vlan_vid"]))
+    l3_roll = rng.random()
+    if l3_roll < 0.7:
+        builder.ipv4(
+            src=rng.choice(FIELD_DOMAINS["ipv4_src"]),
+            dst=rng.choice(FIELD_DOMAINS["ipv4_dst"]),
+        )
+    elif l3_roll < 0.9:
+        builder.ipv6(dst=rng.choice(FIELD_DOMAINS["ipv6_dst"]))
+    else:
+        return builder.build()  # L2-only frame
+    roll = rng.random()
+    if roll < 0.45:
+        builder.tcp(dst_port=rng.choice(FIELD_DOMAINS["tcp_dst"]))
+    elif roll < 0.9:
+        builder.udp(dst_port=rng.choice(FIELD_DOMAINS["udp_dst"]))
+    return builder.build()

@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_packet_spec
+from repro.openflow import serialize
+from repro.usecases import firewall, loadbalancer
+
+
+@pytest.fixture()
+def firewall_file(tmp_path):
+    path = tmp_path / "fw.json"
+    serialize.save(firewall.build_single_stage(), str(path))
+    return str(path)
+
+
+@pytest.fixture()
+def lb_file(tmp_path):
+    path = tmp_path / "lb.json"
+    serialize.save(loadbalancer.build_single_table(6), str(path))
+    return str(path)
+
+
+class TestPacketSpec:
+    def test_full_spec(self):
+        pkt = parse_packet_spec(
+            "in_port=2,ipv4_src=10.0.0.1,ipv4_dst=192.0.2.1,proto=tcp,dport=80"
+        )
+        assert pkt.in_port == 2
+        from repro.openflow.fields import field_by_name
+        from repro.packet.parser import parse
+
+        view = parse(pkt)
+        assert field_by_name("tcp_dst").extract(view) == 80
+        assert field_by_name("ipv4_dst").extract(view) == 0xC0000201
+
+    def test_l2_only(self):
+        pkt = parse_packet_spec("in_port=1,eth_dst=02:00:00:00:00:05")
+        from repro.packet.parser import parse, PROTO_IPV4
+
+        assert not parse(pkt).has(PROTO_IPV4)
+
+    def test_vlan_and_udp(self):
+        pkt = parse_packet_spec("vlan=100,proto=udp,dport=53")
+        from repro.openflow.fields import field_by_name
+        from repro.packet.parser import parse
+
+        view = parse(pkt)
+        assert field_by_name("vlan_vid").extract(view) == 100
+        assert field_by_name("udp_dst").extract(view) == 53
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(SystemExit):
+            parse_packet_spec("bogus=1")
+
+    def test_bad_proto_rejected(self):
+        with pytest.raises(SystemExit):
+            parse_packet_spec("proto=sctp")
+
+
+class TestCommands:
+    def test_show(self, firewall_file, capsys):
+        assert main(["show", firewall_file]) == 0
+        out = capsys.readouterr().out
+        assert "table 0" in out and "entries" in out
+
+    def test_compile(self, firewall_file, capsys):
+        assert main(["compile", firewall_file, "--sources"]) == 0
+        out = capsys.readouterr().out
+        assert "direct" in out
+        assert "def _match" in out
+
+    def test_compile_lb_decomposition_toggle(self, lb_file, capsys):
+        main(["compile", lb_file])
+        with_decomp = capsys.readouterr().out
+        main(["compile", lb_file, "--no-decompose"])
+        without = capsys.readouterr().out
+        assert "decomposed[" in with_decomp
+        assert "linked_list" in without
+
+    def test_run_agreement(self, firewall_file, capsys):
+        rc = main([
+            "run", firewall_file,
+            "--pkt", "in_port=1,ipv4_dst=192.0.2.1,proto=tcp,dport=80",
+            "--pkt", "in_port=1,ipv4_dst=192.0.2.1,proto=tcp,dport=22",
+            "--pkt", "in_port=2,ipv4_src=192.0.2.1,proto=tcp,sport=80",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "DISAGREE" not in out
+        assert out.count("eswitch:") == 3
+
+    def test_model(self, firewall_file, capsys):
+        assert main(["model", firewall_file]) == 0
+        out = capsys.readouterr().out
+        assert "model-ub" in out and "cycles/packet" in out
+
+    def test_bench(self, firewall_file, capsys):
+        assert main(["bench", firewall_file, "--flows", "50",
+                     "--packets", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "ESWITCH" in out and "OVS" in out and "Mpps" in out
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["show", "/no/such/file.json"])
+
+    def test_malformed_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        with pytest.raises(SystemExit):
+            main(["show", str(bad)])
+
+
+class TestIpv6Spec:
+    def test_v6_packet_spec(self):
+        import ipaddress
+
+        from repro.openflow.fields import field_by_name
+        from repro.packet.parser import parse
+
+        pkt = parse_packet_spec("ipv6_dst=2001:db8::7,proto=tcp,dport=443")
+        view = parse(pkt)
+        assert field_by_name("ipv6_dst").extract(view) == int(
+            ipaddress.IPv6Address("2001:db8::7")
+        )
+        assert field_by_name("tcp_dst").extract(view) == 443
+
+    def test_icmpv6_spec(self):
+        from repro.openflow.fields import field_by_name
+        from repro.packet.parser import parse
+
+        pkt = parse_packet_spec("proto=icmpv6")
+        assert field_by_name("icmpv6_type").extract(parse(pkt)) == 128

@@ -1,0 +1,138 @@
+"""Tests for flow sets and the measurement harness."""
+
+import pytest
+
+from repro.core import ESwitch
+from repro.packet import PacketBuilder
+from repro.simcpu.platform import XEON_E5_2620
+from repro.traffic import FlowSet, measure, measure_multicore, round_robin
+from repro.traffic.flows import uniform_random
+from repro.traffic.nfpa import DirectSwitch, auto_params
+from repro.usecases import firewall, l2
+
+
+class TestFlowSet:
+    def test_build_deterministic(self):
+        factory = lambda i, rng: PacketBuilder(in_port=i % 3).eth().build()
+        a = FlowSet.build(10, factory, seed=1)
+        b = FlowSet.build(10, factory, seed=1)
+        assert all(bytes(a[i].data) == bytes(b[i].data) for i in range(10))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSet([])
+
+    def test_round_robin_cycles(self):
+        flows = FlowSet([PacketBuilder(in_port=i).eth().build() for i in range(3)])
+        ports = [p.in_port for p in round_robin(flows, 7)]
+        assert ports == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_round_robin_yields_copies(self):
+        flows = FlowSet([PacketBuilder().eth().build()])
+        a, b = list(round_robin(flows, 2))
+        a.data[0] = 0xFF
+        assert b.data[0] != 0xFF
+
+    def test_uniform_random_deterministic(self):
+        flows = FlowSet([PacketBuilder(in_port=i).eth().build() for i in range(5)])
+        a = [p.in_port for p in uniform_random(flows, 20, seed=3)]
+        b = [p.in_port for p in uniform_random(flows, 20, seed=3)]
+        assert a == b
+
+
+class TestMeasure:
+    def test_measurement_fields(self):
+        p, macs = l2.build(10)
+        m = measure(ESwitch.from_pipeline(p), l2.traffic(macs, 10),
+                    n_packets=500, warmup=100)
+        assert m.packets == 500
+        assert m.forwarded == 500
+        assert m.pps > 0
+        assert m.cycles_per_packet > 100
+        assert m.mpps == m.pps / 1e6
+
+    def test_verdict_accounting(self):
+        flows = FlowSet([
+            PacketBuilder(in_port=firewall.EXTERNAL).eth()
+            .ipv4(dst=firewall.SERVER_IP).tcp(dst_port=80).build(),
+            PacketBuilder(in_port=firewall.EXTERNAL).eth()
+            .ipv4(dst=firewall.SERVER_IP).tcp(dst_port=23).build(),
+        ])
+        m = measure(ESwitch.from_pipeline(firewall.build_single_stage()), flows,
+                    n_packets=100, warmup=10)
+        assert m.forwarded == 50 and m.dropped == 50
+
+    def test_update_hook_invoked(self):
+        p, macs = l2.build(4)
+        calls = []
+        measure(ESwitch.from_pipeline(p), l2.traffic(macs, 4), n_packets=50,
+                warmup=0, update_hook=lambda i, meter: calls.append(i))
+        assert len(calls) == 50
+
+    def test_direct_switch_wrapper(self):
+        m = measure(DirectSwitch(firewall.build_single_stage()),
+                    FlowSet([PacketBuilder(in_port=firewall.INTERNAL)
+                             .eth().ipv4().tcp().build()]),
+                    n_packets=50, warmup=5)
+        assert m.forwarded == 50
+
+    def test_auto_params_monotone(self):
+        n1, w1 = auto_params(10)
+        n2, w2 = auto_params(50_000)
+        assert n2 >= n1 and w2 >= w1
+        assert w2 <= 40_000 and n2 <= 60_000
+
+
+class TestMulticore:
+    def test_aggregate_scales(self):
+        # Use the Atom platform: no NIC cap, as in the paper's Fig. 19
+        # ("ESWITCH proves too fast for this experiment" on the Xeon).
+        from repro.simcpu.platform import ATOM_C2750
+
+        p, macs = l2.build(16)
+        flows = l2.traffic(macs, 64)
+
+        def make():
+            pp, _ = l2.build(16)
+            return ESwitch.from_pipeline(pp)
+
+        one = measure_multicore(make, flows, cores=1, n_packets=400, warmup=100,
+                                platform=ATOM_C2750)
+        four = measure_multicore(make, flows, cores=4, n_packets=400, warmup=100,
+                                 platform=ATOM_C2750)
+        assert 3.0 < four / one < 4.5
+
+    def test_nic_cap_respected(self):
+        p, macs = l2.build(4)
+        flows = l2.traffic(macs, 16)
+
+        def make():
+            pp, _ = l2.build(4)
+            return ESwitch.from_pipeline(pp)
+
+        pps = measure_multicore(make, flows, cores=5, n_packets=200, warmup=50,
+                                platform=XEON_E5_2620)
+        assert pps <= XEON_E5_2620.nic_pps_limit
+
+    def test_coherence_penalty_slows_shared_switch(self):
+        from repro.simcpu.platform import ATOM_C2750
+
+        p, macs = l2.build(16)
+        flows = l2.traffic(macs, 64)
+
+        def make():
+            pp, _ = l2.build(16)
+            return ESwitch.from_pipeline(pp)
+
+        free = measure_multicore(make, flows, cores=4, n_packets=300, warmup=50,
+                                 platform=ATOM_C2750)
+        taxed = measure_multicore(make, flows, cores=4, n_packets=300, warmup=50,
+                                  platform=ATOM_C2750,
+                                  coherence_cycles_per_core=50.0)
+        assert taxed < free
+
+    def test_requires_positive_cores(self):
+        p, macs = l2.build(4)
+        with pytest.raises(ValueError):
+            measure_multicore(lambda: ESwitch.from_pipeline(l2.build(4)[0]),
+                              l2.traffic(macs, 4), cores=0)

@@ -1,0 +1,197 @@
+"""Tests for the use-case builders and their traffic generators."""
+
+import pytest
+
+from repro.core import ESwitch
+from repro.openflow.pipeline import Pipeline
+from repro.packet.parser import parse
+from repro.openflow.fields import field_by_name
+from repro.usecases import acl, firewall, gateway, l2, l3, loadbalancer
+
+
+class TestFirewall:
+    @pytest.mark.parametrize("build", [firewall.build_single_stage,
+                                       firewall.build_multi_stage])
+    def test_policy(self, build):
+        from repro.packet import PacketBuilder
+
+        p = build()
+        admit = (PacketBuilder(in_port=firewall.EXTERNAL).eth()
+                 .ipv4(dst=firewall.SERVER_IP).tcp(dst_port=80).build())
+        block = (PacketBuilder(in_port=firewall.EXTERNAL).eth()
+                 .ipv4(dst=firewall.SERVER_IP).tcp(dst_port=22).build())
+        out = (PacketBuilder(in_port=firewall.INTERNAL).eth()
+               .ipv4(src=firewall.SERVER_IP).tcp(src_port=80).build())
+        assert p.process(admit).output_ports == [firewall.INTERNAL]
+        assert not p.process(block).forwarded
+        assert p.process(out).output_ports == [firewall.EXTERNAL]
+
+    def test_equivalent_pipelines(self):
+        """Fig. 1a and Fig. 1b implement the same policy."""
+        import random
+
+        import strategies as sts
+
+        rng = random.Random(8)
+        single, multi = firewall.build_single_stage(), firewall.build_multi_stage()
+        for _ in range(100):
+            pkt = sts.random_packet(rng)
+            assert (single.process(pkt.copy()).summary()
+                    == multi.process(pkt.copy()).summary())
+
+
+class TestL2:
+    def test_table_size(self):
+        p, macs = l2.build(64)
+        assert len(p.table(0)) == 64
+        assert len(set(macs)) == 64
+
+    def test_traffic_aligned_no_misses(self):
+        """The paper aligns L2 traces with the table to avoid misses."""
+        p, macs = l2.build(32)
+        sw = ESwitch.from_pipeline(p)
+        flows = l2.traffic(macs, 100)
+        assert all(sw.process(flows[i].copy()).forwarded for i in range(len(flows)))
+
+    def test_deterministic(self):
+        assert l2.build(8, seed=1)[1] == l2.build(8, seed=1)[1]
+        assert l2.build(8, seed=1)[1] != l2.build(8, seed=2)[1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            l2.build(0)
+
+
+class TestL3:
+    def test_fib_depth_distribution(self):
+        fib = l3.synthetic_fib(2000)
+        depths = [d for _v, d, _h in fib]
+        # /24 dominates, as in real Internet tables.
+        assert depths.count(24) > len(depths) * 0.35
+        assert all(8 <= d <= 24 for d in depths)
+
+    def test_prefixes_unique(self):
+        fib = l3.synthetic_fib(500)
+        assert len({(v, d) for v, d, _h in fib}) == 500
+
+    def test_traffic_hits_table(self):
+        p, fib = l3.build(100)
+        sw = ESwitch.from_pipeline(p)
+        flows = l3.traffic(fib, 50)
+        hits = sum(sw.process(flows[i].copy()).forwarded for i in range(50))
+        assert hits == 50
+
+    def test_compiles_to_lpm(self):
+        p, _fib = l3.build(50)
+        assert ESwitch.from_pipeline(p).table_kinds()[0] == "lpm"
+
+
+class TestLoadBalancer:
+    def test_single_and_multi_equivalent(self):
+        single = loadbalancer.build_single_table(5)
+        multi = loadbalancer.build_multi_stage(5)
+        flows = loadbalancer.traffic(5, 80)
+        for i in range(len(flows)):
+            pkt = flows[i]
+            assert (single.process(pkt.copy()).summary()
+                    == multi.process(pkt.copy()).summary())
+
+    def test_backend_choice_by_source_bit(self):
+        p = loadbalancer.build_single_table(3)
+        from repro.packet import PacketBuilder
+
+        low = (PacketBuilder(in_port=loadbalancer.EXTERNAL).eth()
+               .ipv4(src="10.0.0.1", dst=None or "198.18.0.1").tcp(dst_port=80).build())
+        high = (PacketBuilder(in_port=loadbalancer.EXTERNAL).eth()
+                .ipv4(src="200.0.0.1", dst="198.18.0.1").tcp(dst_port=80).build())
+        p.process(low)
+        p.process(high)
+        assert int.from_bytes(low.data[30:34], "big") == loadbalancer.backend_ip(1, 0)
+        assert int.from_bytes(high.data[30:34], "big") == loadbalancer.backend_ip(1, 1)
+
+    def test_traffic_half_dropped(self):
+        p = loadbalancer.build_single_table(8)
+        flows = loadbalancer.traffic(8, 400)
+        dropped = sum(
+            not p.process(flows[i].copy()).forwarded for i in range(len(flows))
+        )
+        assert 120 <= dropped <= 280  # roughly half, per Section 4.1
+
+    def test_reverse_direction_unconditional(self):
+        from repro.packet import PacketBuilder
+
+        p = loadbalancer.build_single_table(2)
+        pkt = PacketBuilder(in_port=loadbalancer.INTERNAL).eth().ipv4().udp().build()
+        assert p.process(pkt).output_ports == [loadbalancer.EXTERNAL]
+
+
+class TestGateway:
+    def test_paper_scale_builds(self):
+        p, fib = gateway.build(n_ce=10, users_per_ce=20, n_prefixes=1000)
+        assert len(fib) == 1000
+        assert len(p.table(gateway.CE_TABLE_BASE)) == 20
+        assert len(p.table(gateway.REVERSE_TABLE)) == 200
+
+    def test_user_network_nat(self):
+        p, fib = gateway.build(n_ce=2, users_per_ce=2, n_prefixes=100)
+        flows = gateway.traffic(fib, 4, n_ce=2, users_per_ce=2)
+        pkt = flows[0].copy()
+        v = p.process(pkt)
+        assert v.output_ports == [gateway.NETWORK_PORT]
+        # The VLAN tag was popped, so the IPv4 source sits at bytes 26:30.
+        assert int.from_bytes(pkt.data[26:30], "big") == gateway.public_ip(0, 0)
+
+    def test_network_user_reverse_nat(self):
+        from repro.packet import PacketBuilder
+        from repro.net.addresses import int_to_ip
+
+        p, _fib = gateway.build(n_ce=2, users_per_ce=2, n_prefixes=50)
+        pkt = (PacketBuilder(in_port=gateway.NETWORK_PORT).eth()
+               .ipv4(src="8.8.8.8", dst=int_to_ip(gateway.public_ip(1, 0)))
+               .tcp(src_port=443).build())
+        v = p.process(pkt)
+        assert v.output_ports == [gateway.ACCESS_PORT]
+        view = parse(pkt)
+        assert field_by_name("vlan_vid").extract(view) == gateway.ce_vlan(1)
+        assert field_by_name("ipv4_dst").extract(view) == gateway.private_ip(1, 0)
+
+    def test_unprovisioned_punts_to_controller(self):
+        p, fib = gateway.build(n_ce=1, users_per_ce=1, n_prefixes=50,
+                               provision_users=False)
+        pkt = gateway.traffic(fib, 1, n_ce=1, users_per_ce=1)[0]
+        assert p.process(pkt.copy()).to_controller
+
+    def test_nat_flow_mods_match_provisioned_entries(self):
+        provisioned, fib = gateway.build(n_ce=1, users_per_ce=1, n_prefixes=50)
+        empty, _ = gateway.build(n_ce=1, users_per_ce=1, n_prefixes=50,
+                                 provision_users=False)
+        sw = ESwitch.from_pipeline(empty)
+        for mod in gateway.nat_flow_mods(0, 0):
+            sw.apply_flow_mod(mod)
+        pkt = gateway.traffic(fib, 1, n_ce=1, users_per_ce=1)[0]
+        assert (sw.process(pkt.copy()).summary()
+                == provisioned.process(pkt.copy()).summary())
+
+
+class TestAcl:
+    def test_rule_count(self):
+        table = acl.generate(72)
+        assert len(table) == 72 + 1  # + permit catch-all
+
+    def test_rules_exact_or_wildcard(self):
+        table = acl.generate(100)
+        for entry in table:
+            for name, (_v, mask) in entry.match.items():
+                from repro.openflow.fields import field_by_name
+
+                assert mask == field_by_name(name).max_value
+
+    def test_deterministic(self):
+        a = [e.match for e in acl.generate(30, seed=5)]
+        b = [e.match for e in acl.generate(30, seed=5)]
+        assert a == b
+
+    def test_decomposable(self):
+        from repro.core.decompose import decomposable
+
+        assert decomposable(acl.generate(72))
