@@ -6,7 +6,7 @@ Usage (also via ``python -m repro``)::
     repro compile  pipeline.json [--no-decompose] [--range] [--sources]
     repro run      pipeline.json --pkt in_port=1,ipv4_dst=192.0.2.1,tcp_dst=80 ...
     repro model    pipeline.json
-    repro bench    pipeline.json [--flows N] [--packets M] [--seed S]
+    repro bench    pipeline.json [--flows N] [--packets M] [--seed S] [--burst B]
 
 ``run`` drives the packet through all three datapaths (ESWITCH, the OVS
 baseline, and the reference interpreter) and reports disagreement loudly —
@@ -171,6 +171,8 @@ def cmd_model(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.burst < 0:
+        raise SystemExit(f"error: --burst must be >= 0, got {args.burst}")
     rng = random.Random(args.seed)
     pipeline = _load(args.pipeline)
     fields = pipeline.matched_fields()
@@ -189,16 +191,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
     flows = FlowSet.build(args.flows, factory, seed=args.seed)
     print(f"pipeline: {len(pipeline)} tables, {pipeline.total_entries()} entries, "
           f"matched fields: {', '.join(fields) or '(none)'}")
-    print(f"workload: {args.flows} random flows, {args.packets} packets\n")
+    workload = f"workload: {args.flows} random flows, {args.packets} packets"
+    if args.burst:
+        workload += f", IO burst {args.burst}"
+    print(workload + "\n")
     for name, switch in (
         ("ESWITCH", ESwitch.from_pipeline(_load(args.pipeline), config=_config(args))),
         ("OVS", OvsSwitch(_load(args.pipeline))),
     ):
         m = measure(switch, flows, n_packets=args.packets,
-                    warmup=min(args.flows + 500, args.packets))
-        print(f"{name:8} {m.mpps:8.2f} Mpps   {m.cycles_per_packet:8.0f} cyc/pkt   "
-              f"LLC {m.llc_misses_per_packet:.2f}/pkt   "
-              f"fwd/drop/ctrl {m.forwarded}/{m.dropped}/{m.to_controller}")
+                    warmup=min(args.flows + 500, args.packets),
+                    batch_size=args.burst or None)
+        line = (f"{name:8} {m.mpps:8.2f} Mpps   {m.cycles_per_packet:8.0f} cyc/pkt   "
+                f"LLC {m.llc_misses_per_packet:.2f}/pkt   "
+                f"fwd/drop/ctrl {m.forwarded}/{m.dropped}/{m.to_controller}")
+        burst = m.extra.get("burst")
+        if burst:
+            line += (f"   bursts {burst['bursts']} "
+                     f"(mean {burst['mean_burst_size']:.1f} pkts, "
+                     f"{burst['cycles_per_burst']:.0f} cyc/burst)")
+        print(line)
     return 0
 
 
@@ -242,6 +254,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--flows", type=int, default=1000)
     p_bench.add_argument("--packets", type=int, default=10_000)
     p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--burst", type=int, default=0, metavar="B",
+                         help="drive the datapaths in IO bursts of B packets "
+                              "(0 = scalar calls at the calibration burst)")
     p_bench.add_argument("--no-decompose", action="store_true")
     p_bench.add_argument("--range", action="store_true")
     p_bench.set_defaults(fn=cmd_bench)

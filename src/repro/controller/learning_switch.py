@@ -82,11 +82,12 @@ class LearningSwitch:
             self.moved += 1
             self.switch.apply_flow_mod(
                 FlowMod(FlowModCommand.DELETE, SRC_TABLE,
-                        Match(eth_src=src, in_port=known), priority=10)
+                        Match(eth_src=src, in_port=known), priority=10,
+                        strict=True)
             )
             self.switch.apply_flow_mod(
                 FlowMod(FlowModCommand.DELETE, DST_TABLE,
-                        Match(eth_dst=src), priority=10)
+                        Match(eth_dst=src), priority=10, strict=True)
             )
         else:
             self.learned += 1

@@ -39,7 +39,6 @@ from repro.core.outcome import Outcome, miss_outcome, outcome_of
 from repro.dpdk.hash import CollisionFreeHash
 from repro.dpdk.lpm import Dir24_8Lpm
 from repro.openflow.fields import field_by_name
-from repro.openflow.flow_entry import FlowEntry
 from repro.openflow.flow_table import FlowTable
 from repro.openflow.match import Match
 from repro.simcpu.costs import CostBook, DEFAULT_COSTS
@@ -66,6 +65,8 @@ class CompiledTable:
     #: LPM template: the DIR-24-8 table, its field, and the outcome list.
     lpm_store: "Dir24_8Lpm | None" = None
     lpm_field: str = ""
+    #: recycled slots of the LPM outcome list (freed by incremental DELETE).
+    lpm_free: list = field(default_factory=list)
     #: linked list template: the mutable entry list and matcher registry.
     ll_entries: "list | None" = None
     ll_matchers: dict = field(default_factory=dict)
@@ -269,6 +270,8 @@ def compile_lpm(
         value = match.value_of(name)
         depth = match.prefix_len(name)
         assert value is not None
+        if store.get_rule(value, depth) is not None:
+            continue  # shadowed duplicate: the highest-priority rule wins
         store.add(value, depth, len(outcomes))
         outcomes.append(outcome_of(entry))
 

@@ -18,8 +18,8 @@ table it touches — the property Fig. 18 measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dataclass_field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.analysis import (
     CompileConfig,
@@ -28,12 +28,14 @@ from repro.core.analysis import (
     select_template,
 )
 from repro.core.codegen import CompiledTable, compile_table, _build_sig_matcher
-from repro.core.datapath import CompiledDatapath, needs_etype, required_layer
+from repro.core.datapath import CompiledDatapath, required_layer
 from repro.core.decompose import decomposable, decompose_table
 from repro.core.outcome import miss_outcome, outcome_of
+from repro.dpdk.lpm import LpmFullError
 from repro.openflow.flow_table import FlowTable
 from repro.openflow.messages import FlowMod, FlowModCommand
 from repro.openflow.pipeline import Pipeline, Verdict
+from repro.openflow.stats import BurstStats
 from repro.packet.packet import Packet
 from repro.simcpu.costs import CostBook, DEFAULT_COSTS
 from repro.simcpu.recorder import Meter, NULL_METER
@@ -75,6 +77,7 @@ class ESwitch:
         self.costs = costs
         self.packet_in_handler = packet_in_handler
         self.update_stats = UpdateStats()
+        self.burst_stats = BurstStats()
         self._groups: dict[int, _Group] = {}
         #: decomposed groups whose rebuild is deferred to the next packet —
         #: the "constructed side by side with the running datapath"
@@ -116,6 +119,45 @@ class ESwitch:
             table_id = verdict.path[-1][0] if verdict.path else 0
             self.packet_in_handler(PacketIn(pkt=pkt, table_id=table_id))
         return verdict
+
+    def process_burst(
+        self, pkts: "Sequence[Packet]", meter: Meter = NULL_METER
+    ) -> list[Verdict]:
+        """Run one IO burst through the compiled datapath.
+
+        Semantically identical to calling :meth:`process` on each packet in
+        order — packet-ins fire and deferred rebuilds flush *between*
+        packets, so a reactive controller's flow-mods take effect for the
+        rest of the burst exactly as they would scalar-wise. The per-burst
+        IO framework cost is charged once (see
+        :meth:`CompiledDatapath.process_burst`).
+        """
+        if not pkts:
+            return []
+        if self._dirty_groups:
+            self._flush_rebuilds()
+        cycles_before = getattr(meter, "total_cycles", 0.0)
+        verdicts = self.datapath.process_burst(
+            pkts, meter, on_verdict=self._burst_packet_done
+        )
+        self.burst_stats.record(
+            len(pkts), getattr(meter, "total_cycles", 0.0) - cycles_before
+        )
+        return verdicts
+
+    def _burst_packet_done(self, pkt: Packet, verdict: Verdict) -> bool:
+        """Between-packet control work inside a burst; True = state mutated."""
+        mutated = False
+        if verdict.to_controller and self.packet_in_handler is not None:
+            from repro.openflow.messages import PacketIn
+
+            table_id = verdict.path[-1][0] if verdict.path else 0
+            self.packet_in_handler(PacketIn(pkt=pkt, table_id=table_id))
+            mutated = True
+        if self._dirty_groups:
+            self._flush_rebuilds()
+            mutated = True
+        return mutated
 
     # -- inspection -----------------------------------------------------------
 
@@ -203,7 +245,15 @@ class ESwitch:
         table = self.pipeline.get_or_create(mod.table_id)
         new_table = mod.table_id not in self._groups
         if mod.command is FlowModCommand.DELETE:
-            table.remove(mod.match, mod.priority if mod.priority else None)
+            # Only a *strict* delete constrains the priority; priority 0 is
+            # a legitimate strict target, not a wildcard (the falsy-zero
+            # bug used to delete matching entries at every priority).
+            removed = table.remove(mod.match, mod.priority if mod.strict else None)
+            if not removed and not new_table:
+                # Nothing matched: logical and compiled state are already
+                # consistent, and touching the template (e.g. a phantom
+                # hash-store removal) would desynchronize them.
+                return 0.0
         else:
             table.add(mod.to_entry())
         # Updates can deepen (or shallow) the fields in play: re-plan the
@@ -237,6 +287,10 @@ class ESwitch:
                     if group is not None:
                         for cid in group.compiled_ids:
                             self.datapath.uninstall(cid)
+                    # A deferred rebuild queued for the vanished table must
+                    # die with it, or the next packet's flush crashes
+                    # looking up a table the rollback removed.
+                    self._dirty_groups.discard(tid)
                     continue
                 table = self.pipeline.table(tid)
                 table._entries = list(entries)
@@ -310,10 +364,15 @@ class ESwitch:
             values = tuple(match.value_of(name) for name in compiled.hash_fields)
             key = values[0] if len(values) == 1 else values
             assert compiled.hash_store is not None
-            if mod.command is FlowModCommand.DELETE:
+            # Same-match duplicates at different priorities are legal (the
+            # lower one is shadowed): the slot always holds the outcome of
+            # the highest-priority entry that *remains* in the table, so a
+            # strict delete of one duplicate reinstates the survivor.
+            best = table.find(match)
+            if best is None:
                 compiled.hash_store.remove(key)
             else:
-                compiled.hash_store.insert(key, outcome_of(mod.to_entry()))
+                compiled.hash_store.insert(key, outcome_of(best))
             compiled.entry_count = len(table)
             return True
 
@@ -334,12 +393,35 @@ class ESwitch:
             value = match.value_of(compiled.lpm_field)
             depth = match.prefix_len(compiled.lpm_field)
             assert value is not None
-            if mod.command is FlowModCommand.DELETE:
-                compiled.lpm_store.delete(value, depth)
+            # The outcome list is slot-addressed by the LPM's stored next
+            # hop. Slots are recycled through a free list so that add/
+            # delete churn (the Fig. 18 route-flap workload) keeps _OUT
+            # bounded by the live rule count instead of growing forever.
+            store = compiled.lpm_store
+            outcomes = compiled.namespace["_OUT"]
+            slot = store.get_rule(value, depth)
+            best = table.find(match)
+            if best is None:
+                if slot is not None:
+                    store.delete(value, depth)
+                    outcomes[slot] = None
+                    compiled.lpm_free.append(slot)
+            elif slot is not None:
+                # Rule replaced (or one duplicate deleted): rebind in place.
+                outcomes[slot] = outcome_of(best)
             else:
-                outcomes = compiled.namespace["_OUT"]
-                compiled.lpm_store.add(value, depth, len(outcomes))
-                outcomes.append(outcome_of(mod.to_entry()))
+                if compiled.lpm_free:
+                    slot = compiled.lpm_free.pop()
+                    outcomes[slot] = outcome_of(best)
+                else:
+                    slot = len(outcomes)
+                    outcomes.append(outcome_of(best))
+                try:
+                    store.add(value, depth, slot)
+                except LpmFullError:
+                    outcomes[slot] = None
+                    compiled.lpm_free.append(slot)
+                    return False  # fall back to a (larger) rebuild
             compiled.entry_count = len(table)
             return True
 

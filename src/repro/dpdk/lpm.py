@@ -77,6 +77,11 @@ class Dir24_8Lpm:
             self._delete_depth_big(prefix, depth, sub_valid, sub_hop, sub_depth)
         return True
 
+    def get_rule(self, ip: int, depth: int) -> "int | None":
+        """The next hop stored for exactly ``ip/depth`` (no LPM semantics)."""
+        self._check(ip, depth)
+        return self._rules.get((self._prefix(ip, depth), depth))
+
     def __len__(self) -> int:
         return len(self._rules)
 

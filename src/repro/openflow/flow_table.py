@@ -75,6 +75,17 @@ class FlowTable:
             self.version += 1
         return removed
 
+    def find(self, match: Match) -> "FlowEntry | None":
+        """The highest-priority entry whose match *equals* ``match``.
+
+        Entries are priority-sorted, so the first hit is the one a lookup
+        would prefer among same-match duplicates.
+        """
+        for entry in self._entries:
+            if entry.match == match:
+                return entry
+        return None
+
     def remove_if(self, predicate: Callable[[FlowEntry], bool]) -> int:
         before = len(self._entries)
         self._entries = [e for e in self._entries if not predicate(e)]

@@ -36,6 +36,10 @@ class FlowMod:
     cookie: int = 0
     idle_timeout: float = 0.0
     hard_timeout: float = 0.0
+    #: OFPFC_DELETE_STRICT semantics: a strict DELETE removes only entries
+    #: at exactly ``priority`` (0 included — priority 0 is a real target,
+    #: not a wildcard); a non-strict DELETE ignores priority entirely.
+    strict: bool = False
 
     def to_entry(self) -> FlowEntry:
         return FlowEntry(

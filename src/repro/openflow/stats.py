@@ -10,9 +10,67 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.openflow.flow_entry import FlowEntry
 from repro.openflow.match import Match
 from repro.openflow.pipeline import Pipeline
+
+
+class BurstStats:
+    """Per-switch burst telemetry: how the IO driver fed the datapath.
+
+    Every ``process_burst`` call records one burst here — count, size
+    histogram, and the cycles the burst cost (when a cycle meter was
+    attached). The numbers quantify the batching amortization Section 4.2
+    credits for substrate throughput.
+    """
+
+    __slots__ = ("bursts", "packets", "cycles", "histogram")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def record(self, size: int, cycles: float = 0.0) -> None:
+        """Account one burst of ``size`` packets costing ``cycles``."""
+        self.bursts += 1
+        self.packets += size
+        self.cycles += cycles
+        self.histogram[size] = self.histogram.get(size, 0) + 1
+
+    @property
+    def mean_burst_size(self) -> float:
+        return self.packets / self.bursts if self.bursts else 0.0
+
+    @property
+    def cycles_per_burst(self) -> float:
+        return self.cycles / self.bursts if self.bursts else 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-dict view (for Measurement.extra / CLI reporting)."""
+        return {
+            "bursts": self.bursts,
+            "packets": self.packets,
+            "cycles": self.cycles,
+            "mean_burst_size": self.mean_burst_size,
+            "cycles_per_burst": self.cycles_per_burst,
+            "histogram": dict(sorted(self.histogram.items())),
+        }
+
+    def reset(self) -> None:
+        self.bursts = 0
+        self.packets = 0
+        self.cycles = 0.0
+        self.histogram: dict[int, int] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstStats(bursts={self.bursts}, packets={self.packets}, "
+            f"mean={self.mean_burst_size:.1f})"
+        )
+
+
+def collect_burst_stats(switch) -> "BurstStats | None":
+    """The switch's burst telemetry, if it has a burst driver (duck-typed)."""
+    stats = getattr(switch, "burst_stats", None)
+    return stats if isinstance(stats, BurstStats) else None
 
 
 @dataclass(frozen=True)

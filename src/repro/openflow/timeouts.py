@@ -104,6 +104,7 @@ class ExpiryManager:
                     tracked.table_id,
                     entry.match,
                     priority=entry.priority,
+                    strict=True,  # expire exactly this rule, nothing else
                 )
             )
             if reason == "idle":

@@ -123,6 +123,18 @@ class CostBook:
         """The combined L2–L4 parse the prototype defaults to (28 cycles)."""
         return self.parser_l2 + self.parser_l3 + self.parser_l4
 
+    @property
+    def io_burst_share(self) -> float:
+        """Per-packet slice of ``io_burst_cost`` baked into the calibration.
+
+        The per-packet IO atoms (``pkt_in``/``pkt_out``) are calibrated at
+        the DPDK-typical ``reference_burst``; a burst driver charges
+        ``io_burst_cost`` once per poll and credits this share back per
+        packet, so a burst of exactly ``reference_burst`` packets costs the
+        same as that many scalar calls.
+        """
+        return self.io_burst_cost / self.reference_burst
+
     def direct_code(self, entries_examined: int) -> float:
         return self.direct_base + self.direct_per_entry * entries_examined
 

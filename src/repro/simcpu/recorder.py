@@ -67,7 +67,14 @@ class CycleMeter(Meter):
         self.keep_history = False
 
     def begin_packet(self) -> None:
-        self._packet_cycles = 0.0
+        """Open a packet's accounting window.
+
+        Deliberately does **not** zero the accumulator: cycles charged
+        between packets — per-burst IO framework cost, control-plane work
+        at a burst boundary — attach to the *next* packet instead of
+        vanishing. ``end_packet`` already resets the accumulator, so in a
+        plain begin/end loop this is indistinguishable from a reset.
+        """
 
     def end_packet(self) -> float:
         cycles = self._packet_cycles

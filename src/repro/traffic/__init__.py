@@ -9,6 +9,13 @@ cache behavior.
 """
 
 from repro.traffic.flows import FlowSet, round_robin
-from repro.traffic.nfpa import Measurement, measure, measure_multicore
+from repro.traffic.nfpa import DirectSwitch, Measurement, measure, measure_multicore
 
-__all__ = ["FlowSet", "round_robin", "Measurement", "measure", "measure_multicore"]
+__all__ = [
+    "DirectSwitch",
+    "FlowSet",
+    "round_robin",
+    "Measurement",
+    "measure",
+    "measure_multicore",
+]

@@ -7,7 +7,8 @@ hierarchy statistics.
 
 Switches are duck-typed: anything with ``process(pkt, meter) -> Verdict``
 works (ESwitch, OvsSwitch, or a bare pipeline wrapped in
-:class:`DirectSwitch`).
+:class:`DirectSwitch`); burst sweeps additionally need
+``process_burst(pkts, meter) -> list[Verdict]``, which all three provide.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.openflow.pipeline import Pipeline, Verdict
+from repro.openflow.stats import BurstStats, collect_burst_stats
 from repro.packet.packet import Packet
 from repro.simcpu.costs import CostBook, DEFAULT_COSTS
 from repro.simcpu.platform import Platform, XEON_E5_2620
@@ -39,11 +41,40 @@ def auto_params(n_flows: int) -> tuple[int, int]:
 class DirectSwitch:
     """The reference interpreter wrapped as a switch (a direct datapath)."""
 
-    def __init__(self, pipeline: Pipeline):
+    def __init__(self, pipeline: Pipeline, costs: CostBook = DEFAULT_COSTS):
         self.pipeline = pipeline
+        self.costs = costs
+        self.burst_stats = BurstStats()
 
     def process(self, pkt: Packet, meter: Meter = NULL_METER) -> Verdict:
         return self.pipeline.process(pkt)
+
+    def process_burst(
+        self, pkts, meter: Meter = NULL_METER
+    ) -> list[Verdict]:
+        """Interpret one IO burst; same amortization contract as the fast
+        switches (per-burst framework cost once, reference share credited
+        per packet), so burst sweeps compare like for like."""
+        if not pkts:
+            return []
+        costs = self.costs
+        begin = getattr(meter, "begin_packet", None)
+        end = getattr(meter, "end_packet", None)
+        cycles_before = getattr(meter, "total_cycles", 0.0)
+        meter.charge(costs.io_burst_cost)
+        share = costs.io_burst_share
+        verdicts = []
+        for pkt in pkts:
+            if begin is not None:
+                begin()
+            meter.charge(-share)
+            verdicts.append(self.pipeline.process(pkt))
+            if end is not None:
+                end()
+        self.burst_stats.record(
+            len(pkts), getattr(meter, "total_cycles", 0.0) - cycles_before
+        )
+        return verdicts
 
 
 @dataclass
@@ -87,40 +118,65 @@ def measure(
     ``update_hook(i, meter)``, if given, fires before each measured packet
     — the update-intensity experiments (Fig. 18) inject flow-mods there.
 
-    ``batch_size`` models the IO burst the datapath polls in: the
-    per-packet costs are calibrated at the DPDK-typical burst of
-    ``costs.reference_burst``; other sizes re-amortize the per-burst
-    framework cost (None = the reference burst, no adjustment).
+    ``batch_size`` selects the IO burst the datapath polls in: packets are
+    driven through the switch's ``process_burst`` in chunks of that size,
+    re-amortizing the per-burst framework cost that the per-packet IO atoms
+    bake in at the DPDK-typical ``costs.reference_burst`` (None = scalar
+    ``process`` calls, which are calibrated to the reference burst).
     """
     meter = CycleMeter(platform)
-    burst_adjust = 0.0
     if batch_size is not None:
         if batch_size < 1:
             raise ValueError("batch size must be positive")
-        burst_adjust = costs.io_burst_cost * (
-            1.0 / batch_size - 1.0 / costs.reference_burst
-        )
+        if not hasattr(switch, "process_burst"):
+            raise TypeError(
+                f"batch_size={batch_size} needs a switch with process_burst; "
+                f"{type(switch).__name__} only has scalar process()"
+            )
     n = len(flows)
-    for i in range(warmup):
-        meter.begin_packet()
-        switch.process(flows[i % n].copy(), meter)
-        meter.end_packet()
+    if batch_size is None:
+        for i in range(warmup):
+            meter.begin_packet()
+            switch.process(flows[i % n].copy(), meter)
+            meter.end_packet()
+    else:
+        for start in range(0, warmup, batch_size):
+            burst = [
+                flows[i % n].copy()
+                for i in range(start, min(start + batch_size, warmup))
+            ]
+            switch.process_burst(burst, meter)
     # Keep cache state, discard the warm-up counters.
     meter.total_cycles = 0.0
     meter.packets = 0
     meter.cache.stats.reset()
+    burst_stats = collect_burst_stats(switch)
+    burst_base = burst_stats.snapshot() if burst_stats is not None else None
 
     forwarded = dropped = to_controller = 0
-    for i in range(n_packets):
-        meter.begin_packet()
-        if burst_adjust:
-            meter.charge(burst_adjust)
-        # The hook runs inside the packet's accounting window so any cycles
-        # it charges (e.g. update work sharing the core) are not lost.
-        if update_hook is not None:
-            update_hook(i, meter)
-        verdict = switch.process(flows[(warmup + i) % n].copy(), meter)
-        meter.end_packet()
+    verdicts: list[Verdict] = []
+    if batch_size is None:
+        for i in range(n_packets):
+            meter.begin_packet()
+            # The hook runs inside the packet's accounting window so any
+            # cycles it charges (e.g. update work sharing the core) are not
+            # lost.
+            if update_hook is not None:
+                update_hook(i, meter)
+            verdicts.append(switch.process(flows[(warmup + i) % n].copy(), meter))
+            meter.end_packet()
+    else:
+        for start in range(0, n_packets, batch_size):
+            stop = min(start + batch_size, n_packets)
+            if update_hook is not None:
+                # Control-plane work lands at the burst boundary — updates
+                # can't preempt the datapath mid-burst. Charges ride into
+                # the burst's first packet window.
+                for i in range(start, stop):
+                    update_hook(i, meter)
+            burst = [flows[(warmup + i) % n].copy() for i in range(start, stop)]
+            verdicts.extend(switch.process_burst(burst, meter))
+    for verdict in verdicts:
         if verdict.forwarded:
             forwarded += 1
         elif verdict.to_controller:
@@ -128,6 +184,17 @@ def measure(
         else:
             dropped += 1
 
+    extra: dict = {}
+    if burst_stats is not None and burst_base is not None:
+        now = burst_stats.snapshot()
+        bursts = now["bursts"] - burst_base["bursts"]
+        if bursts:
+            burst_pkts = now["packets"] - burst_base["packets"]
+            extra["burst"] = {
+                "bursts": bursts,
+                "mean_burst_size": burst_pkts / bursts,
+                "cycles_per_burst": (now["cycles"] - burst_base["cycles"]) / bursts,
+            }
     return Measurement(
         pps=meter.mean_pps(),
         cycles_per_packet=meter.mean_cycles_per_packet,
@@ -136,6 +203,7 @@ def measure(
         forwarded=forwarded,
         dropped=dropped,
         to_controller=to_controller,
+        extra=extra,
     )
 
 

@@ -10,9 +10,6 @@ from repro.controller import (
 )
 from repro.core import ESwitch
 from repro.ovs import OvsSwitch
-from repro.openflow.actions import Output
-from repro.openflow.instructions import ApplyActions
-from repro.openflow.match import Match
 from repro.openflow.messages import FlowMod, FlowModCommand
 from repro.usecases import gateway, loadbalancer
 

@@ -12,7 +12,6 @@ from repro.openflow.flow_entry import FlowEntry
 from repro.openflow.flow_table import FlowTable
 from repro.openflow.match import Match
 from repro.openflow.pipeline import Pipeline
-from repro.packet.parser import parse
 
 
 def e(prio, action_port, **match):

@@ -11,6 +11,7 @@ from repro.openflow.instructions import ApplyActions
 from repro.openflow.match import Match
 from repro.openflow.messages import FlowMod, FlowModCommand
 from repro.openflow.pipeline import Pipeline
+from repro.ovs import OvsSwitch
 from repro.packet import PacketBuilder
 from repro.usecases import l2, l3
 
@@ -175,6 +176,125 @@ class TestTransactions:
         with pytest.raises(ValueError):
             self.sw.apply_flow_mods([add(7, eth_dst=1), bad])
         assert 7 not in self.sw.table_kinds()
+
+    def test_rollback_created_table_clears_deferred_rebuild(self):
+        """Regression: a table created *and* made decomposed inside a failed
+        batch left its id in the deferred-rebuild queue after rollback, so
+        the next packet's flush crashed looking up the vanished table."""
+        mods = [add(7, eth_dst=0x7000 + i) for i in range(8)]
+        mods.append(add(7, priority=5, tcp_dst=80))  # mixed shape: decomposes
+        mods.append(add(7, eth_dst=0x7FFF))  # decomposed group: deferred rebuild
+        mods.append(FlowMod(FlowModCommand.ADD, 7, Match(eth_dst=2), priority=-1))
+        with pytest.raises(ValueError):
+            self.sw.apply_flow_mods(mods)
+        # The scenario must actually have queued a deferred group rebuild.
+        assert self.sw.update_stats.group_rebuilds >= 1
+        # Processing (which flushes deferred rebuilds) must not crash, and
+        # the rolled-back table must be gone.
+        assert self.sw.process(mac_pkt(self.macs[0])).forwarded
+        assert 7 not in self.sw.table_kinds()
+
+
+class TestStrictDelete:
+    """OFPFC_DELETE_STRICT, including the falsy priority-0 regression: a
+    strict delete at priority 0 used to degrade to a non-strict delete and
+    wipe matching entries at *every* priority."""
+
+    def _switch_with_duplicates(self, make):
+        """Same match at priorities 5 and 0, forwarding to ports 5 and 9."""
+        sw = make(l2.build(20)[0])
+        sw.apply_flow_mod(add(0, priority=5, port=5, eth_dst=0xAA))
+        sw.apply_flow_mod(add(0, priority=0, port=9, eth_dst=0xAA))
+        return sw
+
+    @pytest.mark.parametrize(
+        "make", [ESwitch.from_pipeline, OvsSwitch], ids=["eswitch", "ovs"]
+    )
+    def test_strict_priority_zero_deletes_only_that_priority(self, make):
+        sw = self._switch_with_duplicates(make)
+        sw.apply_flow_mod(
+            FlowMod(FlowModCommand.DELETE, 0, Match(eth_dst=0xAA),
+                    priority=0, strict=True)
+        )
+        # The priority-5 entry survives and still forwards.
+        assert sw.process(mac_pkt(0xAA)).output_ports == [5]
+        assert len([e for e in sw.pipeline.table(0) if e.match == Match(eth_dst=0xAA)]) == 1
+
+    @pytest.mark.parametrize(
+        "make", [ESwitch.from_pipeline, OvsSwitch], ids=["eswitch", "ovs"]
+    )
+    def test_strict_delete_of_shadowing_entry_reinstates_survivor(self, make):
+        sw = self._switch_with_duplicates(make)
+        sw.apply_flow_mod(
+            FlowMod(FlowModCommand.DELETE, 0, Match(eth_dst=0xAA),
+                    priority=5, strict=True)
+        )
+        # The shadowed priority-0 duplicate takes over on the fast path.
+        assert sw.process(mac_pkt(0xAA)).output_ports == [9]
+
+    @pytest.mark.parametrize(
+        "make", [ESwitch.from_pipeline, OvsSwitch], ids=["eswitch", "ovs"]
+    )
+    def test_nonstrict_delete_ignores_priority(self, make):
+        sw = self._switch_with_duplicates(make)
+        sw.apply_flow_mod(
+            FlowMod(FlowModCommand.DELETE, 0, Match(eth_dst=0xAA), priority=0)
+        )
+        assert not sw.process(mac_pkt(0xAA)).forwarded
+
+    def test_noop_strict_delete_is_free_and_harmless(self):
+        sw = self._switch_with_duplicates(ESwitch.from_pipeline)
+        before = len(sw.pipeline.table(0))
+        # Wrong priority: nothing matches, nothing changes, nothing charged.
+        cost = sw.apply_flow_mod(
+            FlowMod(FlowModCommand.DELETE, 0, Match(eth_dst=0xAA),
+                    priority=3, strict=True)
+        )
+        assert cost == 0.0
+        assert len(sw.pipeline.table(0)) == before
+        assert sw.process(mac_pkt(0xAA)).output_ports == [5]
+
+
+class TestLpmSlotRecycling:
+    """Regression: incremental LPM deletes leaked their ``_OUT`` outcome
+    slot, so route add/delete churn grew the namespace list forever."""
+
+    def test_route_churn_keeps_outcome_list_bounded(self):
+        p, _fib = l3.build(100)
+        sw = ESwitch.from_pipeline(p)
+        compiled = sw.compiled_table(0)
+        baseline = len(compiled.namespace["_OUT"])
+        pkt = PacketBuilder().eth().ipv4(dst="203.0.113.55").udp().build()
+        miss_ports = sw.process(pkt.copy()).output_ports
+        for i in range(50):
+            sw.apply_flow_mod(
+                add(0, priority=24, port=9, ipv4_dst="203.0.113.0/24")
+            )
+            assert sw.process(pkt.copy()).output_ports == [9]
+            sw.apply_flow_mod(delete(0, priority=24, ipv4_dst="203.0.113.0/24"))
+            assert sw.process(pkt.copy()).output_ports == miss_ports
+        # Every delete recycled its slot: at most one slot of growth, not 50.
+        assert len(compiled.namespace["_OUT"]) <= baseline + 1
+        assert sw.update_stats.incremental == 100
+        assert sw.update_stats.rebuilds == 0
+
+    def test_churned_table_equals_recompiled_oracle(self):
+        p, _fib = l3.build(60)
+        sw = ESwitch.from_pipeline(p)
+        for i in range(10):
+            sw.apply_flow_mod(add(0, priority=24, port=i + 1,
+                                  ipv4_dst=f"203.0.{i}.0/24"))
+        for i in range(0, 10, 2):
+            sw.apply_flow_mod(delete(0, ipv4_dst=f"203.0.{i}.0/24"))
+        fresh = FlowTable(0)
+        for e in sw.pipeline.table(0).entries:
+            fresh.add(FlowEntry(e.match, priority=e.priority,
+                                instructions=e.instructions))
+        oracle = ESwitch.from_pipeline(Pipeline([fresh]))
+        for i in range(10):
+            pkt = PacketBuilder().eth().ipv4(dst=f"203.0.{i}.77").udp().build()
+            assert (sw.process(pkt.copy()).summary()
+                    == oracle.process(pkt.copy()).summary())
 
 
 class TestUpdateCosts:

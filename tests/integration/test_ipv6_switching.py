@@ -5,7 +5,7 @@ import random
 
 from repro.core import ESwitch
 from repro.core.analysis import TemplateKind
-from repro.openflow.actions import DecTtl, Output, SetField
+from repro.openflow.actions import Output, SetField
 from repro.openflow.flow_entry import FlowEntry
 from repro.openflow.flow_table import FlowTable
 from repro.openflow.match import Match

@@ -3,7 +3,6 @@ datapath, and all three datapaths must agree on their fate."""
 
 import random
 
-import pytest
 
 from repro.core import ESwitch
 from repro.ovs import OvsSwitch

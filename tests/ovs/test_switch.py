@@ -1,7 +1,5 @@
 """Tests for the assembled OVS switch: hierarchy, stats, invalidation."""
 
-from repro.openflow.actions import Output
-from repro.openflow.flow_entry import FlowEntry
 from repro.openflow.flow_table import FlowTable, TableMissPolicy
 from repro.openflow.match import Match
 from repro.openflow.messages import FlowMod, FlowModCommand

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import ESwitch
-from repro.openflow.pipeline import Pipeline
 from repro.packet.parser import parse
 from repro.openflow.fields import field_by_name
 from repro.usecases import acl, firewall, gateway, l2, l3, loadbalancer
