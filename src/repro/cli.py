@@ -7,6 +7,7 @@ Usage (also via ``python -m repro``)::
     repro run      pipeline.json --pkt in_port=1,ipv4_dst=192.0.2.1,tcp_dst=80 ...
     repro model    pipeline.json
     repro bench    pipeline.json [--flows N] [--packets M] [--seed S] [--burst B]
+    repro bench    --wallclock [--out BENCH_wallclock.json] [--flows N] ...
 
 ``run`` drives the packet through all three datapaths (ESWITCH, the OVS
 baseline, and the reference interpreter) and reports disagreement loudly —
@@ -173,6 +174,10 @@ def cmd_model(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     if args.burst < 0:
         raise SystemExit(f"error: --burst must be >= 0, got {args.burst}")
+    if args.wallclock:
+        return cmd_bench_wallclock(args)
+    if args.pipeline is None:
+        raise SystemExit("error: a pipeline file is required (or use --wallclock)")
     rng = random.Random(args.seed)
     pipeline = _load(args.pipeline)
     fields = pipeline.matched_fields()
@@ -214,6 +219,41 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_wallclock(args: argparse.Namespace) -> int:
+    """Wall-clock pkts/sec of the simulator itself (fused vs trampoline
+    vs OVS), written to ``BENCH_wallclock.json`` — the axis EXPERIMENTS.md
+    keeps separate from the cycle model's Mpps."""
+    import json
+
+    from repro.traffic.wallclock import run_wallclock
+
+    doc = run_wallclock(
+        n_flows=args.flows,
+        n_packets=args.packets,
+        burst=args.burst or 32,
+        repeats=args.repeats,
+    )
+    print(f"{'case':8} {'variant':11} {'mode':6} {'wall pps':>12} {'us/pkt':>8}")
+    for point in doc["points"]:
+        modeled = (
+            f"   modeled {point['modeled_pps'] / 1e6:.2f} Mpps"
+            if "modeled_pps" in point
+            else ""
+        )
+        print(
+            f"{point['case']:8} {point['variant']:11} {point['mode']:6} "
+            f"{point['wall_pps']:12,.0f} {point['usec_per_pkt']:8.2f}{modeled}"
+        )
+    print()
+    for key, ratios in doc["speedups"].items():
+        pairs = "  ".join(f"{k}={v:.2f}x" for k, v in ratios.items())
+        print(f"{key:14} {pairs}")
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    print(f"\nwrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -250,7 +290,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_model.set_defaults(fn=cmd_model)
 
     p_bench = sub.add_parser("bench", help="quick simulated measurement")
-    p_bench.add_argument("pipeline")
+    p_bench.add_argument("pipeline", nargs="?", default=None)
+    p_bench.add_argument("--wallclock", action="store_true",
+                         help="measure the simulator's own wall-clock pkts/sec "
+                              "(fused vs trampoline vs OVS) over the built-in "
+                              "use cases instead of a pipeline file")
+    p_bench.add_argument("--out", default="BENCH_wallclock.json",
+                         help="output JSON for --wallclock")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="best-of repeats per --wallclock point")
     p_bench.add_argument("--flows", type=int, default=1000)
     p_bench.add_argument("--packets", type=int, default=10_000)
     p_bench.add_argument("--seed", type=int, default=0)

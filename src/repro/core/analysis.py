@@ -62,12 +62,16 @@ class CompileConfig:
         enable_range: opt into the range-search table template for port
             matches (the paper's suggested future extension); off by
             default to keep the shipped Fig. 4 template set.
+        fuse: link the compiled tables into one whole-pipeline code
+            object (:mod:`repro.core.fuse`); off forces every packet
+            through the per-table trampoline dispatch.
     """
 
     direct_threshold: int = 4
     decompose: bool = True
     keys_in_code: bool = True
     enable_range: bool = False
+    fuse: bool = True
 
     def with_(self, **kwargs: object) -> "CompileConfig":
         return replace(self, **kwargs)

@@ -26,12 +26,15 @@ code *is* the performance model of its table (Section 4.4).
 
 from __future__ import annotations
 
+import bisect
+import math
 from dataclasses import dataclass, field
 
 from repro.core.analysis import (
     CompileConfig,
     DEFAULT_CONFIG,
     TemplateKind,
+    port_runs,
     select_template,
     split_catch_all,
 )
@@ -415,10 +418,6 @@ def compile_range(
     one interval instead of thousands of hash entries for an
     "allow 1024–2047"-style rule block.
     """
-    import math
-
-    from repro.core.analysis import port_runs
-
     runs = port_runs(table.entries)
     if runs is None:
         raise CompileError("range template prerequisite (exact port runs) violated")
@@ -438,7 +437,7 @@ def compile_range(
         "_STARTS": starts,
         "_ENDS": ends,
         "_OUTS": outs,
-        "_bisect": __import__("bisect").bisect_right,
+        "_bisect": bisect.bisect_right,
     }
     guard = (
         [f"    if not (proto & {req:#x}):", "        return _MISS"]

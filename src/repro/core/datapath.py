@@ -60,7 +60,26 @@ _PARSERS = {2: pp.parse_l2, 3: pp.parse_l3, 4: pp.parse}
 
 
 class CompiledDatapath:
-    """Executes compiled tables over packets; the ESWITCH fast path."""
+    """Executes compiled tables over packets; the ESWITCH fast path.
+
+    Two execution engines share the same compiled tables:
+
+    * the **trampoline** — goto_table resolved through a mutable dict, so
+      any single table can be swapped atomically (always correct, always
+      available);
+    * the **fused driver** (:mod:`repro.core.fuse`) — the whole pipeline
+      linked into one code object, valid for one value of
+      :attr:`generation`.
+
+    ``generation`` is the invalidation contract: every ``install``/
+    ``uninstall``/``set_parser_layer`` bumps it (callers that mutate a
+    compiled table's namespace in place must call :meth:`bump_generation`
+    themselves — :class:`~repro.core.eswitch.ESwitch` does). ``process``/
+    ``process_burst`` run the fused driver while it matches the current
+    generation and lazily re-fuse on the first packet after a change —
+    the compile happens off the update critical path, with the trampoline
+    serving packets in the window and for shapes the fuser rejects.
+    """
 
     def __init__(
         self,
@@ -68,6 +87,7 @@ class CompiledDatapath:
         parser_layer: int = 4,
         use_etype: bool = True,
         costs: CostBook = DEFAULT_COSTS,
+        enable_fusion: bool = True,
     ):
         if parser_layer not in _PARSERS:
             raise ValueError(f"parser layer must be 2, 3, or 4, not {parser_layer}")
@@ -76,6 +96,10 @@ class CompiledDatapath:
         self.parser_layer = parser_layer
         self.use_etype = use_etype
         self.costs = costs
+        self.enable_fusion = enable_fusion
+        self.generation = 0
+        self._fused = None
+        self._fuse_failed_gen = -1
         self._extract_etype = field_by_name("eth_type").extract
         self.set_parser_layer(parser_layer)
 
@@ -90,22 +114,62 @@ class CompiledDatapath:
             self._parser_cost += costs.parser_l3
         if parser_layer >= 4:
             self._parser_cost += costs.parser_l4
+        self.generation += 1
 
     # -- linking ------------------------------------------------------------
+
+    def bump_generation(self) -> None:
+        """Invalidate the fused driver after an in-place table mutation."""
+        self.generation += 1
 
     def install(self, compiled: CompiledTable) -> None:
         """Atomically (re)link one table into the trampoline."""
         self.trampoline[compiled.table_id] = compiled
+        self.generation += 1
 
     def uninstall(self, table_id: int) -> None:
         self.trampoline.pop(table_id, None)
+        self.generation += 1
 
     def table(self, table_id: int) -> CompiledTable:
         return self.trampoline[table_id]
 
+    # -- fusion ------------------------------------------------------------
+
+    @property
+    def fused(self):
+        """The current fused driver, or None (inspection only)."""
+        return self._fused
+
+    def _fused_fresh(self):
+        """The fused driver if valid for this generation, fusing lazily."""
+        if not self.enable_fusion:
+            return None
+        fused = self._fused
+        generation = self.generation
+        if fused is not None and fused.generation == generation:
+            return fused
+        if self._fuse_failed_gen == generation:
+            return None
+        from repro.core.fuse import FuseError, fuse_datapath
+
+        try:
+            fused = fuse_datapath(self)
+        except FuseError:
+            self._fused = None
+            self._fuse_failed_gen = generation
+            return None
+        self._fused = fused
+        return fused
+
     # -- the fast path -----------------------------------------------------------
 
     def process(self, pkt: Packet, meter: Meter = NULL_METER) -> Verdict:
+        fused = self._fused_fresh()
+        if fused is not None:
+            if meter is NULL_METER:
+                return fused.process_null(pkt)
+            return fused.process(pkt, meter)
         costs = self.costs
         meter.charge(costs.pkt_in + costs.es_dispatch + self._parser_cost)
         return self._forward(pkt, meter, _PARSERS[self.parser_layer], self.trampoline)
@@ -135,21 +199,53 @@ class CompiledDatapath:
         (packet-in delivery, deferred rebuild flushes); a truthy return
         signals that datapath state may have changed and the hoisted
         dispatch is re-read.
+
+        While a fused driver is fresh the whole burst runs inside it; a
+        truthy ``on_verdict`` hands the rest of the burst back to the
+        trampoline (which re-reads the live datapath), and the next burst
+        re-fuses lazily.
         """
-        verdicts: list[Verdict] = []
         if not pkts:
-            return verdicts
+            return []
+        fused = self._fused_fresh()
+        if fused is not None:
+            if meter is NULL_METER:
+                verdicts, resume = fused.burst_null(pkts, on_verdict)
+            else:
+                verdicts, resume = fused.burst(pkts, meter, on_verdict)
+            if resume < 0:
+                return verdicts
+            return self._trampoline_burst(
+                pkts, meter, on_verdict, verdicts=verdicts, start=resume,
+                charge_io=False,
+            )
+        return self._trampoline_burst(pkts, meter, on_verdict)
+
+    def _trampoline_burst(
+        self,
+        pkts: "Sequence[Packet]",
+        meter: Meter,
+        on_verdict,
+        verdicts: "list[Verdict] | None" = None,
+        start: int = 0,
+        charge_io: bool = True,
+    ) -> list[Verdict]:
+        """The dict-dispatch burst loop (also the fused driver's resume
+        path: ``start > 0`` picks up mid-burst with the per-burst IO cost
+        already charged)."""
+        verdicts = [] if verdicts is None else verdicts
         costs = self.costs
         begin = getattr(meter, "begin_packet", None)
         end = getattr(meter, "end_packet", None)
-        meter.charge(costs.io_burst_cost)
+        if charge_io:
+            meter.charge(costs.io_burst_cost)
         parse = _PARSERS[self.parser_layer]
         trampoline = self.trampoline
         per_pkt = (
             costs.pkt_in + costs.es_dispatch + self._parser_cost
             - costs.io_burst_share
         )
-        for pkt in pkts:
+        for pkt in pkts[start:] if start else pkts:
             if begin is not None:
                 begin()
             meter.charge(per_pkt)

@@ -92,6 +92,7 @@ class ESwitch:
             parser_layer=required_layer(pipeline),
             use_etype=True,
             costs=costs,
+            enable_fusion=config.fuse,
         )
         for table in pipeline.tables:
             self._compile_group(table)
@@ -137,9 +138,13 @@ class ESwitch:
         if self._dirty_groups:
             self._flush_rebuilds()
         cycles_before = getattr(meter, "total_cycles", 0.0)
-        verdicts = self.datapath.process_burst(
-            pkts, meter, on_verdict=self._burst_packet_done
+        # Without a packet-in handler no between-packet control work can
+        # arise mid-burst (deferred rebuilds were flushed above, and only
+        # packet-ins can queue new ones), so skip the per-packet callback.
+        on_verdict = (
+            self._burst_packet_done if self.packet_in_handler is not None else None
         )
+        verdicts = self.datapath.process_burst(pkts, meter, on_verdict=on_verdict)
         self.burst_stats.record(
             len(pkts), getattr(meter, "total_cycles", 0.0) - cycles_before
         )
@@ -262,6 +267,12 @@ class ESwitch:
         if layer != self.datapath.parser_layer:
             self.datapath.set_parser_layer(layer)
         cycles = self._recompile_after_update(table, mod, new_table)
+        # Incremental updates mutate compiled-table namespaces in place
+        # (hash store, LPM slots, linked list entries, _MISS rebinds)
+        # without touching the trampoline — invalidate the fused driver
+        # explicitly; rebuilds already did via install(). The re-fuse
+        # itself is lazy: it runs on the next packet, not here.
+        self.datapath.bump_generation()
         self.update_stats.cycles += cycles
         return cycles
 

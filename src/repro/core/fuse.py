@@ -1,0 +1,523 @@
+"""Whole-pipeline fusion: link the compiled tables into one code object.
+
+The trampoline (:mod:`repro.core.datapath`) resolves every ``goto_table``
+through a mutable dict so a rebuilt table can be swapped in atomically
+(Section 3.4). That flexibility costs a dict lookup, a generic function
+call, and Outcome unboxing at every table hop — interpreter dispatch the
+paper's linked machine code never executes: there, linking "atomically
+redirect[s] all referring goto_table jumps to the address of the new
+code" (Section 3.3–3.4) and the pipeline runs as one straight-line
+instruction stream.
+
+:func:`fuse_datapath` reproduces that last linking step. It stitches the
+per-table generated sources into **one** ``compile()``\\ d driver:
+
+* ``goto_table`` becomes a local jump — an ``if tid == N`` dispatch over
+  compile-time-known table ids, with the table bodies **textually
+  inlined** where the emitter allows (direct, hash, LPM, range) and a
+  closure-bound direct call otherwise (linked list, whose generated body
+  returns from inside a loop);
+* parser dispatch, ethertype extraction, the first-table id, and every
+  cost-book constant are baked in as literals;
+* every ``m.charge``/``m.touch`` atom of the trampoline path is preserved
+  **literally**, in the same order, so modeled cycles stay bit-identical
+  to the unfused pipeline — fusion buys real wall-clock, not model drift;
+* a second driver variant specialized for :data:`~repro.simcpu.recorder.
+  NULL_METER` drops the (no-op) metering calls entirely, which is where
+  the functional-mode speedup comes from.
+
+Validity is governed by :attr:`CompiledDatapath.generation`: ``install``/
+``uninstall``/``set_parser_layer`` (and every applied flow-mod, via
+:class:`~repro.core.eswitch.ESwitch`) bump it, and the datapath lazily
+re-fuses on the next packet — off the update critical path, with the
+trampoline serving the window in between, so the atomic-swap update
+semantics are untouched.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.analysis import TemplateKind
+from repro.core.outcome import Outcome
+from repro.openflow.actions import Output
+from repro.openflow.fields import field_by_name
+from repro.openflow.pipeline import MAX_TABLE_HOPS, PipelineError, Verdict
+from repro.simcpu.recorder import NULL_METER
+
+if TYPE_CHECKING:
+    from repro.core.datapath import CompiledDatapath
+
+
+class FuseError(Exception):
+    """Raised when a datapath cannot be fused (the trampoline still runs)."""
+
+
+#: Templates whose generated bodies can be textually inlined: straight-line
+#: code whose ``return`` statements never sit inside a loop, so they rewrite
+#: mechanically to ``out = ...; break`` under a one-shot ``while True``.
+#: The linked list template returns from inside its entry loop and is
+#: linked by closure-bound direct call instead.
+INLINABLE = frozenset(
+    {TemplateKind.DIRECT, TemplateKind.HASH, TemplateKind.LPM, TemplateKind.RANGE}
+)
+
+_IDENT = re.compile(r"\b[A-Za-z_][A-Za-z0-9_]*\b")
+_RETURN = re.compile(r"^(\s*)return\s+(.+)$")
+
+
+@dataclass
+class FusedPipeline:
+    """One datapath generation's fused drivers."""
+
+    generation: int
+    source: str
+    namespace: dict
+    table_ids: tuple[int, ...]
+    inlined_ids: tuple[int, ...]
+    #: ``(pkt, meter) -> Verdict`` — metered scalar driver.
+    process: Callable
+    #: ``(pkt) -> Verdict`` — NullMeter scalar driver (atoms elided).
+    process_null: Callable
+    #: ``(pkts, meter, on_verdict) -> (verdicts, resume)`` where ``resume``
+    #: is -1 when the whole burst ran fused, else the index of the first
+    #: unprocessed packet (state changed under us: the caller finishes the
+    #: burst on the trampoline, which re-reads the live datapath).
+    burst: Callable
+    #: ``(pkts, on_verdict) -> (verdicts, resume)`` — NullMeter variant.
+    burst_null: Callable
+
+
+def _table_outcomes(compiled) -> "list[Outcome] | None":
+    """Every Outcome a table lookup can return, or None if unknowable.
+
+    Outcomes are compile-time constants: they live in the generated
+    namespace (``_O*``, ``_MISS``, the LPM ``_OUT`` list, the linked-list
+    ``_ENTRIES`` tuples) or inside the hash store. Incremental updates
+    mutate those same containers and bump the generation, so a re-fuse
+    always re-reads the current set.
+    """
+    namespace = getattr(compiled, "namespace", None)
+    if not isinstance(namespace, dict):
+        return None
+    found: list[Outcome] = []
+
+    def visit(value: object, depth: int = 0) -> None:
+        if isinstance(value, Outcome):
+            found.append(value)
+        elif depth < 2 and isinstance(value, (list, tuple)):
+            for item in value:
+                visit(item, depth + 1)
+
+    for value in namespace.values():
+        visit(value)
+    visit(getattr(compiled, "miss", None))
+    store = getattr(compiled, "hash_store", None)
+    if store is not None:
+        for value in store._items.values():
+            visit(value)
+    return found
+
+
+def _pipeline_facts(dp: "CompiledDatapath") -> "tuple[bool, dict | None]":
+    """Whole-datapath facts proven from the enumerated outcome set.
+
+    Returns ``(acyclic, flags)``:
+
+    * ``acyclic`` — no chain of static ``goto`` targets can revisit a
+      table, so the fused driver may drop the per-hop loop guard (the
+      trampoline's ``MAX_TABLE_HOPS`` counter exists only to catch goto
+      cycles, which a DAG cannot have);
+    * ``flags`` — which driver machinery any outcome actually needs
+      (``write`` action sets, ``meta``\\ data writes, flow ``meter``
+      checks); the emitter elides what no outcome can trigger — the
+      specialization move of the paper, applied to our own driver.
+
+    Any table whose outcomes cannot be enumerated makes both answers
+    conservative: ``(False, None)`` keeps the fully generic driver.
+    """
+    tables: dict[int, list[Outcome]] = {}
+    for tid, compiled in dp.trampoline.items():
+        outcomes = _table_outcomes(compiled)
+        if outcomes is None:
+            return False, None
+        tables[tid] = outcomes
+    edges = {
+        tid: {o.goto for o in outcomes if o.goto is not None}
+        for tid, outcomes in tables.items()
+    }
+    state: dict[int, int] = {}  # 1 = on stack, 2 = done
+
+    def dfs(tid: int) -> bool:
+        state[tid] = 1
+        for nxt in edges.get(tid, ()):
+            mark = state.get(nxt)
+            if mark == 1:
+                return False
+            if mark is None and nxt in edges and not dfs(nxt):
+                return False
+        state[tid] = 2
+        return True
+
+    acyclic = all(state.get(tid) == 2 or dfs(tid) for tid in edges)
+    everything = [o for outcomes in tables.values() for o in outcomes]
+    flags = {
+        # clear_actions without any write_actions anywhere is a no-op on
+        # an always-empty action set, so "write" alone gates the machinery.
+        "write": any(o.write_actions for o in everything),
+        "meta": any(o.metadata_write is not None for o in everything),
+        "meter": any(o.meter is not None for o in everything),
+    }
+    return acyclic, flags
+
+
+def _rename_body(body: list[str], mapping: dict[str, str]) -> list[str]:
+    """Token-rename identifiers in generated source lines (one pass, so
+    ``_O1``/``_O10`` style prefix collisions cannot mis-rewrite)."""
+
+    def sub(match: "re.Match[str]") -> str:
+        return mapping.get(match.group(0), match.group(0))
+
+    return [_IDENT.sub(sub, line) for line in body]
+
+
+def _inline_body(compiled, prefix: str, namespace: dict, null: bool) -> list[str]:
+    """One table's generated body, rewritten for inlining.
+
+    ``return X`` becomes ``out = X`` + ``break`` (the caller wraps the body
+    in a one-iteration ``while True``), the table's namespace constants are
+    re-bound under ``prefix`` into the fused namespace, and ``m`` becomes
+    the driver's ``meter``. With ``null=True`` the metering atoms (and the
+    LPM trace loop that exists only to feed them) are dropped — they are
+    no-ops on a NullMeter.
+    """
+    lines = compiled.source.rstrip("\n").split("\n")
+    if not lines or not lines[0].startswith("def _match("):
+        raise FuseError(
+            f"table {compiled.table_id}: unexpected generated source shape"
+        )
+    body = lines[1:]
+    if null:
+        kept = []
+        for line in body:
+            stripped = line.strip()
+            if stripped.startswith(("m.charge(", "m.touch(")):
+                continue
+            if stripped == "for _ln in _lines:":
+                continue  # its whole suite is the touch just dropped
+            # The traced store lookups exist only to feed the cache model:
+            # on a NullMeter the trace is dead, so specialize down to the
+            # single-result lookups (bound methods, no tuple boxing).
+            matched = re.match(r"^(\s*)v, _ln = _H\.get_traced\((.*)\)$", line)
+            if matched and getattr(compiled, "hash_store", None) is not None:
+                namespace[prefix + "_Hget"] = compiled.hash_store.get
+                kept.append(f"{matched.group(1)}v = _Hget({matched.group(2)})")
+                continue
+            matched = re.match(r"^(\s*)nh, _lines = _LPM\.lookup_traced\((.*)\)$", line)
+            if matched and getattr(compiled, "lpm_store", None) is not None:
+                namespace[prefix + "_LPMlookup"] = compiled.lpm_store.lookup
+                kept.append(f"{matched.group(1)}nh = _LPMlookup({matched.group(2)})")
+                continue
+            kept.append(line)
+        body = kept
+    mapping = {"m": "meter", "_Hget": prefix + "_Hget", "_LPMlookup": prefix + "_LPMlookup"}
+    for key, value in compiled.namespace.items():
+        if key.startswith("_") and key not in ("_match", "__builtins__"):
+            mapping[key] = prefix + key
+            namespace[prefix + key] = value
+    body = _rename_body(body, mapping)
+    out = []
+    for line in body:
+        matched = _RETURN.match(line)
+        if matched:
+            indent, expr = matched.groups()
+            out.append(f"{indent}out = {expr}")
+            out.append(f"{indent}break")
+        else:
+            out.append(line)
+    return out
+
+
+def _emit_dispatch(dp: "CompiledDatapath", namespace: dict, null: bool) -> tuple[
+    list[str], tuple[int, ...]
+]:
+    """The ``if tid == N`` chain replacing the trampoline dict lookup."""
+    order = [dp.first_table] if dp.first_table in dp.trampoline else []
+    order += [tid for tid in sorted(dp.trampoline) if tid not in order]
+    lines: list[str] = []
+    inlined: list[int] = []
+    variant = "n" if null else "m"
+    for pos, tid in enumerate(order):
+        compiled = dp.trampoline[tid]
+        if not isinstance(tid, int):
+            raise FuseError(f"non-integer table id {tid!r}")
+        fn = getattr(compiled, "fn", None)
+        if fn is None or not callable(fn):
+            raise FuseError(f"table {tid!r} has no callable fast path")
+        head = "if" if pos == 0 else "elif"
+        lines.append(f"        {head} tid == {tid}:")
+        kind = getattr(compiled, "kind", None)
+        source = getattr(compiled, "source", "")
+        if kind in INLINABLE and source.startswith("def _match("):
+            prefix = f"_t{tid}_{variant}"
+            lines.append("            while True:")
+            body = _inline_body(compiled, prefix, namespace, null)
+            lines.extend("            " + line for line in body)
+            inlined.append(tid)
+        else:
+            name = f"_t{tid}_fn"
+            namespace[name] = fn
+            arg = "_NULL" if null else "meter"
+            lines.append(
+                f"            out = {name}(data, pkt, l3, l4, proto, etype, nxt, {arg})"
+            )
+    lines.append("        else:")
+    lines.append(
+        '            raise _PipelineError(f"goto_table to unlinked table {tid}")'
+    )
+    return lines, tuple(inlined)
+
+
+def _etype_lines(dp: "CompiledDatapath", indent: str) -> list[str]:
+    """Ethertype extraction, specialized when the extractor is the stock one.
+
+    The L2 parser already resolves the effective (post-VLAN) ethertype and
+    caches it on the view (:attr:`ParsedPacket.eth_type`, maintained to
+    equal ``_x_eth_type(view) or 0``), so the stock extraction collapses
+    to one attribute load. A non-standard extractor keeps the call.
+    """
+    if dp._extract_etype is not field_by_name("eth_type").extract:
+        return [f"{indent}etype = _ext(view) or 0"]
+    return [f"{indent}etype = view.eth_type"]
+
+
+def _emit_run(
+    dp: "CompiledDatapath",
+    namespace: dict,
+    null: bool,
+    acyclic: bool = False,
+    flags: "dict | None" = None,
+) -> tuple[list[str], tuple[int, ...]]:
+    """The fused forward core: CompiledDatapath._forward, specialized.
+
+    Every statement mirrors the trampoline's ``_forward`` exactly — same
+    charges, same order — with the per-hop dispatch specialized, the
+    parser/etype/cost loads baked in, the loop-detection guard elided
+    when the static goto graph is proven acyclic, and the write-set /
+    metadata / flow-meter machinery elided when no enumerated outcome can
+    trigger it (``flags``; None keeps everything). Elided branches charge
+    no atoms and can never fire, so verdicts and cycles are unchanged.
+    """
+    costs = dp.costs
+    if flags is None:
+        flags = {"write": True, "meta": True, "meter": True}
+    # did_work only feeds the action_set charge: dead in the null variant.
+    track_work = not null
+    name = "_run_n" if null else "_run_m"
+    sig = f"def {name}(pkt):" if null else f"def {name}(pkt, meter):"
+    lines = [sig]
+    lines.append("    view = _parse(pkt)")
+    lines.append("    data = pkt.data")
+    # Actions that change the frame length always request a reparse, so the
+    # hoisted length stays exact at every counters-update site.
+    lines.append("    dlen = len(data)")
+    lines.append("    l3 = view.l3")
+    lines.append("    l4 = view.l4")
+    lines.append("    proto = view.proto")
+    lines.append("    nxt = view.l4_proto")
+    if dp.use_etype:
+        lines.extend(_etype_lines(dp, "    "))
+    else:
+        lines.append("    etype = 0")
+    lines.append("    verdict = _Verdict()")
+    lines.append("    path = verdict.path")
+    if flags["write"]:
+        lines.append("    write_set = None")
+    lines.append(f"    tid = {dp.first_table}")
+    if track_work:
+        lines.append("    did_work = False")
+    if not acyclic:
+        lines.append("    hops = 0")
+    lines.append("    while True:")
+    if not acyclic:
+        lines.append("        hops += 1")
+        lines.append(f"        if hops > {MAX_TABLE_HOPS}:")
+        lines.append(
+            '            raise _PipelineError("compiled pipeline loop detected")'
+        )
+    dispatch, inlined = _emit_dispatch(dp, namespace, null)
+    lines.extend(dispatch)
+    lines.append("        entry = out.entry")
+    lines.append("        path.append((tid, entry))")
+    lines.append("        if out.is_miss:")
+    lines.append("            verdict.table_miss = True")
+    lines.append("            if out.to_controller:")
+    lines.append("                verdict.to_controller = True")
+    lines.append("            else:")
+    lines.append("                verdict.dropped = True")
+    if not null:
+        lines.append(f"            meter.charge({costs.table_miss!r})")
+    lines.append("            return verdict")
+    lines.append("        if entry is not None:")
+    lines.append("            counters = entry.counters")
+    lines.append("            counters.packets += 1")
+    lines.append("            counters.bytes += dlen")
+    if flags["meter"]:
+        lines.append("        if out.meter is not None and not out.meter.allow():")
+        lines.append("            verdict.dropped = True")
+        lines.append("            return verdict")
+    lines.append("        acts = out.apply_actions")
+    lines.append("        if acts:")
+    if track_work:
+        lines.append("            did_work = True")
+    lines.append("            for action in acts:")
+    lines.append("                action.apply(view, verdict)")
+    lines.append("                if verdict.reparse_needed:")
+    lines.append("                    view = _parse(pkt)")
+    lines.append("                    data = pkt.data")
+    lines.append("                    dlen = len(data)")
+    lines.append("                    l3 = view.l3")
+    lines.append("                    l4 = view.l4")
+    lines.append("                    proto = view.proto")
+    lines.append("                    nxt = view.l4_proto")
+    if dp.use_etype:
+        lines.extend(_etype_lines(dp, "                    "))
+    lines.append("                    verdict.reparse_needed = False")
+    if flags["write"]:
+        lines.append("        if out.clear_actions:")
+        lines.append("            write_set = None")
+        lines.append("        if out.write_actions:")
+        lines.append("            if write_set is None:")
+        lines.append("                write_set = list(out.write_actions)")
+        lines.append("            else:")
+        lines.append("                write_set.extend(out.write_actions)")
+    if flags["meta"]:
+        lines.append("        if out.metadata_write is not None:")
+        lines.append("            value, mask = out.metadata_write")
+        lines.append(
+            "            pkt.metadata = (pkt.metadata & ~mask) | (value & mask)"
+        )
+    lines.append("        if verdict.dropped:")
+    lines.append("            break")
+    lines.append("        tid = out.goto")
+    lines.append("        if tid is None:")
+    lines.append("            break")
+    if not null:
+        lines.append(f"        meter.charge({costs.goto_trampoline!r})")
+    if flags["write"]:
+        lines.append("    if write_set is not None and not verdict.dropped:")
+        if track_work:
+            lines.append("        did_work = True")
+        lines.append(
+            "        ordered = [a for a in write_set if not isinstance(a, _Output)]"
+        )
+        lines.append(
+            "        ordered += [a for a in write_set if isinstance(a, _Output)]"
+        )
+        lines.append("        for action in ordered:")
+        lines.append("            action.apply(view, verdict)")
+        lines.append("            if verdict.reparse_needed:")
+        lines.append("                view = _parse(pkt)")
+        lines.append("                verdict.reparse_needed = False")
+    if not null:
+        lines.append("    if did_work:")
+        lines.append(f"        meter.charge({costs.action_set!r})")
+        lines.append("    if verdict.forwarded:")
+        lines.append(f"        meter.charge({costs.pkt_out!r})")
+    lines.append("    return verdict")
+    return lines, inlined
+
+
+def _emit_entrypoints(dp: "CompiledDatapath") -> list[str]:
+    """Scalar and burst wrappers around the two forward cores."""
+    costs = dp.costs
+    # Exactly the expressions the trampoline evaluates per call, computed
+    # once here and baked as round-tripping literals: bit-identical floats.
+    entry_charge = costs.pkt_in + costs.es_dispatch + dp._parser_cost
+    per_pkt = (
+        costs.pkt_in + costs.es_dispatch + dp._parser_cost - costs.io_burst_share
+    )
+    return [
+        "def _process(pkt, meter):",
+        f"    meter.charge({entry_charge!r})",
+        "    return _run_m(pkt, meter)",
+        "",
+        "def _burst(pkts, meter, on_verdict):",
+        "    verdicts = []",
+        '    begin = getattr(meter, "begin_packet", None)',
+        '    end = getattr(meter, "end_packet", None)',
+        f"    meter.charge({costs.io_burst_cost!r})",
+        "    i = 0",
+        "    n = len(pkts)",
+        "    while i < n:",
+        "        pkt = pkts[i]",
+        "        if begin is not None:",
+        "            begin()",
+        f"        meter.charge({per_pkt!r})",
+        "        verdict = _run_m(pkt, meter)",
+        "        if end is not None:",
+        "            end()",
+        "        verdicts.append(verdict)",
+        "        i += 1",
+        "        if on_verdict is not None and on_verdict(pkt, verdict):",
+        "            return verdicts, i",
+        "    return verdicts, -1",
+        "",
+        "def _burst_null(pkts, on_verdict):",
+        "    if on_verdict is None:",
+        "        return [_run_n(pkt) for pkt in pkts], -1",
+        "    verdicts = []",
+        "    i = 0",
+        "    n = len(pkts)",
+        "    while i < n:",
+        "        pkt = pkts[i]",
+        "        verdict = _run_n(pkt)",
+        "        verdicts.append(verdict)",
+        "        i += 1",
+        "        if on_verdict is not None and on_verdict(pkt, verdict):",
+        "            return verdicts, i",
+        "    return verdicts, -1",
+    ]
+
+
+def fuse_datapath(dp: "CompiledDatapath") -> FusedPipeline:
+    """Stitch every linked table into one compiled driver object.
+
+    Raises :class:`FuseError` for shapes the fuser does not handle (empty
+    trampoline, duck-typed tables without a callable fast path, generated
+    sources it cannot inline safely); the caller falls back to the
+    trampoline, which handles everything.
+    """
+    from repro.core.datapath import _PARSERS
+
+    if not dp.trampoline:
+        raise FuseError("nothing linked: trampoline is empty")
+    namespace: dict = {
+        "_parse": _PARSERS[dp.parser_layer],
+        "_ext": dp._extract_etype,
+        "_Verdict": Verdict,
+        "_PipelineError": PipelineError,
+        "_Output": Output,
+        "_NULL": NULL_METER,
+    }
+    acyclic, flags = _pipeline_facts(dp)
+    run_m, inlined = _emit_run(dp, namespace, null=False, acyclic=acyclic, flags=flags)
+    run_n, _ = _emit_run(dp, namespace, null=True, acyclic=acyclic, flags=flags)
+    lines = run_m + [""] + run_n + [""] + _emit_entrypoints(dp)
+    source = "\n".join(lines) + "\n"
+    generation = dp.generation
+    code = compile(source, f"<eswitch:fused:gen{generation}>", "exec")
+    exec(code, namespace)
+    return FusedPipeline(
+        generation=generation,
+        source=source,
+        namespace=namespace,
+        table_ids=tuple(sorted(dp.trampoline)),
+        inlined_ids=inlined,
+        process=namespace["_process"],
+        process_null=namespace["_run_n"],
+        burst=namespace["_burst"],
+        burst_null=namespace["_burst_null"],
+    )

@@ -72,10 +72,19 @@ class CollisionFreeHash:
     # -- lookups ----------------------------------------------------------
 
     def get(self, key: Key, default: object = None) -> object:
-        """Single-probe lookup."""
+        """Single-probe lookup (the ``_mix`` loop inlined: this runs per
+        packet, and the call frame would cost more than the mix itself)."""
         if not self._nslots:
             return default
-        slot = self._slots[_mix(key, self._seed) % self._nslots]
+        h = (_FNV_OFFSET ^ self._seed) & _MASK64
+        for part in (key,) if isinstance(key, int) else key:
+            while True:
+                h = ((h ^ (part & 0xFFFFFFFF)) * _FNV_PRIME) & _MASK64
+                part >>= 32
+                if not part:
+                    break
+        h ^= h >> 33
+        slot = self._slots[h % self._nslots]
         if slot is not None and slot[0] == key:
             return slot[1]
         return default
@@ -84,7 +93,15 @@ class CollisionFreeHash:
         """Lookup plus the abstract cache-line id probed (for the cost model)."""
         if not self._nslots:
             return default, 0
-        index = _mix(key, self._seed) % self._nslots
+        h = (_FNV_OFFSET ^ self._seed) & _MASK64
+        for part in (key,) if isinstance(key, int) else key:
+            while True:
+                h = ((h ^ (part & 0xFFFFFFFF)) * _FNV_PRIME) & _MASK64
+                part >>= 32
+                if not part:
+                    break
+        h ^= h >> 33
+        index = h % self._nslots
         line = index // SLOTS_PER_LINE
         slot = self._slots[index]
         if slot is not None and slot[0] == key:

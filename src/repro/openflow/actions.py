@@ -82,13 +82,15 @@ class SetField(Action):
             raise ValueError(f"set-field is not supported for {self.field}")
         if not 0 <= self.value <= fdef.max_value:
             raise ValueError(f"set-field value out of range for {self.field}: {self.value:#x}")
+        # Resolve the field definition once; apply() runs per packet.
+        object.__setattr__(self, "_store", fdef.store)
+        object.__setattr__(self, "_proto_required", fdef.proto_required)
 
     def apply(self, view: ParsedPacket, verdict: "Verdict") -> None:
-        fdef = field_by_name(self.field)
-        if fdef.proto_required and not view.proto & fdef.proto_required:
+        required = self._proto_required
+        if required and not view.proto & required:
             return  # header absent: no-op, as per the spec's error-free model
-        assert fdef.store is not None
-        fdef.store(view, self.value)
+        self._store(view, self.value)
 
 
 @dataclass(frozen=True)

@@ -61,7 +61,7 @@ class ParsedPacket:
     emitted for the pipeline.
     """
 
-    __slots__ = ("pkt", "proto", "l2", "l3", "l4", "l4_proto", "parsed_layers")
+    __slots__ = ("pkt", "proto", "l2", "l3", "l4", "l4_proto", "parsed_layers", "eth_type")
 
     def __init__(self, pkt: Packet):
         self.pkt = pkt
@@ -72,6 +72,10 @@ class ParsedPacket:
         #: the resolved IP protocol / final IPv6 next-header, or -1.
         self.l4_proto = -1
         self.parsed_layers = 0
+        #: the effective (post-VLAN) ethertype resolved by the L2 parser,
+        #: 0 until parsed — exactly ``_x_eth_type(view) or 0``, cached so
+        #: per-packet consumers skip the re-extraction walk.
+        self.eth_type = 0
 
     def has(self, proto_bit: int) -> bool:
         return bool(self.proto & proto_bit)
@@ -94,12 +98,14 @@ def parse_l2(pkt: Packet) -> ParsedPacket:
     offset += 2
     while ethertype == hdr.ETH_TYPE_VLAN:
         if len(data) < offset + hdr.VLAN_TAG_LEN:
+            view.eth_type = ethertype
             return view
         view.proto |= PROTO_VLAN
         ethertype = (data[offset + 2] << 8) | data[offset + 3]
         offset += hdr.VLAN_TAG_LEN
     # Record where L3 *would* start plus the resolved ethertype so that the
     # L3 parser can compose this parser, as in the paper.
+    view.eth_type = ethertype
     view.l3 = offset
     return view
 
@@ -107,11 +113,11 @@ def parse_l2(pkt: Packet) -> ParsedPacket:
 def parse_l3(pkt: Packet) -> ParsedPacket:
     """L3 parser template: composes the L2 parser, parses IPv4/ARP."""
     view = parse_l2(pkt)
-    if not view.has(PROTO_ETH):
+    if not view.proto & PROTO_ETH:
         return view
     view.parsed_layers = 3
     data = pkt.data
-    ethertype = (data[view.l3 - 2] << 8) | data[view.l3 - 1]
+    ethertype = view.eth_type
     if ethertype == hdr.ETH_TYPE_IPV4:
         if len(data) < view.l3 + hdr.IPV4_MIN_HEADER_LEN or data[view.l3] >> 4 != 4:
             view.l3 = -1
@@ -146,7 +152,7 @@ def parse(pkt: Packet) -> ParsedPacket:
     view.parsed_layers = 4
     data = pkt.data
 
-    if view.has(PROTO_IPV4):
+    if view.proto & PROTO_IPV4:
         ip_offset = view.l3
         frag = ((data[ip_offset + 6] & 0x1F) << 8) | data[ip_offset + 7]
         if frag != 0:
@@ -156,7 +162,7 @@ def parse(pkt: Packet) -> ParsedPacket:
         _finish_l4(view, data, view.l4, view.l4_proto)
         return view
 
-    if view.has(PROTO_IPV6):
+    if view.proto & PROTO_IPV6:
         l4, nxt = _walk_ipv6_extensions(data, view.l3)
         view.l4_proto = nxt
         if l4 < 0:

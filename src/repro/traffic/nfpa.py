@@ -47,14 +47,25 @@ class DirectSwitch:
         self.burst_stats = BurstStats()
 
     def process(self, pkt: Packet, meter: Meter = NULL_METER) -> Verdict:
-        return self.pipeline.process(pkt)
+        """Interpret one packet, charging the same IO atoms the compiled
+        datapaths charge (``pkt_in`` on receive, ``pkt_out`` on forward):
+        scalar and burst accounting must tell one consistent story."""
+        costs = self.costs
+        meter.charge(costs.pkt_in)
+        verdict = self.pipeline.process(pkt)
+        if verdict.forwarded:
+            meter.charge(costs.pkt_out)
+        return verdict
 
     def process_burst(
         self, pkts, meter: Meter = NULL_METER
     ) -> list[Verdict]:
         """Interpret one IO burst; same amortization contract as the fast
-        switches (per-burst framework cost once, reference share credited
-        per packet), so burst sweeps compare like for like."""
+        switches: the per-burst framework cost is charged once and each
+        packet pays the scalar cost minus the reference-burst share
+        already baked into ``pkt_in`` — a burst of ``reference_burst``
+        packets costs exactly that many scalar :meth:`process` calls,
+        and every per-packet window stays non-negative."""
         if not pkts:
             return []
         costs = self.costs
@@ -62,13 +73,16 @@ class DirectSwitch:
         end = getattr(meter, "end_packet", None)
         cycles_before = getattr(meter, "total_cycles", 0.0)
         meter.charge(costs.io_burst_cost)
-        share = costs.io_burst_share
+        per_pkt = costs.pkt_in - costs.io_burst_share
         verdicts = []
         for pkt in pkts:
             if begin is not None:
                 begin()
-            meter.charge(-share)
-            verdicts.append(self.pipeline.process(pkt))
+            meter.charge(per_pkt)
+            verdict = self.pipeline.process(pkt)
+            if verdict.forwarded:
+                meter.charge(costs.pkt_out)
+            verdicts.append(verdict)
             if end is not None:
                 end()
         self.burst_stats.record(
@@ -153,8 +167,19 @@ def measure(
     burst_stats = collect_burst_stats(switch)
     burst_base = burst_stats.snapshot() if burst_stats is not None else None
 
+    # Tallies stream as verdicts arrive: a 100K+-packet sweep holds one
+    # burst's worth of Verdict objects at a time, not the whole replay.
     forwarded = dropped = to_controller = 0
-    verdicts: list[Verdict] = []
+
+    def tally(verdict: Verdict) -> None:
+        nonlocal forwarded, dropped, to_controller
+        if verdict.forwarded:
+            forwarded += 1
+        elif verdict.to_controller:
+            to_controller += 1
+        else:
+            dropped += 1
+
     if batch_size is None:
         for i in range(n_packets):
             meter.begin_packet()
@@ -163,7 +188,7 @@ def measure(
             # lost.
             if update_hook is not None:
                 update_hook(i, meter)
-            verdicts.append(switch.process(flows[(warmup + i) % n].copy(), meter))
+            tally(switch.process(flows[(warmup + i) % n].copy(), meter))
             meter.end_packet()
     else:
         for start in range(0, n_packets, batch_size):
@@ -175,14 +200,8 @@ def measure(
                 for i in range(start, stop):
                     update_hook(i, meter)
             burst = [flows[(warmup + i) % n].copy() for i in range(start, stop)]
-            verdicts.extend(switch.process_burst(burst, meter))
-    for verdict in verdicts:
-        if verdict.forwarded:
-            forwarded += 1
-        elif verdict.to_controller:
-            to_controller += 1
-        else:
-            dropped += 1
+            for verdict in switch.process_burst(burst, meter):
+                tally(verdict)
 
     extra: dict = {}
     if burst_stats is not None and burst_base is not None:

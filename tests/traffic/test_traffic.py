@@ -136,3 +136,61 @@ class TestMulticore:
         with pytest.raises(ValueError):
             measure_multicore(lambda: ESwitch.from_pipeline(l2.build(4)[0]),
                               l2.traffic(macs, 4), cores=0)
+
+
+class TestDirectSwitchAccounting:
+    """The reference interpreter's meter accounting must be self-consistent
+    (regression: process charged no per-packet atoms while process_burst
+    credited the amortization share, so sub-reference bursts recorded
+    net-negative cycle windows)."""
+
+    @staticmethod
+    def _forwarding_packets(n):
+        return [
+            PacketBuilder(in_port=firewall.INTERNAL).eth().ipv4().tcp().build()
+            for _ in range(n)
+        ]
+
+    def test_reference_burst_equals_scalars(self):
+        from repro.simcpu.costs import DEFAULT_COSTS
+        from repro.simcpu.recorder import CycleMeter
+
+        b = DEFAULT_COSTS.reference_burst
+        scalar_meter = CycleMeter(XEON_E5_2620)
+        switch = DirectSwitch(firewall.build_single_stage())
+        for pkt in self._forwarding_packets(b):
+            scalar_meter.begin_packet()
+            verdict = switch.process(pkt, scalar_meter)
+            scalar_meter.end_packet()
+            assert verdict.forwarded
+
+        burst_meter = CycleMeter(XEON_E5_2620)
+        DirectSwitch(firewall.build_single_stage()).process_burst(
+            self._forwarding_packets(b), burst_meter
+        )
+        assert burst_meter.total_cycles == pytest.approx(scalar_meter.total_cycles)
+        assert burst_meter.total_cycles > 0
+
+    def test_sub_reference_burst_windows_non_negative(self):
+        from repro.simcpu.recorder import CycleMeter
+
+        meter = CycleMeter(XEON_E5_2620)
+        meter.keep_history = True
+        DirectSwitch(firewall.build_single_stage()).process_burst(
+            self._forwarding_packets(4), meter
+        )
+        history = meter.packet_history
+        assert len(history) == 4
+        assert all(window >= 0 for window in history)
+        assert meter.total_cycles > 0
+
+    def test_scalar_process_charges_io_atoms(self):
+        from repro.simcpu.costs import DEFAULT_COSTS
+        from repro.simcpu.recorder import CycleMeter
+
+        meter = CycleMeter(XEON_E5_2620)
+        switch = DirectSwitch(firewall.build_single_stage())
+        verdict = switch.process(self._forwarding_packets(1)[0], meter)
+        assert verdict.forwarded
+        expected = DEFAULT_COSTS.pkt_in + DEFAULT_COSTS.pkt_out
+        assert meter._packet_cycles == pytest.approx(expected)
