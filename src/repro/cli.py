@@ -7,7 +7,7 @@ Usage (also via ``python -m repro``)::
     repro run      pipeline.json --pkt in_port=1,ipv4_dst=192.0.2.1,tcp_dst=80 ...
     repro model    pipeline.json
     repro bench    pipeline.json [--flows N] [--packets M] [--seed S] [--burst B]
-    repro bench    --wallclock [--out BENCH_wallclock.json] [--flows N] ...
+    repro bench    --wallclock [--cores 1,2,4] [--out BENCH_wallclock.json] ...
 
 ``run`` drives the packet through all three datapaths (ESWITCH, the OVS
 baseline, and the reference interpreter) and reports disagreement loudly —
@@ -219,19 +219,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def parse_cores(spec: str) -> tuple[int, ...]:
+    """``--cores 1,2,4`` -> (1, 2, 4); validated, order-preserving."""
+    try:
+        cores = tuple(int(part) for part in spec.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"error: malformed --cores spec {spec!r}")
+    if not cores or any(c < 1 for c in cores):
+        raise SystemExit(f"error: --cores needs positive worker counts, got {spec!r}")
+    return cores
+
+
 def cmd_bench_wallclock(args: argparse.Namespace) -> int:
     """Wall-clock pkts/sec of the simulator itself (fused vs trampoline
-    vs OVS), written to ``BENCH_wallclock.json`` — the axis EXPERIMENTS.md
-    keeps separate from the cycle model's Mpps."""
+    vs OVS, plus real-parallel sharded scaling with ``--cores``), written
+    to ``BENCH_wallclock.json`` — the axes EXPERIMENTS.md keeps separate
+    from the cycle model's Mpps."""
     import json
 
     from repro.traffic.wallclock import run_wallclock
 
+    cores = parse_cores(args.cores) if args.cores else ()
     doc = run_wallclock(
         n_flows=args.flows,
         n_packets=args.packets,
         burst=args.burst or 32,
         repeats=args.repeats,
+        cores=cores,
     )
     print(f"{'case':8} {'variant':11} {'mode':6} {'wall pps':>12} {'us/pkt':>8}")
     for point in doc["points"]:
@@ -244,6 +258,15 @@ def cmd_bench_wallclock(args: argparse.Namespace) -> int:
             f"{point['case']:8} {point['variant']:11} {point['mode']:6} "
             f"{point['wall_pps']:12,.0f} {point['usec_per_pkt']:8.2f}{modeled}"
         )
+    if doc["multicore"]:
+        print(f"\n{'case':8} {'variant':11} {'workers':>7} {'backend':8} "
+              f"{'wall pps':>12} {'us/pkt':>8}")
+        for point in doc["multicore"]:
+            print(
+                f"{point['case']:8} {point['variant']:11} {point['workers']:7} "
+                f"{point['backend']:8} {point['wall_pps']:12,.0f} "
+                f"{point['usec_per_pkt']:8.2f}"
+            )
     print()
     for key, ratios in doc["speedups"].items():
         pairs = "  ".join(f"{k}={v:.2f}x" for k, v in ratios.items())
@@ -299,6 +322,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="output JSON for --wallclock")
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="best-of repeats per --wallclock point")
+    p_bench.add_argument("--cores", default="", metavar="N,N,...",
+                         help="with --wallclock: also measure ShardedESwitch "
+                              "real-parallel scaling at these worker counts "
+                              "(e.g. 1,2,4)")
     p_bench.add_argument("--flows", type=int, default=1000)
     p_bench.add_argument("--packets", type=int, default=10_000)
     p_bench.add_argument("--seed", type=int, default=0)

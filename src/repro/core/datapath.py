@@ -141,6 +141,17 @@ class CompiledDatapath:
         """The current fused driver, or None (inspection only)."""
         return self._fused
 
+    def ensure_fused(self):
+        """Force the lazy re-fuse now; returns the driver or None.
+
+        Normally fusion runs on the first packet after a generation bump
+        (off the update critical path). Replica orchestration wants the
+        opposite trade: the sharded engine's epoch barrier calls this so
+        a worker only acknowledges an update after its new fused
+        datapath is actually standing (see :meth:`ESwitch.warm`).
+        """
+        return self._fused_fresh()
+
     def _fused_fresh(self):
         """The fused driver if valid for this generation, fusing lazily."""
         if not self.enable_fusion:

@@ -164,6 +164,22 @@ class ESwitch:
             mutated = True
         return mutated
 
+    def warm(self) -> bool:
+        """Stand the current pipeline generation up, off the packet path.
+
+        Flushes any deferred side-by-side rebuilds and forces the lazy
+        re-fuse now, so the *next* packet runs the fused driver
+        immediately instead of paying the compile. This is the epoch-
+        barrier hook of the sharded engine: a replica acks a broadcast
+        flow-mod batch only after ``warm()`` returns, guaranteeing every
+        shard serves the same fused generation before any burst of the
+        new epoch is scattered. Returns True when a fused driver is up
+        (False means the trampoline serves this shape).
+        """
+        if self._dirty_groups:
+            self._flush_rebuilds()
+        return self.datapath.ensure_fused() is not None
+
     # -- inspection -----------------------------------------------------------
 
     def table_kinds(self) -> dict[int, str]:

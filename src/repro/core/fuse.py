@@ -89,6 +89,18 @@ class FusedPipeline:
     #: ``(pkts, on_verdict) -> (verdicts, resume)`` — NullMeter variant.
     burst_null: Callable
 
+    def is_current(self, datapath: "CompiledDatapath") -> bool:
+        """Whether this driver still serves the datapath's generation.
+
+        The multi-replica sync contract: a shard replica is "standing"
+        for an epoch exactly when its datapath's fused driver exists and
+        ``is_current`` holds — the sharded engine's update barrier waits
+        for that state on every worker before releasing the next burst,
+        so no two replicas ever answer the same burst from different
+        pipeline generations.
+        """
+        return self.generation == datapath.generation
+
 
 def _table_outcomes(compiled) -> "list[Outcome] | None":
     """Every Outcome a table lookup can return, or None if unknowable.

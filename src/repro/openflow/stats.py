@@ -9,6 +9,8 @@ megaflow's ``stat_entries``, and the interpreter records directly).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
 
 from repro.openflow.match import Match
 from repro.openflow.pipeline import Pipeline
@@ -21,9 +23,18 @@ class BurstStats:
     histogram, and the cycles the burst cost (when a cycle meter was
     attached). The numbers quantify the batching amortization Section 4.2
     credits for substrate throughput.
+
+    Cycles accumulate **exactly**: floats are dyadic rationals, so the
+    internal accumulator is a :class:`fractions.Fraction` and every
+    ``record``/``merge`` is an exact rational add. That makes merging
+    fully associative and order-independent — merge shard stats in any
+    order (or any grouping) and the result is bit-identical — which is
+    what the sharded engine's gather requires, and it also fixes the
+    silent precision drift the old ``float +=`` accumulator suffered
+    once a long run's total dwarfed a single burst's cost.
     """
 
-    __slots__ = ("bursts", "packets", "cycles", "histogram")
+    __slots__ = ("bursts", "packets", "_cycles", "histogram")
 
     def __init__(self) -> None:
         self.reset()
@@ -32,8 +43,35 @@ class BurstStats:
         """Account one burst of ``size`` packets costing ``cycles``."""
         self.bursts += 1
         self.packets += size
-        self.cycles += cycles
+        self._cycles += Fraction(cycles)
         self.histogram[size] = self.histogram.get(size, 0) + 1
+
+    @property
+    def cycles(self) -> float:
+        """Total cycles, correctly rounded from the exact rational sum."""
+        return float(self._cycles)
+
+    def merge(self, other: "BurstStats") -> "BurstStats":
+        """Fold another shard's telemetry into this one (in place).
+
+        Exact and therefore associative/commutative:
+        ``a.merge(b).merge(c)`` equals ``a.merge(c).merge(b)`` equals
+        merging ``b.merge(c)`` into ``a``, bit for bit.
+        """
+        self.bursts += other.bursts
+        self.packets += other.packets
+        self._cycles += other._cycles
+        for size, count in other.histogram.items():
+            self.histogram[size] = self.histogram.get(size, 0) + count
+        return self
+
+    @classmethod
+    def merged(cls, shards: "Iterable[BurstStats]") -> "BurstStats":
+        """A fresh, order-independent merge of many shards' telemetry."""
+        out = cls()
+        for stats in shards:
+            out.merge(stats)
+        return out
 
     @property
     def mean_burst_size(self) -> float:
@@ -57,7 +95,7 @@ class BurstStats:
     def reset(self) -> None:
         self.bursts = 0
         self.packets = 0
-        self.cycles = 0.0
+        self._cycles = Fraction(0)
         self.histogram: dict[int, int] = {}
 
     def __repr__(self) -> str:

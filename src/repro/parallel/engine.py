@@ -1,0 +1,396 @@
+"""ShardedESwitch: N replicas, one facade — scatter, gather, epoch-sync.
+
+The engine owns:
+
+* **N shard workers** (processes when the platform allows, threads as a
+  degraded-but-correct fallback), each running a private fused
+  :class:`ESwitch` replica (:mod:`repro.parallel.worker`);
+* a **shadow replica** in the engine's own process — the authoritative
+  control-plane state. Flow-mods apply to the shadow *first* (its
+  transactional semantics validate the batch before anything is
+  broadcast), inspection (``table_kinds``, flow stats) reads it, and
+  gathered verdict paths re-bind to its entries;
+* the **RSS scatter** (:mod:`repro.parallel.rss`): each packet of a
+  burst hashes to a shard, sub-bursts ship to the workers, and verdicts
+  gather back **in input order** — callers see exactly the
+  ``process_burst`` contract of a single switch;
+* the **epoch barrier**: every ``apply_flow_mod(s)`` broadcast bumps the
+  engine epoch and blocks until all workers ack — and a worker only
+  acks after its replica has applied the batch, flushed deferred
+  rebuilds, and re-fused. Bursts are tagged with the engine epoch and
+  workers refuse mismatched tags, so **no gathered burst can mix
+  verdicts from two pipeline generations** (Section 3.4's atomic
+  non-destructive update story, extended across cores).
+
+Metering semantics (the three axes EXPERIMENTS.md keeps apart):
+
+* ``NULL_METER`` → workers run the null fused driver; pure wall-clock.
+* A :class:`CycleMeter` → each worker meters on its **own persistent
+  per-core meter** (private simulated caches — the physically honest
+  model; cores do not share L1/L2). The gather folds the shard deltas
+  into the caller's meter via :meth:`CycleMeter.absorb`, summing with
+  ``math.fsum`` so the merged total is exact and independent of shard
+  enumeration order. The modeled total therefore equals, bit for bit,
+  the sum of per-shard sequential replays — and for ``workers=1`` it is
+  bit-identical to a single ``ESwitch`` over the same bursts.
+
+Flow counters stay truthful: each replica records on its own entries;
+:meth:`sync_flow_stats` pulls and sums them onto the shadow pipeline, so
+``collect_flow_stats(engine.pipeline)`` reports exactly what a
+sequential run would have recorded.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+from typing import Sequence
+
+from repro.core.analysis import CompileConfig, DEFAULT_CONFIG
+from repro.core.eswitch import ESwitch
+from repro.openflow.messages import FlowMod
+from repro.openflow.pipeline import Pipeline, Verdict
+from repro.openflow.stats import BurstStats
+from repro.packet.packet import Packet
+from repro.parallel.rss import shard_of
+from repro.parallel.wire import EntryIndexCache, decode_verdicts, encode_packets
+from repro.parallel.worker import shard_worker_main, thread_channel_pair
+from repro.simcpu.costs import CostBook, DEFAULT_COSTS
+from repro.simcpu.platform import Platform, XEON_E5_2620
+from repro.simcpu.recorder import Meter, NULL_METER, NullMeter
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker reported an exception (its traceback is attached)."""
+
+
+class EpochSyncError(RuntimeError):
+    """A gathered burst spanned two pipeline generations (should be
+    impossible: the broadcast barrier exists to prevent exactly this)."""
+
+
+class _ProcessShard:
+    """One worker process plus its engine-side pipe end."""
+
+    def __init__(self, index: int, blob: bytes, config, costs, platform):
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context()
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=shard_worker_main,
+            args=(child_conn, blob, config, costs, platform),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop",))
+            self.conn.recv()
+        except (OSError, EOFError, BrokenPipeError):
+            pass
+        self.conn.close()
+        self.proc.join(timeout=5)
+        if self.proc.is_alive():  # pragma: no cover - defensive
+            self.proc.terminate()
+            self.proc.join(timeout=5)
+
+
+class _ThreadShard:
+    """One worker thread plus its engine-side channel end (fallback)."""
+
+    def __init__(self, index: int, blob: bytes, config, costs, platform):
+        import threading
+
+        self.conn, child_conn = thread_channel_pair()
+        self.proc = threading.Thread(
+            target=shard_worker_main,
+            args=(child_conn, blob, config, costs, platform),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        self.proc.start()
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop",))
+            self.conn.recv()
+        except (OSError, EOFError):
+            pass
+        self.proc.join(timeout=5)
+
+
+class ShardedESwitch:
+    """An OpenFlow switch whose datapath is N parallel fused replicas.
+
+    Duck-type compatible with :class:`ESwitch` where the measurement
+    harnesses care (``process``, ``process_burst``, ``apply_flow_mod``,
+    ``apply_flow_mods``, ``burst_stats``, ``pipeline``, ``table_kinds``)
+    — :func:`repro.traffic.measure` and the wall-clock rig drive it
+    unchanged. Reactive ``packet_in_handler`` callbacks are deliberately
+    unsupported: a controller callback would have to preempt remote
+    replicas mid-burst; punted packets still come back with
+    ``to_controller`` set for the caller to handle at the gather.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        workers: "int | None" = None,
+        *,
+        config: CompileConfig = DEFAULT_CONFIG,
+        costs: CostBook = DEFAULT_COSTS,
+        platform: Platform = XEON_E5_2620,
+        backend: str = "auto",
+        rss_seed: int = 0,
+    ):
+        if workers is None:
+            workers = max(1, (os.cpu_count() or 2) - 1)
+        if workers < 1:
+            raise ValueError("need at least one shard worker")
+        if backend not in ("auto", "process", "thread"):
+            raise ValueError(f"unknown backend {backend!r}")
+        pipeline.validate()
+        self.workers = workers
+        self.rss_seed = rss_seed
+        self.epoch = 0
+        self.burst_stats = BurstStats()
+        #: epochs reported by the shards of the most recent gather — the
+        #: atomicity witness (all equal, and equal to ``self.epoch``).
+        self.last_gather_epochs: tuple[int, ...] = ()
+        blob = pickle.dumps(pipeline)
+        # The shadow is built from its own snapshot: the engine never
+        # mutates the caller's pipeline object.
+        self.shadow = ESwitch(pickle.loads(blob), config=config, costs=costs)
+        self._decode_cache = EntryIndexCache(self.shadow.pipeline)
+        self._shards: list = []
+        self.backend = self._spawn(backend, blob, config, costs, platform)
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn(self, backend, blob, config, costs, platform) -> str:
+        kinds = []
+        if backend in ("auto", "process"):
+            kinds.append(("process", _ProcessShard))
+        if backend in ("auto", "thread"):
+            kinds.append(("thread", _ThreadShard))
+        last_error: "Exception | None" = None
+        for name, factory in kinds:
+            try:
+                shards = [
+                    factory(i, blob, config, costs, platform)
+                    for i in range(self.workers)
+                ]
+                for shard in shards:
+                    reply = shard.conn.recv()
+                    if reply[0] != "ready":
+                        raise ShardWorkerError(f"{reply[1]}\n{reply[2]}")
+                self._shards = shards
+                return name
+            except ShardWorkerError:
+                raise  # the replica itself failed to build: not a backend issue
+            except Exception as exc:  # pragma: no cover - platform dependent
+                last_error = exc
+                for shard in self._shards:
+                    shard.stop()
+                self._shards = []
+        raise ShardWorkerError(
+            f"could not start any shard backend: {last_error!r}"
+        )  # pragma: no cover
+
+    def close(self) -> None:
+        """Stop all shard workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.stop()
+        self._shards = []
+
+    def __enter__(self) -> "ShardedESwitch":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- worker RPC --------------------------------------------------------
+
+    def _recv(self, shard):
+        reply = shard.conn.recv()
+        if reply[0] == "error":
+            raise ShardWorkerError(f"{reply[1]}\n{reply[2]}")
+        return reply
+
+    # -- the fast path -----------------------------------------------------
+
+    def process(self, pkt: Packet, meter: Meter = NULL_METER) -> Verdict:
+        """Run one packet through its RSS shard (a burst of one)."""
+        return self.process_burst([pkt], meter)[0]
+
+    def process_burst(
+        self, pkts: "Sequence[Packet]", meter: Meter = NULL_METER
+    ) -> list[Verdict]:
+        """Scatter one burst over the shards, gather in input order."""
+        if self._closed:
+            raise RuntimeError("ShardedESwitch is closed")
+        if not pkts:
+            return []
+        mode = "null" if isinstance(meter, NullMeter) else "cycle"
+        seed = self.rss_seed
+        n_shards = len(self._shards)
+        # RSS: flow-sticky shard choice straight off the frame bytes.
+        lanes: list[list[int]] = [[] for _ in range(n_shards)]
+        if n_shards == 1:
+            lanes[0] = list(range(len(pkts)))
+        else:
+            for i, pkt in enumerate(pkts):
+                lanes[shard_of(pkt.data, n_shards, seed)].append(i)
+        # Scatter first (all sends before any receive: the workers run
+        # their sub-bursts genuinely in parallel), then gather.
+        active = []
+        epoch = self.epoch
+        for shard, lane in zip(self._shards, lanes):
+            if not lane:
+                continue
+            wires = encode_packets([pkts[i] for i in lane])
+            shard.conn.send(("burst", epoch, mode, wires))
+            active.append((shard, lane))
+        verdicts: list = [None] * len(pkts)
+        cache = self._decode_cache
+        deltas: list[float] = []
+        metered_packets = 0
+        llc = 0
+        epochs = []
+        for shard, lane in active:
+            _, shard_epoch, wire_verdicts, cycles, packets, shard_llc = (
+                self._recv(shard)
+            )
+            epochs.append(shard_epoch)
+            for i, verdict in zip(lane, decode_verdicts(wire_verdicts, cache)):
+                verdicts[i] = verdict
+            if cycles is not None:
+                deltas.append(cycles)
+                metered_packets += packets
+                llc += shard_llc
+        self.last_gather_epochs = tuple(epochs)
+        if any(e != epoch for e in epochs):
+            raise EpochSyncError(
+                f"gather saw epochs {epochs}, engine at {epoch}"
+            )
+        total = math.fsum(deltas) if deltas else 0.0
+        if deltas:
+            absorb = getattr(meter, "absorb", None)
+            if absorb is not None:
+                absorb(total, packets=metered_packets, llc_misses=llc)
+            else:  # a plain Meter: cycles arrive pre-factored
+                meter.charge(total)
+        self.burst_stats.record(len(pkts), total)
+        return verdicts
+
+    # -- control plane -----------------------------------------------------
+
+    def apply_flow_mod(self, mod: FlowMod) -> float:
+        """Apply one flow-mod everywhere; one epoch, one barrier."""
+        return self.apply_flow_mods([mod])
+
+    def apply_flow_mods(self, mods: Sequence[FlowMod]) -> float:
+        """Transactional batch broadcast under the epoch barrier.
+
+        The shadow validates first: a failing batch raises here, rolls
+        back locally, and is **never broadcast** — replicas cannot
+        diverge through a rejected update. On success every worker
+        applies the same batch, swaps its fused datapath, and acks; only
+        then does the engine epoch advance and the next burst flow.
+
+        Returns the shadow's modeled update cost in cycles (one core's
+        control-plane work, comparable to ``ESwitch.apply_flow_mods``);
+        per-replica costs are summed in ``update_stats`` terms on each
+        worker.
+        """
+        if self._closed:
+            raise RuntimeError("ShardedESwitch is closed")
+        mods = list(mods)
+        if not mods:
+            return 0.0
+        cycles = self.shadow.apply_flow_mods(mods)  # validates; may raise
+        self.shadow.warm()
+        new_epoch = self.epoch + 1
+        for shard in self._shards:
+            shard.conn.send(("mods", new_epoch, mods))
+        for shard in self._shards:
+            reply = self._recv(shard)
+            if reply[0] != "mods" or reply[1] != new_epoch:
+                raise EpochSyncError(
+                    f"worker acked {reply[:2]}, expected ('mods', {new_epoch})"
+                )
+        self.epoch = new_epoch
+        return cycles
+
+    # -- statistics --------------------------------------------------------
+
+    def shard_burst_stats(self) -> list[BurstStats]:
+        """Each shard's own :class:`BurstStats` (one pull per worker)."""
+        for shard in self._shards:
+            shard.conn.send(("stats",))
+        out = []
+        self._pulled_counters: list = []
+        for shard in self._shards:
+            _, stats, counters = self._recv(shard)
+            out.append(stats)
+            self._pulled_counters.append(counters)
+        return out
+
+    def merged_burst_stats(self) -> BurstStats:
+        """All shards' burst telemetry, merged order-independently."""
+        return BurstStats.merged(self.shard_burst_stats())
+
+    def sync_flow_stats(self) -> None:
+        """Fold every replica's flow counters onto the shadow pipeline.
+
+        After this, ``collect_flow_stats(engine.pipeline)`` reports the
+        cross-shard totals — exactly the counters a sequential run over
+        the same packets would have recorded (counting is commutative).
+        """
+        self.shard_burst_stats()  # refreshes self._pulled_counters too
+        totals: dict[tuple[int, int], list[int]] = {}
+        for counters in self._pulled_counters:
+            for tid, idx, packets, nbytes in counters:
+                cell = totals.setdefault((tid, idx), [0, 0])
+                cell[0] += packets
+                cell[1] += nbytes
+        for table in self.shadow.pipeline:
+            entries = table.entries
+            for idx, entry in enumerate(entries):
+                packets, nbytes = totals.get((table.table_id, idx), (0, 0))
+                entry.counters.packets = packets
+                entry.counters.bytes = nbytes
+
+    # -- inspection (delegated to the shadow) ------------------------------
+
+    @property
+    def pipeline(self) -> Pipeline:
+        return self.shadow.pipeline
+
+    @property
+    def update_stats(self):
+        return self.shadow.update_stats
+
+    def table_kinds(self) -> dict[int, str]:
+        return self.shadow.table_kinds()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedESwitch(workers={self.workers}, backend={self.backend}, "
+            f"epoch={self.epoch}, tables={len(self.shadow._groups)})"
+        )

@@ -1,0 +1,134 @@
+"""Wire forms: what packets and verdicts look like crossing a shard pipe.
+
+:class:`~repro.packet.packet.Packet` and
+:class:`~repro.openflow.pipeline.Verdict` are runtime objects —
+verdicts in particular hold live :class:`FlowEntry` references that
+mean nothing in another process. The shard boundary therefore speaks a
+compact, picklable wire dialect:
+
+* a packet is ``(bytes, in_port, metadata, tunnel_id)``;
+* a verdict is ``(ports, flags, path)`` where every path hop keeps its
+  table id verbatim (hop ids through decomposition-internal tables
+  included — the last hop's id is what packet-ins report) and replaces
+  the entry reference by its **logical pipeline position**
+  ``(ltid, idx)`` — stable across replicas because every replica
+  applies the same flow-mods in the same epoch order, so logical
+  ``entries`` tuples are identical everywhere.
+
+Hops whose entry is *not* a logical pipeline entry — the synthetic
+dispatch/leaf entries a decomposed table compiles to — carry the
+``(-1, -1)`` position and decode to ``None``: those objects are
+per-replica compile artifacts whose identity is meaningless outside
+their own process (no caller-visible consumer reads more than the hop's
+table id and logical-entry identity).
+
+The engine re-binds positions to its own shadow pipeline's entries on
+gather, giving callers real ``Verdict`` objects whose ``path`` points at
+the authoritative control-plane state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.openflow.pipeline import Verdict
+from repro.packet.packet import Packet
+
+_DROPPED = 1
+_TO_CONTROLLER = 2
+_TABLE_MISS = 4
+
+
+def encode_packets(pkts: Sequence[Packet]) -> list[tuple]:
+    return [(bytes(p.data), p.in_port, p.metadata, p.tunnel_id) for p in pkts]
+
+
+def decode_packets(wires: Sequence[tuple]) -> list[Packet]:
+    return [Packet(data, in_port, metadata, tunnel_id)
+            for data, in_port, metadata, tunnel_id in wires]
+
+
+class EntryIndexCache:
+    """Logical entry ↔ position maps, invalidated by table versions.
+
+    Both sides of the pipe keep one over *their* pipeline: the worker to
+    *encode* the entries its replica's verdicts reference, the engine to
+    *decode* positions back into its shadow pipeline's entries. The maps
+    rebuild lazily whenever any table's ``version`` moves (every
+    flow-mod bumps it), so one rebuild per epoch in steady state.
+    """
+
+    def __init__(self, pipeline):
+        self.pipeline = pipeline
+        self._versions: "tuple | None" = None
+        self._index: dict = {}    # id(entry) -> (ltid, idx)
+        self._entries: dict = {}  # ltid -> entries sequence
+
+    def maps(self) -> tuple[dict, dict]:
+        versions = tuple(t.version for t in self.pipeline)
+        if versions != self._versions:
+            index: dict = {}
+            entries_by: dict = {}
+            for table in self.pipeline:
+                entries = table.entries
+                entries_by[table.table_id] = entries
+                for i, entry in enumerate(entries):
+                    index[id(entry)] = (table.table_id, i)
+            self._index, self._entries = index, entries_by
+            self._versions = versions
+        return self._index, self._entries
+
+
+def encode_verdicts(
+    verdicts: Sequence[Verdict], cache: EntryIndexCache
+) -> list[tuple]:
+    """The worker's per-burst reply path (position maps bound once)."""
+    index, _ = cache.maps()
+    out = []
+    for verdict in verdicts:
+        flags = (
+            (_DROPPED if verdict.dropped else 0)
+            | (_TO_CONTROLLER if verdict.to_controller else 0)
+            | (_TABLE_MISS if verdict.table_miss else 0)
+        )
+        path = tuple(
+            (tid,) + (index.get(id(entry), (-1, -1)) if entry is not None
+                      else (-1, -1))
+            for tid, entry in verdict.path
+        )
+        out.append((tuple(verdict.output_ports), flags, path))
+    return out
+
+
+def decode_verdicts(
+    wires: Sequence[tuple], cache: EntryIndexCache
+) -> list[Verdict]:
+    """The engine's per-gather path (entry tuples bound once)."""
+    _, entries_by = cache.maps()
+    out = []
+    for ports, flags, path in wires:
+        verdict = Verdict()
+        verdict.output_ports = list(ports)
+        verdict.dropped = bool(flags & _DROPPED)
+        verdict.to_controller = bool(flags & _TO_CONTROLLER)
+        verdict.table_miss = bool(flags & _TABLE_MISS)
+        bound = verdict.path
+        for tid, ltid, idx in path:
+            entry = None
+            if ltid >= 0:
+                entries = entries_by.get(ltid)
+                if entries is not None and idx < len(entries):
+                    entry = entries[idx]
+            bound.append((tid, entry))
+        out.append(verdict)
+    return out
+
+
+def encode_verdict(verdict: Verdict, cache: EntryIndexCache) -> tuple:
+    """Scalar convenience over :func:`encode_verdicts`."""
+    return encode_verdicts([verdict], cache)[0]
+
+
+def decode_verdict(wire: tuple, cache: EntryIndexCache) -> Verdict:
+    """Scalar convenience over :func:`decode_verdicts`."""
+    return decode_verdicts([wire], cache)[0]

@@ -1,0 +1,181 @@
+"""The shard worker: one datapath replica, one command channel.
+
+Each worker owns a **private** fused :class:`ESwitch` replica built from
+a pickled pipeline snapshot — shared-nothing by construction, whether
+the worker is a forked process or (fallback) a thread. The loop serves
+the engine's commands:
+
+``("burst", epoch, mode, wires)``
+    Run one RSS sub-burst through the replica. ``mode`` is ``"null"``
+    (functional, :data:`NULL_METER`) or ``"cycle"`` (the worker's
+    persistent per-core :class:`CycleMeter` — private caches, exactly
+    the per-core meters :func:`repro.traffic.measure_multicore` models).
+    Replies ``("burst", epoch, verdicts, cycles, packets, llc)`` with the
+    meter deltas (``cycles`` is None in null mode). The reply echoes the
+    worker's *applied* epoch so the engine can prove no gathered burst
+    mixed pipeline generations.
+
+``("mods", epoch, flow_mods)``
+    Apply a flow-mod batch transactionally, then **stand the new
+    generation up** (flush deferred rebuilds, re-fuse) before acking —
+    the ack is the worker's half of the epoch barrier, so by the time
+    the engine releases the next burst every replica is already serving
+    the new fused datapath.
+
+``("stats",)``
+    Ship the replica's :class:`BurstStats` and its per-entry flow
+    counters (addressed by logical table position, see
+    :mod:`repro.parallel.wire`) for cross-shard merging.
+
+``("reset_stats",)`` / ``("ping",)`` / ``("stop",)``
+    Housekeeping.
+
+Any exception is caught and reported as ``("error", message, traceback)``
+— the loop keeps serving, the engine decides whether to raise.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+
+from repro.core.analysis import CompileConfig
+from repro.core.eswitch import ESwitch
+from repro.parallel.wire import (
+    EntryIndexCache,
+    decode_packets,
+    encode_verdicts,
+)
+from repro.simcpu.recorder import CycleMeter, NULL_METER
+
+
+def shard_worker_main(
+    conn,
+    pipeline_blob: bytes,
+    config: CompileConfig,
+    costs,
+    platform,
+) -> None:
+    """Entry point of one shard worker (process target or thread body)."""
+    try:
+        pipeline = pickle.loads(pipeline_blob)
+        switch = ESwitch(pipeline, config=config, costs=costs)
+        switch.warm()  # replica construction includes the fused driver
+        cache = EntryIndexCache(switch.pipeline)
+        meter = CycleMeter(platform)
+        epoch = 0
+        conn.send(("ready", epoch))
+    except Exception as exc:  # pragma: no cover - construction failures
+        conn.send(("error", repr(exc), traceback.format_exc()))
+        return
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        cmd = msg[0]
+        try:
+            if cmd == "burst":
+                _, burst_epoch, mode, wires = msg
+                if burst_epoch != epoch:
+                    conn.send((
+                        "error",
+                        f"epoch desync: burst tagged {burst_epoch}, "
+                        f"replica at {epoch}",
+                        "",
+                    ))
+                    continue
+                pkts = decode_packets(wires)
+                if mode == "null":
+                    verdicts = switch.process_burst(pkts, NULL_METER)
+                    reply = (
+                        "burst",
+                        epoch,
+                        encode_verdicts(verdicts, cache),
+                        None,
+                        len(pkts),
+                        0,
+                    )
+                else:
+                    cycles0 = meter.total_cycles
+                    llc0 = meter.cache.stats.llc_misses
+                    verdicts = switch.process_burst(pkts, meter)
+                    reply = (
+                        "burst",
+                        epoch,
+                        encode_verdicts(verdicts, cache),
+                        meter.total_cycles - cycles0,
+                        len(pkts),
+                        meter.cache.stats.llc_misses - llc0,
+                    )
+                conn.send(reply)
+            elif cmd == "mods":
+                _, new_epoch, mods = msg
+                cycles = switch.apply_flow_mods(mods)
+                # Swap in the new generation *inside* the barrier: the
+                # ack promises the replica's fused datapath is current.
+                switch.warm()
+                epoch = new_epoch
+                conn.send(("mods", epoch, cycles))
+            elif cmd == "stats":
+                counters = []
+                for table in switch.pipeline:
+                    for idx, entry in enumerate(table.entries):
+                        c = entry.counters
+                        if c.packets or c.bytes:
+                            counters.append(
+                                (table.table_id, idx, c.packets, c.bytes)
+                            )
+                conn.send(("stats", switch.burst_stats, counters))
+            elif cmd == "reset_stats":
+                switch.burst_stats.reset()
+                meter.reset()
+                for table in switch.pipeline:
+                    for entry in table.entries:
+                        entry.counters.packets = 0
+                        entry.counters.bytes = 0
+                conn.send(("ok",))
+            elif cmd == "ping":
+                conn.send(("pong", epoch))
+            elif cmd == "stop":
+                conn.send(("ok",))
+                return
+            else:
+                conn.send(("error", f"unknown command {cmd!r}", ""))
+        except Exception as exc:
+            conn.send(("error", repr(exc), traceback.format_exc()))
+
+
+class ThreadChannel:
+    """A duplex, Connection-shaped channel over two queues (thread mode).
+
+    Objects still cross by value: sends pickle and receives unpickle, so
+    a thread worker is exactly as shared-nothing as a process worker —
+    the only difference is the GIL (correctness everywhere, speedup only
+    with processes).
+    """
+
+    def __init__(self, inbox, outbox):
+        self._inbox = inbox
+        self._outbox = outbox
+
+    def send(self, obj) -> None:
+        self._outbox.put(pickle.dumps(obj))
+
+    def recv(self):
+        blob = self._inbox.get()
+        if blob is None:
+            raise EOFError
+        return pickle.loads(blob)
+
+    def close(self) -> None:
+        self._outbox.put(None)
+
+
+def thread_channel_pair() -> tuple[ThreadChannel, ThreadChannel]:
+    """(engine side, worker side) of one duplex thread channel."""
+    import queue
+
+    a, b = queue.Queue(), queue.Queue()
+    return ThreadChannel(a, b), ThreadChannel(b, a)

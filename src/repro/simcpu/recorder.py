@@ -96,6 +96,21 @@ class CycleMeter(Meter):
         self.cache.install_l3(line)
         self._packet_cycles += self.cache.access(line)
 
+    def absorb(self, cycles: float, packets: int = 0, llc_misses: int = 0) -> None:
+        """Fold another core's already-metered totals into this meter.
+
+        The sharded engine's gather path: each shard meters on its own
+        per-core :class:`CycleMeter` (private caches) and reports deltas;
+        the caller-facing meter absorbs them **as-is** — no
+        ``cycle_factor`` rescaling (the shard already applied it), no
+        cache simulation (the misses happened on the shard's hierarchy,
+        they are only tallied here for ``llc_misses_per_packet``).
+        """
+        self.total_cycles += cycles
+        self.packets += packets
+        self.cache.stats.accesses += llc_misses
+        self.cache.stats.dram_accesses += llc_misses
+
     # -- results --------------------------------------------------------------
 
     @property

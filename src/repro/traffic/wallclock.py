@@ -21,10 +21,17 @@ Protocol: packet copies for every repeat are materialized before the
 clock starts (actions mutate packets in place), a warm-up pass absorbs
 the lazy fuse compile and cache effects, and each point takes the best
 of ``repeats`` timed runs.
+
+A third axis rides on top of those two (``cores``): real-parallel
+scaling of :class:`~repro.parallel.ShardedESwitch`, the simulator's own
+wall-clock throughput when the burst is RSS-scattered over N shard
+replicas running on real cores — the wall-clock counterpart of the
+*modeled* Fig. 19 curves.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Sequence
 
@@ -42,6 +49,12 @@ VARIANTS = ("fused", "trampoline", "ovs")
 #: The acceptance bar the fusion layer must clear (see ISSUE 2): fused
 #: wall-clock pkts/sec on the multi-table gateway, NullMeter mode.
 GATEWAY_SPEEDUP_FLOOR = 1.3
+
+#: The acceptance bar the sharded engine must clear (see ISSUE 3):
+#: ``ShardedESwitch(workers=4)`` vs the single fused path on the gateway,
+#: NullMeter mode — on hardware that actually has the cores (the scatter/
+#: gather tax means a core-starved host shows < 1x, honestly reported).
+SHARDED_SPEEDUP_FLOOR = 2.0
 
 
 def _case_builders(n_flows: int) -> dict[str, Callable]:
@@ -99,12 +112,24 @@ def run_wallclock(
     repeats: int = 3,
     warmup: int = 512,
     platform: Platform = XEON_E5_2620,
+    cores: Sequence[int] = (),
 ) -> dict:
     """The full sweep; returns the ``BENCH_wallclock.json`` document.
 
     ``points`` carries one record per (case, variant, mode); ``speedups``
     pre-computes the ratios the acceptance criteria and CI read
     (``fused_vs_trampoline``, ``fused_vs_ovs``) per case and mode.
+
+    ``cores``, when non-empty, adds the **multicore axis**: for each case
+    and each worker count N, a :class:`~repro.parallel.ShardedESwitch`
+    with N real shard workers is driven in NullMeter mode and its
+    wall-clock pkts/sec lands in ``multicore`` (plus
+    ``sharded{N}_vs_fused`` ratios in ``speedups``). This is the third
+    measurement axis (see EXPERIMENTS.md): not the cycle model's modeled
+    Mpps, not single-core simulator speed, but how the simulator itself
+    scales when packets really run in parallel. ``meta.cpu_count``
+    records how many hardware cores the host actually had — the number
+    that decides whether scaling is physically possible.
 
     The repeats of all variants are interleaved round-robin so a clock or
     load drift hits every variant alike instead of biasing whichever was
@@ -166,6 +191,11 @@ def run_wallclock(
                     ratios[f"fused_vs_{other}"] = fused / baseline
             if ratios:
                 speedups[f"{case}/{mode}"] = ratios
+    multicore: list[dict] = []
+    if cores:
+        multicore = _run_multicore(
+            cases, builders, cores, n_packets, burst, repeats, warmup, speedups
+        )
     return {
         "meta": {
             "n_flows": n_flows,
@@ -174,12 +204,104 @@ def run_wallclock(
             "repeats": repeats,
             "warmup": warmup,
             "platform": platform.name,
+            "cpu_count": os.cpu_count(),
+            "cores_axis": list(cores),
             "note": (
                 "wall_pps is simulator wall-clock throughput (real pkts/sec "
                 "of the Python datapath); modeled_pps is the cycle model's "
-                "prediction for the simulated hardware — different axes."
+                "prediction for the simulated hardware — different axes. "
+                "multicore points run ShardedESwitch with real shard "
+                "workers, scatter bursts of burst*workers, NullMeter."
             ),
         },
         "points": points,
         "speedups": speedups,
+        "multicore": multicore,
     }
+
+
+def _run_multicore(
+    cases: Sequence[str],
+    builders: dict,
+    cores: Sequence[int],
+    n_packets: int,
+    burst: int,
+    repeats: int,
+    warmup: int,
+    speedups: dict,
+) -> list[dict]:
+    """The real-parallel scaling sweep (the ``cores`` axis).
+
+    Per case: one single-process fused baseline plus one
+    :class:`ShardedESwitch` per worker count, every engine fed scatter
+    bursts of ``burst * workers`` so each shard sees roughly ``burst``
+    packets per sub-burst (an N-queue NIC polls N rings of the same
+    depth, not one ring split N ways). Repeats interleave round-robin
+    like the main sweep; engines are torn down afterwards.
+    """
+    from repro.parallel import ShardedESwitch
+
+    points: list[dict] = []
+    for case in cases:
+        _pipeline, flows = builders[case]()
+        n = len(flows)
+        base = [flows[i % n] for i in range(n_packets)]
+        combos: list[tuple[dict, object, int]] = []
+        engines: list[ShardedESwitch] = []
+        try:
+            combos.append(
+                (
+                    {"case": case, "variant": "fused", "workers": 1,
+                     "backend": "inline"},
+                    _make_switch("fused", builders[case]()[0]),
+                    burst,
+                )
+            )
+            for workers in cores:
+                engine = ShardedESwitch(builders[case]()[0], workers=workers)
+                engines.append(engine)
+                combos.append(
+                    (
+                        {"case": case, "variant": f"sharded{workers}",
+                         "workers": workers, "backend": engine.backend},
+                        engine,
+                        burst * workers,
+                    )
+                )
+            warm = base[: min(warmup, len(base))]
+            for _meta, switch, macroburst in combos:
+                _timed_run(
+                    switch, [pkt.copy() for pkt in warm], "null", macroburst,
+                    XEON_E5_2620,
+                )
+            best: dict[int, float] = {}
+            for _ in range(repeats):
+                for key, (_meta, switch, macroburst) in enumerate(combos):
+                    pkts = [pkt.copy() for pkt in base]
+                    elapsed, _ = _timed_run(
+                        switch, pkts, "null", macroburst, XEON_E5_2620
+                    )
+                    best[key] = min(best.get(key, float("inf")), elapsed)
+        finally:
+            for engine in engines:
+                engine.close()
+        case_points = []
+        for key, (meta, _switch, macroburst) in enumerate(combos):
+            point = dict(meta)
+            point.update(
+                wall_pps=n_packets / best[key],
+                usec_per_pkt=best[key] / n_packets * 1e6,
+                burst=macroburst,
+                packets=n_packets,
+                best_of=repeats,
+            )
+            case_points.append(point)
+        points.extend(case_points)
+        baseline = case_points[0]["wall_pps"]
+        ratios = {
+            f"{p['variant']}_vs_fused": p["wall_pps"] / baseline
+            for p in case_points[1:]
+        }
+        if ratios:
+            speedups[f"{case}/multicore"] = ratios
+    return points

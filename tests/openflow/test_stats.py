@@ -82,3 +82,69 @@ class TestTableAndAggregate:
         drive(ESwitch.from_pipeline(pipeline))
         flows, packets, nbytes = aggregate_stats(pipeline)
         assert flows == 3 and packets == 15 and nbytes == 15 * 64
+
+
+class TestBurstStatsMerge:
+    """Exact, associative accumulation — the sharded gather's prerequisite."""
+
+    def make(self, records):
+        from repro.openflow.stats import BurstStats
+
+        stats = BurstStats()
+        for size, cycles in records:
+            stats.record(size, cycles)
+        return stats
+
+    def test_merge_folds_everything(self):
+        from repro.openflow.stats import BurstStats
+
+        a = self.make([(32, 100.0), (16, 50.0)])
+        b = self.make([(32, 25.0)])
+        merged = BurstStats.merged([a, b])
+        assert merged.bursts == 3
+        assert merged.packets == 80
+        assert merged.cycles == 175.0
+        assert merged.histogram == {32: 2, 16: 1}
+        assert a.bursts == 2 and b.bursts == 1  # inputs untouched
+
+    def test_merge_is_order_independent(self):
+        import itertools
+
+        from repro.openflow.stats import BurstStats
+
+        # Values chosen so a naive float += accumulator is order-dependent:
+        # (1e16 + 1.0) == 1e16 in float arithmetic, so summing the small
+        # burst before or after the huge one used to change the total.
+        shards = [
+            self.make([(8, 1e16)]),
+            self.make([(8, 1.0)]),
+            self.make([(8, -1e16)]),
+        ]
+        totals = {
+            BurstStats.merged(perm).cycles
+            for perm in itertools.permutations(shards)
+        }
+        assert totals == {1.0}
+
+    def test_record_does_not_drift(self):
+        # The float += accumulator silently lost small bursts once the
+        # running total dwarfed them; the exact accumulator cannot.
+        stats = self.make([(1, 1e16)] + [(1, 1.0)] * 64 + [(1, -1e16)])
+        assert stats.cycles == 64.0
+
+    def test_merge_is_associative(self):
+        from repro.openflow.stats import BurstStats
+
+        a = self.make([(4, 0.1)])
+        b = self.make([(4, 0.2)])
+        c = self.make([(4, 0.3)])
+        left = BurstStats.merged([BurstStats.merged([a, b]), c])
+        right = BurstStats.merged([a, BurstStats.merged([b, c])])
+        assert left.cycles == right.cycles
+        assert left.snapshot() == right.snapshot()
+
+    def test_reset_clears_exactly(self):
+        stats = self.make([(8, 123.5)])
+        stats.reset()
+        assert stats.bursts == 0 and stats.packets == 0
+        assert stats.cycles == 0.0 and stats.histogram == {}

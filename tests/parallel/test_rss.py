@@ -1,0 +1,87 @@
+"""RSS shard selection: deterministic, flow-sticky, well spread."""
+
+import random
+
+from repro.packet import PacketBuilder
+from repro.parallel.rss import flow_key, rss_hash, shard_of
+
+import strategies as sts
+
+
+def tcp_pkt(src_mac=0x02_0000_0001, sport=1024, dport=80, vlan=None):
+    b = PacketBuilder(in_port=1).eth(src=src_mac, dst=0x02_0000_0002)
+    if vlan is not None:
+        b.vlan(vid=vlan)
+    return (b.ipv4(src=0x0A000001, dst=0xC0000201)
+             .tcp(src_port=sport, dst_port=dport).build())
+
+
+class TestFlowKey:
+    def test_deterministic(self):
+        pkt = tcp_pkt()
+        assert rss_hash(pkt.data) == rss_hash(pkt.data)
+        assert rss_hash(pkt.data, seed=7) == rss_hash(bytes(pkt.data), seed=7)
+
+    def test_l2_fields_do_not_affect_ip_flows(self):
+        # RSS hashes the 5-tuple: the MAC pair is not part of an IP key.
+        a, b = tcp_pkt(src_mac=0x02_0000_0001), tcp_pkt(src_mac=0x02_0000_00AA)
+        assert flow_key(a.data) == flow_key(b.data)
+
+    def test_ports_separate_flows(self):
+        assert flow_key(tcp_pkt(dport=80).data) != flow_key(tcp_pkt(dport=443).data)
+
+    def test_vlan_tag_is_transparent(self):
+        # The key walks VLAN tags to the same inner 5-tuple.
+        assert flow_key(tcp_pkt().data) == flow_key(tcp_pkt(vlan=100).data)
+        assert flow_key(tcp_pkt(vlan=100).data) == flow_key(tcp_pkt(vlan=200).data)
+
+    def test_fragment_falls_back_to_3_tuple(self):
+        whole = tcp_pkt()
+        frag = tcp_pkt()
+        data = bytearray(frag.data)
+        data[14 + 7] = 0x10  # non-zero IPv4 fragment offset
+        # No transport header in a non-first fragment: 3-tuple only,
+        # and both fragments of the flow still key together.
+        assert flow_key(data) == flow_key(whole.data)[:9]
+
+    def test_ipv6_key(self):
+        pkt = (PacketBuilder(in_port=1).eth()
+               .ipv6(src=sts.V6_A, dst=sts.V6_B)
+               .udp(src_port=53, dst_port=53).build())
+        key = flow_key(pkt.data)
+        assert len(key) == 32 + 1 + 4  # addrs + next-header + ports
+        assert key[32] == 17
+
+    def test_non_ip_frame_keys_on_macs(self):
+        data = bytes(range(12)) + b"\x88\xb5" + b"\x00" * 50  # experimental etype
+        assert flow_key(data) == data[:12] + b"\x88\xb5"
+
+    def test_truncated_frame_degrades(self):
+        assert isinstance(flow_key(b"\x00" * 6), bytes)  # no ethertype at all
+        assert isinstance(flow_key(b""), bytes)
+
+
+class TestShardOf:
+    def test_single_shard_shortcut(self):
+        assert shard_of(tcp_pkt().data, 1) == 0
+
+    def test_flow_sticky(self):
+        pkt = tcp_pkt()
+        shards = {shard_of(pkt.data, 4) for _ in range(10)}
+        assert len(shards) == 1
+
+    def test_spreads_many_flows(self):
+        rng = random.Random(42)
+        counts = [0, 0, 0, 0]
+        for _ in range(400):
+            pkt = sts.random_packet(rng)
+            counts[shard_of(pkt.data, 4)] += 1
+        # Every queue sees a healthy share (CRC over distinct 5-tuples).
+        assert all(c > 400 // 16 for c in counts), counts
+
+    def test_seed_changes_assignment(self):
+        rng = random.Random(7)
+        pkts = [sts.random_packet(rng) for _ in range(64)]
+        a = [shard_of(p.data, 4, seed=0) for p in pkts]
+        b = [shard_of(p.data, 4, seed=12345) for p in pkts]
+        assert a != b
