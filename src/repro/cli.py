@@ -260,12 +260,39 @@ def cmd_bench_wallclock(args: argparse.Namespace) -> int:
         )
     if doc["multicore"]:
         print(f"\n{'case':8} {'variant':11} {'workers':>7} {'backend':8} "
-              f"{'wall pps':>12} {'us/pkt':>8}")
+              f"{'wall pps':>12} {'us/pkt':>8}  health")
         for point in doc["multicore"]:
+            health = point.get("health")
+            if health is None:
+                status = "-"
+            elif health["degraded_shards"]:
+                status = (
+                    f"DEGRADED shards={health['degraded_shards']} "
+                    f"live={health['live_workers']}/{health['workers']} "
+                    f"faults={health['faults_detected']}"
+                )
+            elif health["faults_detected"]:
+                status = (
+                    f"recovered faults={health['faults_detected']} "
+                    f"respawns={health['respawns']} "
+                    f"retries={health['retries']}"
+                )
+            else:
+                status = f"ok live={health['live_workers']}/{health['workers']}"
             print(
                 f"{point['case']:8} {point['variant']:11} {point['workers']:7} "
                 f"{point['backend']:8} {point['wall_pps']:12,.0f} "
-                f"{point['usec_per_pkt']:8.2f}"
+                f"{point['usec_per_pkt']:8.2f}  {status}"
+            )
+        degraded = [
+            p for p in doc["multicore"]
+            if p.get("health", {}).get("degraded_shards")
+        ]
+        if degraded:
+            print(
+                "\nWARNING: sharded points above ran DEGRADED (dead shards "
+                "remapped onto survivors); their pps undercounts a healthy "
+                "engine of the same worker count."
             )
     print()
     for key, ratios in doc["speedups"].items():

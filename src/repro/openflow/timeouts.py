@@ -8,6 +8,26 @@ entries are removed through the owning switch's ``apply_flow_mod`` so all
 of its datapath invalidation/update machinery engages (ESWITCH recompiles
 or incrementally updates the table; OVS flushes its caches).
 
+Tracking is by **flow identity, not object identity**: entries are keyed
+by their ``entry_id`` and re-resolved against the live pipeline on every
+sweep, because the pipeline is free to swap the underlying
+:class:`FlowEntry` objects between ticks (transactional rollbacks,
+snapshot restores, a sharded engine's shadow). A tracked flow that no
+longer resolves is simply dropped — never deleted by a stale match, which
+could take out an unrelated entry that now occupies the same (match,
+priority) slot.
+
+When both timeouts are due on the same sweep, **hard wins**: the hard
+timeout bounds the entry's total lifetime regardless of traffic
+(OpenFlow 1.3 §5.5), so it takes precedence over idle expiry — and
+activity observed on a sweep refreshes idleness *before* the idle check,
+so a flow that was busy right up to its hard deadline still expires
+``"hard"``.
+
+Driving a :class:`~repro.parallel.ShardedESwitch`, the manager calls the
+engine's ``sync_flow_stats()`` before each sweep, so idleness is judged
+on the cross-shard counter totals rather than the shadow's stale view.
+
 The clock is caller-supplied seconds (floats): simulations advance it
 explicitly, deterministic tests included.
 """
@@ -25,7 +45,7 @@ from repro.openflow.pipeline import Pipeline
 @dataclass
 class _Tracked:
     table_id: int
-    entry: FlowEntry
+    entry: FlowEntry  # refreshed every sweep; entry_id is the real key
     installed_at: float
     last_active: float
     last_packets: int
@@ -36,7 +56,10 @@ class ExpiryManager:
 
     Args:
         switch: anything with ``pipeline`` and ``apply_flow_mod`` (ESwitch,
-            OvsSwitch, or a bare Pipeline wrapper).
+            OvsSwitch, ShardedESwitch, or a bare Pipeline wrapper). If the
+            switch exposes ``sync_flow_stats()`` (the sharded engine
+            does), it is invoked before every sweep so counters reflect
+            all shards.
         on_expired: optional callback ``(table_id, entry, reason)`` with
             reason ``"idle"`` or ``"hard"`` (e.g. to emit flow-removed
             messages to a controller).
@@ -48,22 +71,34 @@ class ExpiryManager:
         on_expired: "Callable[[int, FlowEntry, str], None] | None" = None,
     ):
         self.switch = switch
-        self.pipeline: Pipeline = switch.pipeline
         self.on_expired = on_expired
         self._tracked: dict[int, _Tracked] = {}
         self.expired_idle = 0
         self.expired_hard = 0
         self._now = 0.0
 
+    @property
+    def pipeline(self) -> Pipeline:
+        """The switch's live pipeline (never cached: it may be rebuilt)."""
+        return self.switch.pipeline
+
     def observe(self, now: float) -> None:
-        """Register (new) timed entries; call after installing flows."""
+        """Register new timed entries and re-resolve tracked ones.
+
+        Call after installing flows. Tracked entries whose objects were
+        swapped (same ``entry_id``, different :class:`FlowEntry`) are
+        re-bound to the live object; tracked ids that no longer resolve
+        anywhere in the pipeline are dropped — their flow is already
+        gone, and deleting by the stale object's (match, priority) could
+        hit an unrelated entry that reused the slot.
+        """
         self._now = max(self._now, now)
-        seen: set[int] = set()
+        live: dict[int, tuple[int, FlowEntry]] = {}
         for table in self.pipeline:
             for entry in table:
                 if not (entry.idle_timeout or entry.hard_timeout):
                     continue
-                seen.add(entry.entry_id)
+                live[entry.entry_id] = (table.table_id, entry)
                 if entry.entry_id not in self._tracked:
                     self._tracked[entry.entry_id] = _Tracked(
                         table_id=table.table_id,
@@ -72,25 +107,46 @@ class ExpiryManager:
                         last_active=now,
                         last_packets=entry.counters.packets,
                     )
-        # Forget entries that were removed out from under us.
         for entry_id in list(self._tracked):
-            if entry_id not in seen:
+            if entry_id not in live:
+                # Removed out from under us (or its timeouts were
+                # stripped): forget it, never delete by stale match.
                 del self._tracked[entry_id]
+                continue
+            tracked = self._tracked[entry_id]
+            table_id, entry = live[entry_id]
+            if tracked.entry is not entry:
+                tracked.entry = entry
+                tracked.table_id = table_id
+                if entry.counters.packets < tracked.last_packets:
+                    # The live object carries reset counters; rebase the
+                    # idle baseline without mistaking the drop for
+                    # activity (activity only ever *increases* counts).
+                    tracked.last_packets = entry.counters.packets
 
     def tick(self, now: float) -> list[tuple[int, FlowEntry, str]]:
         """Advance to ``now``; expire and remove due entries."""
         if now < self._now:
             raise ValueError("the clock cannot move backwards")
+        sync = getattr(self.switch, "sync_flow_stats", None)
+        if sync is not None:
+            sync()  # sharded engine: judge idleness on cross-shard totals
         self.observe(now)
         self._now = now
         expired: list[tuple[int, FlowEntry, str]] = []
         for entry_id, tracked in list(self._tracked.items()):
-            entry = tracked.entry
-            # Counter progress since the last tick proves activity.
-            if entry.counters.packets != tracked.last_packets:
+            entry = tracked.entry  # re-resolved by observe() above
+            # Counter progress since the last tick proves activity —
+            # credited BEFORE the timeout checks, so a flow active this
+            # sweep can only expire hard, never idle.
+            if entry.counters.packets > tracked.last_packets:
                 tracked.last_packets = entry.counters.packets
                 tracked.last_active = now
+            elif entry.counters.packets < tracked.last_packets:
+                tracked.last_packets = entry.counters.packets  # reset, not activity
             reason = None
+            # Hard before idle: when both are due the same sweep, the
+            # lifetime bound outranks idleness (OpenFlow 1.3 §5.5).
             if entry.hard_timeout and now - tracked.installed_at >= entry.hard_timeout:
                 reason = "hard"
             elif entry.idle_timeout and now - tracked.last_active >= entry.idle_timeout:

@@ -10,26 +10,43 @@ pipeline — the shared-nothing, run-to-completion shape of a DPDK
 per-core datapath (and of OVS's per-PMD-thread datapaths, NSDI'15).
 
 * :mod:`repro.parallel.rss` — the RSS-style 5-tuple hash that scatters
-  packets to shards, flow-sticky like a NIC's receive-side scaling;
-* :mod:`repro.parallel.wire` — the compact picklable forms packets and
-  verdicts take across the shard boundary;
+  packets to shards, flow-sticky like a NIC's receive-side scaling,
+  plus the NIC-style indirection table the engine remaps to degrade
+  around a dead shard;
+* :mod:`repro.parallel.wire` — the compact picklable forms packets,
+  verdicts, and flow-counter deltas take across the shard boundary;
 * :mod:`repro.parallel.worker` — the shard worker loop (one replica,
   one command channel, one per-core cycle meter);
+* :mod:`repro.parallel.faults` — deterministic worker fault injection
+  (kill / hang / delay at precise command occurrences), the test
+  instrument behind the supervision layer;
 * :mod:`repro.parallel.engine` — the scatter/gather facade with
-  epoch-synced control-plane broadcast.
+  epoch-synced control-plane broadcast and worker supervision
+  (RPC deadlines, crash/hang detection, respawn from the shadow
+  snapshot, bounded burst retry, graceful degradation).
 """
 
 from repro.parallel.engine import (
+    EngineHealth,
     EpochSyncError,
     ShardedESwitch,
     ShardWorkerError,
+    WorkerDied,
+    WorkerTimeout,
 )
-from repro.parallel.rss import rss_hash, shard_of
+from repro.parallel.faults import FaultInjector, FaultSpec
+from repro.parallel.rss import RssIndirection, rss_hash, shard_of
 
 __all__ = [
+    "EngineHealth",
     "EpochSyncError",
+    "FaultInjector",
+    "FaultSpec",
+    "RssIndirection",
     "ShardWorkerError",
     "ShardedESwitch",
+    "WorkerDied",
+    "WorkerTimeout",
     "rss_hash",
     "shard_of",
 ]

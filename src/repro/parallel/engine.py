@@ -1,4 +1,5 @@
-"""ShardedESwitch: N replicas, one facade — scatter, gather, epoch-sync.
+"""ShardedESwitch: N replicas, one facade — scatter, gather, epoch-sync,
+and a supervision layer that keeps the facade standing when replicas die.
 
 The engine owns:
 
@@ -11,9 +12,9 @@ The engine owns:
   broadcast), inspection (``table_kinds``, flow stats) reads it, and
   gathered verdict paths re-bind to its entries;
 * the **RSS scatter** (:mod:`repro.parallel.rss`): each packet of a
-  burst hashes to a shard, sub-bursts ship to the workers, and verdicts
-  gather back **in input order** — callers see exactly the
-  ``process_burst`` contract of a single switch;
+  burst hashes through an indirection table to a shard, sub-bursts ship
+  to the workers, and verdicts gather back **in input order** — callers
+  see exactly the ``process_burst`` contract of a single switch;
 * the **epoch barrier**: every ``apply_flow_mod(s)`` broadcast bumps the
   engine epoch and blocks until all workers ack — and a worker only
   acks after its replica has applied the batch, flushed deferred
@@ -22,22 +23,49 @@ The engine owns:
   verdicts from two pipeline generations** (Section 3.4's atomic
   non-destructive update story, extended across cores).
 
-Metering semantics (the three axes EXPERIMENTS.md keeps apart):
+Supervision (what makes the facade *fault-tolerant*):
 
-* ``NULL_METER`` → workers run the null fused driver; pure wall-clock.
-* A :class:`CycleMeter` → each worker meters on its **own persistent
-  per-core meter** (private simulated caches — the physically honest
-  model; cores do not share L1/L2). The gather folds the shard deltas
+* every pipe round-trip — burst, flow-mod broadcast, liveness ping,
+  stats pull — is **deadline-bounded** (``rpc_deadline`` seconds);
+  a worker that neither answers nor dies within the deadline is
+  treated exactly like a dead one: reaped and never spoken to again
+  (a late reply from a zombie must never poison the stream);
+* a dead or deadline-blown worker is **respawned** from a snapshot of
+  the shadow pipeline *at the engine's current epoch* — replacements
+  are born current and never replay history. During a flow-mod
+  broadcast the shadow has already applied the batch, so a worker that
+  dies *inside* the barrier is replaced by one born at the new epoch
+  with the full batch applied: the barrier cannot wedge and no
+  half-applied generation can ack;
+* a sub-burst lost to a fault is **retried with bounded backoff** —
+  re-scattered through the (possibly remapped) RSS table onto the
+  respawned worker or the survivors — so callers still see the
+  single-switch contract. Metering stays exact: a failed attempt never
+  shipped its meter delta, so only the successful attempt is absorbed;
+* after ``max_respawns`` failed resurrections a shard slot **degrades**:
+  its RSS slots remap over the survivors
+  (:class:`~repro.parallel.rss.RssIndirection`) and the engine keeps
+  serving, surfacing the state through :meth:`health`.
+
+Fault-exactness of the numbers (why a kill is unobservable in them):
+
+* **flow counters** — every burst reply carries the per-entry counter
+  deltas the sub-burst earned (:func:`repro.parallel.wire.
+  counter_deltas`); the engine folds them into a ledger keyed by shadow
+  entry. A worker that dies holding an unsent reply takes exactly its
+  unacked deltas with it, and the retry re-earns them — so
+  :meth:`sync_flow_stats` is exact across deaths, needs no RPC, and
+  cannot itself fault;
+* **burst telemetry** — the engine records every *acked* sub-burst into
+  a per-slot :class:`BurstStats` ledger, so :meth:`merged_burst_stats`
+  survives worker loss bit for bit;
+* **modeled cycles** — each worker meters on its own persistent
+  per-core :class:`CycleMeter`; the gather folds the acked shard deltas
   into the caller's meter via :meth:`CycleMeter.absorb`, summing with
   ``math.fsum`` so the merged total is exact and independent of shard
-  enumeration order. The modeled total therefore equals, bit for bit,
-  the sum of per-shard sequential replays — and for ``workers=1`` it is
-  bit-identical to a single ``ESwitch`` over the same bursts.
-
-Flow counters stay truthful: each replica records on its own entries;
-:meth:`sync_flow_stats` pulls and sums them onto the shadow pipeline, so
-``collect_flow_stats(engine.pipeline)`` reports exactly what a
-sequential run would have recorded.
+  enumeration order. A respawned replica starts a fresh per-core meter
+  (cold private caches — a freshly booted core), and for ``workers=1``
+  without faults the total is bit-identical to a single ``ESwitch``.
 """
 
 from __future__ import annotations
@@ -45,6 +73,8 @@ from __future__ import annotations
 import math
 import os
 import pickle
+import time
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.analysis import CompileConfig, DEFAULT_CONFIG
@@ -53,7 +83,7 @@ from repro.openflow.messages import FlowMod
 from repro.openflow.pipeline import Pipeline, Verdict
 from repro.openflow.stats import BurstStats
 from repro.packet.packet import Packet
-from repro.parallel.rss import shard_of
+from repro.parallel.rss import RssIndirection
 from repro.parallel.wire import EntryIndexCache, decode_verdicts, encode_packets
 from repro.parallel.worker import shard_worker_main, thread_channel_pair
 from repro.simcpu.costs import CostBook, DEFAULT_COSTS
@@ -65,27 +95,70 @@ class ShardWorkerError(RuntimeError):
     """A shard worker reported an exception (its traceback is attached)."""
 
 
+class WorkerDied(ShardWorkerError):
+    """A worker's channel went dead mid-RPC (crash, OOM kill, exit)."""
+
+
+class WorkerTimeout(ShardWorkerError):
+    """A worker blew the RPC deadline (hang, livelock, swap storm)."""
+
+
 class EpochSyncError(RuntimeError):
     """A gathered burst spanned two pipeline generations (should be
     impossible: the broadcast barrier exists to prevent exactly this)."""
 
 
+@dataclass(frozen=True)
+class EngineHealth:
+    """A point-in-time snapshot of the engine's supervision telemetry."""
+
+    workers: int                       #: configured shard count
+    live_workers: int                  #: shards currently serving
+    faults_detected: int               #: deaths + blown deadlines observed
+    respawns: int                      #: replacement workers forked
+    retries: int                       #: sub-burst re-execution rounds
+    degraded_shards: tuple[int, ...]   #: slots permanently remapped away
+    liveness: tuple[bool, ...]         #: per-slot: is a worker serving it
+    epoch: int                         #: current pipeline generation
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_shards)
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "live_workers": self.live_workers,
+            "faults_detected": self.faults_detected,
+            "respawns": self.respawns,
+            "retries": self.retries,
+            "degraded_shards": list(self.degraded_shards),
+            "liveness": list(self.liveness),
+            "epoch": self.epoch,
+        }
+
+
 class _ProcessShard:
     """One worker process plus its engine-side pipe end."""
 
-    def __init__(self, index: int, blob: bytes, config, costs, platform):
+    def __init__(self, index, blob, config, costs, platform,
+                 start_epoch=0, injector=None, generation=0):
         import multiprocessing as mp
 
         ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context()
         self.conn, child_conn = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
             target=shard_worker_main,
-            args=(child_conn, blob, config, costs, platform),
+            args=(child_conn, blob, config, costs, platform,
+                  index, start_epoch, injector, generation),
             name=f"repro-shard-{index}",
             daemon=True,
         )
         self.proc.start()
         child_conn.close()
+
+    def poll(self, timeout: float) -> bool:
+        return self.conn.poll(timeout)
 
     def stop(self) -> None:
         try:
@@ -99,21 +172,38 @@ class _ProcessShard:
             self.proc.terminate()
             self.proc.join(timeout=5)
 
+    def reap(self) -> None:
+        """Put down a dead or unresponsive worker, no questions asked."""
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        self.proc.terminate()
+        self.proc.join(timeout=5)
+        if self.proc.is_alive():  # pragma: no cover - defensive
+            self.proc.kill()
+            self.proc.join(timeout=5)
+
 
 class _ThreadShard:
     """One worker thread plus its engine-side channel end (fallback)."""
 
-    def __init__(self, index: int, blob: bytes, config, costs, platform):
+    def __init__(self, index, blob, config, costs, platform,
+                 start_epoch=0, injector=None, generation=0):
         import threading
 
         self.conn, child_conn = thread_channel_pair()
         self.proc = threading.Thread(
             target=shard_worker_main,
-            args=(child_conn, blob, config, costs, platform),
+            args=(child_conn, blob, config, costs, platform,
+                  index, start_epoch, injector, generation),
             name=f"repro-shard-{index}",
             daemon=True,
         )
         self.proc.start()
+
+    def poll(self, timeout: float) -> bool:
+        return self.conn.poll(timeout)
 
     def stop(self) -> None:
         try:
@@ -122,6 +212,29 @@ class _ThreadShard:
         except (OSError, EOFError):
             pass
         self.proc.join(timeout=5)
+
+    def reap(self) -> None:
+        # A hung thread cannot be killed; closing the channel makes its
+        # next recv raise EOFError and the (daemon) thread wind down.
+        self.conn.close()
+
+
+class _ShardSlot:
+    """Engine-side state of one RSS shard position.
+
+    The slot outlives any single worker: its :class:`BurstStats` ledger
+    accumulates every sub-burst the engine successfully gathered for
+    this position, across respawns, and survives degradation.
+    """
+
+    __slots__ = ("index", "shard", "respawns", "stats", "degraded")
+
+    def __init__(self, index: int, shard) -> None:
+        self.index = index
+        self.shard = shard          # None once degraded
+        self.respawns = 0
+        self.stats = BurstStats()
+        self.degraded = False
 
 
 class ShardedESwitch:
@@ -135,6 +248,20 @@ class ShardedESwitch:
     unsupported: a controller callback would have to preempt remote
     replicas mid-burst; punted packets still come back with
     ``to_controller`` set for the caller to handle at the gather.
+
+    Supervision knobs (see the module docstring for semantics):
+
+    * ``rpc_deadline`` — seconds any worker round-trip may take
+      (``None`` disables deadlines: block forever, pre-supervision
+      behavior);
+    * ``max_retries`` — re-execution rounds for a faulted sub-burst
+      before the burst errors out;
+    * ``retry_backoff`` — base seconds slept before a retry round,
+      doubling each round (bounded exponential backoff);
+    * ``max_respawns`` — replacement workers per shard slot before the
+      slot degrades (0 disables respawn: first fault degrades);
+    * ``fault_injector`` — a :class:`~repro.parallel.faults.
+      FaultInjector` test hook wired into every worker.
     """
 
     def __init__(
@@ -147,6 +274,11 @@ class ShardedESwitch:
         platform: Platform = XEON_E5_2620,
         backend: str = "auto",
         rss_seed: int = 0,
+        rpc_deadline: "float | None" = 30.0,
+        max_retries: int = 3,
+        retry_backoff: float = 0.05,
+        max_respawns: int = 2,
+        fault_injector=None,
     ):
         if workers is None:
             workers = max(1, (os.cpu_count() or 2) - 1)
@@ -154,11 +286,23 @@ class ShardedESwitch:
             raise ValueError("need at least one shard worker")
         if backend not in ("auto", "process", "thread"):
             raise ValueError(f"unknown backend {backend!r}")
+        if rpc_deadline is not None and rpc_deadline <= 0:
+            raise ValueError("rpc_deadline must be positive (or None)")
+        if max_retries < 0 or max_respawns < 0 or retry_backoff < 0:
+            raise ValueError("supervision knobs must be non-negative")
         pipeline.validate()
         self.workers = workers
         self.rss_seed = rss_seed
+        self.rpc_deadline = rpc_deadline
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.max_respawns = max_respawns
+        self.fault_injector = fault_injector
         self.epoch = 0
         self.burst_stats = BurstStats()
+        self.faults_detected = 0
+        self.respawns = 0
+        self.retries = 0
         #: epochs reported by the shards of the most recent gather — the
         #: atomicity witness (all equal, and equal to ``self.epoch``).
         self.last_gather_epochs: tuple[int, ...] = ()
@@ -166,14 +310,27 @@ class ShardedESwitch:
         # The shadow is built from its own snapshot: the engine never
         # mutates the caller's pipeline object.
         self.shadow = ESwitch(pickle.loads(blob), config=config, costs=costs)
+        self._config, self._costs, self._platform = config, costs, platform
         self._decode_cache = EntryIndexCache(self.shadow.pipeline)
-        self._shards: list = []
-        self.backend = self._spawn(backend, blob, config, costs, platform)
+        self._rss = RssIndirection(workers, seed=rss_seed)
+        #: shadow entry_id -> [packets, bytes]: flow counters earned by
+        #: every *acked* sub-burst (the fault-exact statistics ledger).
+        #: Seeded with the construction-time baseline so a pipeline that
+        #: arrives with history keeps it (workers seed their ``shipped``
+        #: baselines the same way and never re-report it).
+        self._counter_ledger: dict[int, list[int]] = {
+            entry.entry_id: [entry.counters.packets, entry.counters.bytes]
+            for table in self.shadow.pipeline
+            for entry in table.entries
+            if entry.counters.packets or entry.counters.bytes
+        }
+        self._slots: list[_ShardSlot] = []
+        self.backend = self._spawn(backend, blob)
         self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
 
-    def _spawn(self, backend, blob, config, costs, platform) -> str:
+    def _spawn(self, backend, blob) -> str:
         kinds = []
         if backend in ("auto", "process"):
             kinds.append(("process", _ProcessShard))
@@ -181,24 +338,26 @@ class ShardedESwitch:
             kinds.append(("thread", _ThreadShard))
         last_error: "Exception | None" = None
         for name, factory in kinds:
+            shards: list = []
             try:
-                shards = [
-                    factory(i, blob, config, costs, platform)
-                    for i in range(self.workers)
-                ]
+                for i in range(self.workers):
+                    shards.append(
+                        factory(i, blob, self._config, self._costs,
+                                self._platform, 0, self.fault_injector, 0)
+                    )
                 for shard in shards:
                     reply = shard.conn.recv()
                     if reply[0] != "ready":
                         raise ShardWorkerError(f"{reply[1]}\n{reply[2]}")
-                self._shards = shards
+                self._factory = factory
+                self._slots = [_ShardSlot(i, s) for i, s in enumerate(shards)]
                 return name
             except ShardWorkerError:
                 raise  # the replica itself failed to build: not a backend issue
             except Exception as exc:  # pragma: no cover - platform dependent
                 last_error = exc
-                for shard in self._shards:
+                for shard in shards:
                     shard.stop()
-                self._shards = []
         raise ShardWorkerError(
             f"could not start any shard backend: {last_error!r}"
         )  # pragma: no cover
@@ -208,9 +367,10 @@ class ShardedESwitch:
         if self._closed:
             return
         self._closed = True
-        for shard in self._shards:
-            shard.stop()
-        self._shards = []
+        for slot in self._slots:
+            if slot.shard is not None:
+                slot.shard.stop()
+                slot.shard = None
 
     def __enter__(self) -> "ShardedESwitch":
         return self
@@ -224,13 +384,128 @@ class ShardedESwitch:
         except Exception:
             pass
 
-    # -- worker RPC --------------------------------------------------------
+    # -- supervision -------------------------------------------------------
 
-    def _recv(self, shard):
-        reply = shard.conn.recv()
+    def health(self) -> EngineHealth:
+        """The engine's current supervision telemetry snapshot."""
+        liveness = tuple(slot.shard is not None for slot in self._slots)
+        return EngineHealth(
+            workers=self.workers,
+            live_workers=sum(liveness),
+            faults_detected=self.faults_detected,
+            respawns=self.respawns,
+            retries=self.retries,
+            degraded_shards=tuple(
+                slot.index for slot in self._slots if slot.degraded
+            ),
+            liveness=liveness,
+            epoch=self.epoch,
+        )
+
+    def ping(self) -> dict[int, int]:
+        """Deadline-bounded liveness probe: ``{slot index: applied epoch}``.
+
+        A shard that fails the probe is handled like any other fault
+        (respawn or degrade), so the returned map covers exactly the
+        workers that are *proven* responsive right now.
+        """
+        out: dict[int, int] = {}
+        for slot in self._live_slots():
+            try:
+                slot.shard.conn.send(("ping",))
+                reply = self._rpc_recv(slot)
+                out[slot.index] = reply[1]
+            except (WorkerDied, WorkerTimeout):
+                self._handle_fault(slot, self.epoch)
+        return out
+
+    def _live_slots(self) -> list[_ShardSlot]:
+        return [slot for slot in self._slots if slot.shard is not None]
+
+    def _rpc_recv(self, slot: _ShardSlot):
+        """One deadline-bounded receive; raises typed supervision errors."""
+        shard = slot.shard
+        deadline = self.rpc_deadline
+        if deadline is not None and not shard.poll(deadline):
+            raise WorkerTimeout(
+                f"shard {slot.index} blew the {deadline}s RPC deadline"
+            )
+        try:
+            reply = shard.conn.recv()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise WorkerDied(f"shard {slot.index} died mid-RPC: {exc!r}")
         if reply[0] == "error":
+            # The worker is alive and reported a logic error: that is an
+            # invariant violation to raise, not a fault to supervise.
             raise ShardWorkerError(f"{reply[1]}\n{reply[2]}")
         return reply
+
+    def _respawn_blob(self) -> bytes:
+        """The shadow pipeline, counters zeroed: what a replacement runs.
+
+        A replacement's flow counters must start from nothing — the
+        engine's ledger already holds everything the dead worker acked,
+        and the replica will re-earn (and re-report) only what it
+        actually processes.
+        """
+        pl = pickle.loads(pickle.dumps(self.shadow.pipeline))
+        for table in pl:
+            for entry in table.entries:
+                entry.counters.packets = 0
+                entry.counters.bytes = 0
+        return pickle.dumps(pl)
+
+    def _handle_fault(self, slot: _ShardSlot, epoch: int) -> bool:
+        """Reap a faulted worker; respawn it at ``epoch`` or degrade.
+
+        Returns True when a replacement is serving the slot, False when
+        the slot degraded (its RSS slots now route to survivors).
+        """
+        self.faults_detected += 1
+        if slot.shard is not None:
+            slot.shard.reap()
+            slot.shard = None
+        blob = None
+        while slot.respawns < self.max_respawns:
+            slot.respawns += 1
+            self.respawns += 1
+            if blob is None:
+                blob = self._respawn_blob()
+            try:
+                shard = self._factory(
+                    slot.index, blob, self._config, self._costs, self._platform,
+                    epoch, self.fault_injector, slot.respawns,
+                )
+                deadline = self.rpc_deadline if self.rpc_deadline is not None else 30.0
+                if not shard.poll(deadline):
+                    shard.reap()
+                    raise WorkerTimeout(
+                        f"shard {slot.index} replacement missed the ready handshake"
+                    )
+                reply = shard.conn.recv()
+                if reply[0] != "ready":
+                    shard.reap()
+                    raise ShardWorkerError(f"{reply[1]}\n{reply[2]}")
+            except (WorkerDied, WorkerTimeout, EOFError, OSError):
+                # The replacement itself failed to come up: count it and
+                # spend another respawn (or fall through to degradation).
+                self.faults_detected += 1
+                continue
+            slot.shard = shard
+            return True
+        self._degrade(slot)
+        return False
+
+    def _degrade(self, slot: _ShardSlot) -> None:
+        """Remap a dead slot's RSS slots over the survivors — for good."""
+        slot.degraded = True
+        slot.shard = None
+        survivors = [s.index for s in self._live_slots()]
+        if not survivors:
+            raise ShardWorkerError(
+                "every shard worker is lost; the engine cannot degrade further"
+            )
+        self._rss.remap(slot.index, survivors)
 
     # -- the fast path -----------------------------------------------------
 
@@ -241,55 +516,53 @@ class ShardedESwitch:
     def process_burst(
         self, pkts: "Sequence[Packet]", meter: Meter = NULL_METER
     ) -> list[Verdict]:
-        """Scatter one burst over the shards, gather in input order."""
+        """Scatter one burst over the shards, gather in input order.
+
+        Survives worker faults mid-burst: lost sub-bursts are retried
+        (on a respawned worker or rerouted to survivors) under bounded
+        backoff, and only successfully gathered attempts contribute
+        verdicts, cycles, counters, and telemetry.
+        """
         if self._closed:
             raise RuntimeError("ShardedESwitch is closed")
         if not pkts:
             return []
         mode = "null" if isinstance(meter, NullMeter) else "cycle"
-        seed = self.rss_seed
-        n_shards = len(self._shards)
-        # RSS: flow-sticky shard choice straight off the frame bytes.
-        lanes: list[list[int]] = [[] for _ in range(n_shards)]
-        if n_shards == 1:
-            lanes[0] = list(range(len(pkts)))
-        else:
-            for i, pkt in enumerate(pkts):
-                lanes[shard_of(pkt.data, n_shards, seed)].append(i)
-        # Scatter first (all sends before any receive: the workers run
-        # their sub-bursts genuinely in parallel), then gather.
-        active = []
-        epoch = self.epoch
-        for shard, lane in zip(self._shards, lanes):
-            if not lane:
-                continue
-            wires = encode_packets([pkts[i] for i in lane])
-            shard.conn.send(("burst", epoch, mode, wires))
-            active.append((shard, lane))
         verdicts: list = [None] * len(pkts)
-        cache = self._decode_cache
         deltas: list[float] = []
         metered_packets = 0
         llc = 0
-        epochs = []
-        for shard, lane in active:
-            _, shard_epoch, wire_verdicts, cycles, packets, shard_llc = (
-                self._recv(shard)
+        epochs: list[int] = []
+
+        pending = list(range(len(pkts)))
+        attempt = 0
+        while pending:
+            failed = self._scatter_gather(
+                pending, pkts, mode, verdicts, deltas, epochs
             )
-            epochs.append(shard_epoch)
-            for i, verdict in zip(lane, decode_verdicts(wire_verdicts, cache)):
-                verdicts[i] = verdict
-            if cycles is not None:
-                deltas.append(cycles)
-                metered_packets += packets
-                llc += shard_llc
+            if not failed:
+                break
+            attempt += 1
+            if attempt > self.max_retries:
+                raise ShardWorkerError(
+                    f"burst lost {len(failed)} packets to worker faults and "
+                    f"exhausted {self.max_retries} retries"
+                )
+            self.retries += 1
+            if self.retry_backoff:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            pending = failed
+
         self.last_gather_epochs = tuple(epochs)
+        epoch = self.epoch
         if any(e != epoch for e in epochs):
             raise EpochSyncError(
                 f"gather saw epochs {epochs}, engine at {epoch}"
             )
-        total = math.fsum(deltas) if deltas else 0.0
+        total = math.fsum(d for d, _n, _l in deltas) if deltas else 0.0
         if deltas:
+            metered_packets = sum(n for _d, n, _l in deltas)
+            llc = sum(l for _d, _n, l in deltas)
             absorb = getattr(meter, "absorb", None)
             if absorb is not None:
                 absorb(total, packets=metered_packets, llc_misses=llc)
@@ -297,6 +570,71 @@ class ShardedESwitch:
                 meter.charge(total)
         self.burst_stats.record(len(pkts), total)
         return verdicts
+
+    def _scatter_gather(
+        self, pending, pkts, mode, verdicts, deltas, epochs
+    ) -> list[int]:
+        """One scatter/gather round over the live slots.
+
+        Fills ``verdicts`` (by input position), appends acked meter
+        deltas and epochs, folds acked counter deltas into the ledger,
+        and returns the input positions lost to faults (already handled:
+        their slots are respawned or degraded by the time this returns).
+        """
+        shard_for = self._rss.shard_for
+        lanes: dict[int, list[int]] = {}
+        if len(self._slots) == 1 and not self._slots[0].degraded:
+            lanes[0] = list(pending)
+        else:
+            for i in pending:
+                lanes.setdefault(shard_for(pkts[i].data), []).append(i)
+        epoch = self.epoch
+        # Scatter first (all sends before any receive: the workers run
+        # their sub-bursts genuinely in parallel), then gather.
+        active: list[tuple[_ShardSlot, list[int]]] = []
+        failed: list[int] = []
+        for sidx, lane in lanes.items():
+            slot = self._slots[sidx]
+            wires = encode_packets([pkts[i] for i in lane])
+            try:
+                slot.shard.conn.send(("burst", epoch, mode, wires))
+            except (OSError, BrokenPipeError, ValueError):
+                self._handle_fault(slot, epoch)
+                failed.extend(lane)
+                continue
+            active.append((slot, lane))
+        cache = self._decode_cache
+        for slot, lane in active:
+            try:
+                reply = self._rpc_recv(slot)
+            except (WorkerDied, WorkerTimeout):
+                self._handle_fault(slot, epoch)
+                failed.extend(lane)
+                continue
+            (_, shard_epoch, wire_verdicts, cycles, packets, shard_llc,
+             counter_deltas) = reply
+            epochs.append(shard_epoch)
+            for i, verdict in zip(lane, decode_verdicts(wire_verdicts, cache)):
+                verdicts[i] = verdict
+            self._absorb_counters(counter_deltas)
+            slot.stats.record(len(lane), cycles if cycles is not None else 0.0)
+            if cycles is not None:
+                deltas.append((cycles, packets, shard_llc))
+        return failed
+
+    def _absorb_counters(self, wire_deltas) -> None:
+        """Fold one acked sub-burst's counter deltas into the ledger."""
+        if not wire_deltas:
+            return
+        _, entries_by = self._decode_cache.maps()
+        ledger = self._counter_ledger
+        for ltid, idx, d_packets, d_bytes in wire_deltas:
+            entries = entries_by.get(ltid)
+            if entries is None or idx >= len(entries):  # pragma: no cover
+                continue  # entry vanished (cannot happen within an epoch)
+            cell = ledger.setdefault(entries[idx].entry_id, [0, 0])
+            cell[0] += d_packets
+            cell[1] += d_bytes
 
     # -- control plane -----------------------------------------------------
 
@@ -313,6 +651,13 @@ class ShardedESwitch:
         applies the same batch, swaps its fused datapath, and acks; only
         then does the engine epoch advance and the next burst flow.
 
+        A worker that dies or hangs *inside* the barrier cannot wedge
+        it: the deadline bounds the wait, and the replacement is forked
+        from the shadow — which already holds the full batch — at the
+        new epoch. Every surviving and respawned worker therefore ends
+        the call on the same epoch with the whole batch applied; a
+        half-applied replica can only ever be a corpse.
+
         Returns the shadow's modeled update cost in cycles (one core's
         control-plane work, comparable to ``ESwitch.apply_flow_mods``);
         per-replica costs are summed in ``update_stats`` terms on each
@@ -326,10 +671,22 @@ class ShardedESwitch:
         cycles = self.shadow.apply_flow_mods(mods)  # validates; may raise
         self.shadow.warm()
         new_epoch = self.epoch + 1
-        for shard in self._shards:
-            shard.conn.send(("mods", new_epoch, mods))
-        for shard in self._shards:
-            reply = self._recv(shard)
+        waiting: list[_ShardSlot] = []
+        for slot in self._live_slots():
+            try:
+                slot.shard.conn.send(("mods", new_epoch, mods))
+            except (OSError, BrokenPipeError, ValueError):
+                # Died before the batch even arrived: the replacement is
+                # born from the shadow at the new epoch, nothing to ack.
+                self._handle_fault(slot, new_epoch)
+                continue
+            waiting.append(slot)
+        for slot in waiting:
+            try:
+                reply = self._rpc_recv(slot)
+            except (WorkerDied, WorkerTimeout):
+                self._handle_fault(slot, new_epoch)
+                continue
             if reply[0] != "mods" or reply[1] != new_epoch:
                 raise EpochSyncError(
                     f"worker acked {reply[:2]}, expected ('mods', {new_epoch})"
@@ -340,39 +697,52 @@ class ShardedESwitch:
     # -- statistics --------------------------------------------------------
 
     def shard_burst_stats(self) -> list[BurstStats]:
-        """Each shard's own :class:`BurstStats` (one pull per worker)."""
-        for shard in self._shards:
-            shard.conn.send(("stats",))
-        out = []
-        self._pulled_counters: list = []
-        for shard in self._shards:
-            _, stats, counters = self._recv(shard)
-            out.append(stats)
-            self._pulled_counters.append(counters)
-        return out
+        """Each shard slot's :class:`BurstStats` ledger (engine-side).
+
+        The ledgers count every sub-burst the engine successfully
+        gathered, so they are complete even across worker deaths,
+        respawns, and degradation — a killed worker's unacked attempt
+        was retried elsewhere and is counted exactly once.
+        """
+        return [BurstStats.merged([slot.stats]) for slot in self._slots]
 
     def merged_burst_stats(self) -> BurstStats:
         """All shards' burst telemetry, merged order-independently."""
         return BurstStats.merged(self.shard_burst_stats())
 
+    def pull_worker_stats(self) -> list["BurstStats | None"]:
+        """Debug pull of each live worker's *own* telemetry over the pipe.
+
+        Deadline-bounded like every RPC; a faulted worker yields None
+        (and is respawned or degraded). The engine-side ledgers are the
+        authoritative numbers — this exists to cross-check them.
+        """
+        out: list = [None] * len(self._slots)
+        for slot in self._live_slots():
+            try:
+                slot.shard.conn.send(("stats",))
+                reply = self._rpc_recv(slot)
+            except (WorkerDied, WorkerTimeout, OSError, BrokenPipeError):
+                self._handle_fault(slot, self.epoch)
+                continue
+            out[slot.index] = reply[1]
+        return out
+
     def sync_flow_stats(self) -> None:
-        """Fold every replica's flow counters onto the shadow pipeline.
+        """Write the counter ledger onto the shadow pipeline's entries.
 
         After this, ``collect_flow_stats(engine.pipeline)`` reports the
         cross-shard totals — exactly the counters a sequential run over
-        the same packets would have recorded (counting is commutative).
+        the same packets would have recorded (counting is commutative,
+        and the ledger absorbs only acked sub-bursts, so worker deaths
+        and retries cannot skew it). Purely local: no worker RPC, no
+        deadline, no fault path — safe to call from an expiry sweep at
+        any time.
         """
-        self.shard_burst_stats()  # refreshes self._pulled_counters too
-        totals: dict[tuple[int, int], list[int]] = {}
-        for counters in self._pulled_counters:
-            for tid, idx, packets, nbytes in counters:
-                cell = totals.setdefault((tid, idx), [0, 0])
-                cell[0] += packets
-                cell[1] += nbytes
+        ledger = self._counter_ledger
         for table in self.shadow.pipeline:
-            entries = table.entries
-            for idx, entry in enumerate(entries):
-                packets, nbytes = totals.get((table.table_id, idx), (0, 0))
+            for entry in table.entries:
+                packets, nbytes = ledger.get(entry.entry_id, (0, 0))
                 entry.counters.packets = packets
                 entry.counters.bytes = nbytes
 
@@ -390,7 +760,11 @@ class ShardedESwitch:
         return self.shadow.table_kinds()
 
     def __repr__(self) -> str:
+        health = self.health()
+        degraded = (
+            f", degraded={health.degraded_shards}" if health.degraded else ""
+        )
         return (
             f"ShardedESwitch(workers={self.workers}, backend={self.backend}, "
-            f"epoch={self.epoch}, tables={len(self.shadow._groups)})"
+            f"epoch={self.epoch}, live={health.live_workers}{degraded})"
         )

@@ -76,3 +76,60 @@ def shard_of(data: "bytes | bytearray", n_shards: int, seed: int = 0) -> int:
     if n_shards <= 1:
         return 0
     return _crc32(flow_key(data), seed & 0xFFFFFFFF) % n_shards
+
+
+class RssIndirection:
+    """A NIC-style RSS indirection table (RETA): hash → slot → shard.
+
+    Real RSS units do not map the hash straight to a queue; they index a
+    small remappable table, which is how a driver drains a dead or
+    overloaded queue without touching the hash function. This class
+    reproduces that shape for the sharded engine's graceful degradation:
+
+    * healthy, the table holds ``slot % n_shards`` over
+      ``n_shards * slots_per_shard`` slots, so ``shard_for`` equals
+      ``shard_of(data, n_shards, seed)`` bit for bit (``x % (n·k) % n ==
+      x % n``) — the supervision layer costs nothing while nothing is
+      wrong, and flow→shard assignment stays deterministic per
+      (seed, packet);
+    * :meth:`remap` hands a dead shard's slots round-robin to the
+      survivors, spreading its flows instead of dogpiling one neighbor.
+      Flows of surviving shards never move (their slots are untouched).
+    """
+
+    def __init__(self, n_shards: int, seed: int = 0, slots_per_shard: int = 16):
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        if slots_per_shard < 1:
+            raise ValueError("need at least one slot per shard")
+        self.n_shards = n_shards
+        self.seed = seed & 0xFFFFFFFF
+        self.table: list[int] = [
+            slot % n_shards for slot in range(n_shards * slots_per_shard)
+        ]
+
+    def shard_for(self, data: "bytes | bytearray") -> int:
+        """The shard this frame's flow currently lands on."""
+        return self.table[_crc32(flow_key(data), self.seed) % len(self.table)]
+
+    def remap(self, dead: int, survivors: "list[int] | tuple[int, ...]") -> int:
+        """Reassign every slot owned by ``dead`` over ``survivors``.
+
+        Returns the number of slots moved. Survivors are dealt
+        round-robin in the order given; repeated remaps compose (a slot
+        inherited from one casualty moves again if its new owner dies).
+        """
+        if not survivors:
+            raise ValueError("cannot remap without survivors")
+        if dead in survivors:
+            raise ValueError("a dead shard cannot be its own survivor")
+        moved = 0
+        for slot, owner in enumerate(self.table):
+            if owner == dead:
+                self.table[slot] = survivors[moved % len(survivors)]
+                moved += 1
+        return moved
+
+    def owners(self) -> "set[int]":
+        """The set of shards currently owning at least one slot."""
+        return set(self.table)

@@ -124,6 +124,50 @@ def decode_verdicts(
     return out
 
 
+def counter_deltas(
+    verdicts: Sequence[Verdict],
+    cache: EntryIndexCache,
+    shipped: dict,
+) -> list[tuple]:
+    """Per-entry flow-counter deltas for the entries this burst touched.
+
+    The worker ships, with every burst reply, how much each touched
+    logical entry's counters advanced since the last reply —
+    ``(ltid, idx, d_packets, d_bytes)`` — and tracks what it already
+    reported in ``shipped`` (``id(entry) -> (packets, bytes)``). The
+    engine folds the deltas into its own ledger keyed by shadow entry,
+    which makes flow statistics *fault-exact*: a worker that dies holding
+    an unsent reply takes exactly its unacked deltas to the grave, and
+    the retried sub-burst re-earns them on whichever replica re-executes
+    it. Counter recording happens only at verdict path hops (see
+    ``CompiledDatapath._forward``), so walking the paths finds every
+    touched entry.
+
+    ``shipped`` MUST be pruned when entry objects are swapped by a
+    flow-mod (see the worker's ``mods`` handler): ``id()`` values can be
+    recycled, and a stale baseline under a recycled id would corrupt the
+    deltas.
+    """
+    index, _ = cache.maps()
+    touched: dict[int, object] = {}
+    for verdict in verdicts:
+        for _tid, entry in verdict.path:
+            if entry is not None:
+                touched[id(entry)] = entry
+    out = []
+    for eid, entry in touched.items():
+        pos = index.get(eid)
+        if pos is None:
+            continue  # synthetic decomposition entry: no logical counters
+        c = entry.counters
+        prev = shipped.get(eid, (0, 0))
+        d_packets, d_bytes = c.packets - prev[0], c.bytes - prev[1]
+        if d_packets or d_bytes:
+            shipped[eid] = (c.packets, c.bytes)
+            out.append((pos[0], pos[1], d_packets, d_bytes))
+    return out
+
+
 def encode_verdict(verdict: Verdict, cache: EntryIndexCache) -> tuple:
     """Scalar convenience over :func:`encode_verdicts`."""
     return encode_verdicts([verdict], cache)[0]

@@ -10,8 +10,11 @@ the engine's commands:
     (functional, :data:`NULL_METER`) or ``"cycle"`` (the worker's
     persistent per-core :class:`CycleMeter` — private caches, exactly
     the per-core meters :func:`repro.traffic.measure_multicore` models).
-    Replies ``("burst", epoch, verdicts, cycles, packets, llc)`` with the
-    meter deltas (``cycles`` is None in null mode). The reply echoes the
+    Replies ``("burst", epoch, verdicts, cycles, packets, llc, deltas)``
+    with the meter deltas (``cycles`` is None in null mode) and the
+    flow-counter deltas of every logical entry the burst touched (see
+    :func:`repro.parallel.wire.counter_deltas` — what makes engine-side
+    flow stats exact across worker deaths). The reply echoes the
     worker's *applied* epoch so the engine can prove no gathered burst
     mixed pipeline generations.
 
@@ -25,28 +28,50 @@ the engine's commands:
 ``("stats",)``
     Ship the replica's :class:`BurstStats` and its per-entry flow
     counters (addressed by logical table position, see
-    :mod:`repro.parallel.wire`) for cross-shard merging.
+    :mod:`repro.parallel.wire`). The engine keeps its own fault-proof
+    ledgers and uses this only as a cross-check / debug pull.
 
 ``("reset_stats",)`` / ``("ping",)`` / ``("stop",)``
-    Housekeeping.
+    Housekeeping; ``ping`` echoes the applied epoch (the engine's
+    deadline-bounded liveness probe).
 
 Any exception is caught and reported as ``("error", message, traceback)``
 — the loop keeps serving, the engine decides whether to raise.
+
+Supervision hooks: a worker is spawned with its shard ``index``, a
+``start_epoch`` (a respawned replacement is forked from the engine's
+shadow snapshot *at the current epoch*, so it never replays history),
+and an optional :class:`~repro.parallel.faults.FaultInjector` whose
+armed plan fires deterministically before/after each command — a
+``kill`` there ends the worker the way a crash would: process workers
+``os._exit`` (no cleanup, no reply), thread workers close their channel
+and return, and in both cases the engine observes a dead channel.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import traceback
 
 from repro.core.analysis import CompileConfig
 from repro.core.eswitch import ESwitch
+from repro.parallel.faults import NO_FAULTS, WorkerKilled
 from repro.parallel.wire import (
     EntryIndexCache,
+    counter_deltas,
     decode_packets,
     encode_verdicts,
 )
 from repro.simcpu.recorder import CycleMeter, NULL_METER
+
+
+def _die(conn) -> None:
+    """End this worker the way a crash would (no reply, dead channel)."""
+    if isinstance(conn, ThreadChannel):
+        conn.close()  # the engine's next recv on its end raises EOFError
+        return
+    os._exit(13)  # a process worker dies for real: no atexit, no flush
 
 
 def shard_worker_main(
@@ -55,16 +80,35 @@ def shard_worker_main(
     config: CompileConfig,
     costs,
     platform,
+    index: int = 0,
+    start_epoch: int = 0,
+    injector=None,
+    generation: int = 0,
 ) -> None:
     """Entry point of one shard worker (process target or thread body)."""
+    faults = injector.arm(index, generation) if injector is not None else NO_FAULTS
     try:
+        faults.fire("spawn", "before")
         pipeline = pickle.loads(pipeline_blob)
         switch = ESwitch(pipeline, config=config, costs=costs)
         switch.warm()  # replica construction includes the fused driver
         cache = EntryIndexCache(switch.pipeline)
         meter = CycleMeter(platform)
-        epoch = 0
+        epoch = start_epoch
+        # id(entry) -> counters already reported. Seeded with the
+        # snapshot's baseline: pre-existing history is the engine
+        # ledger's business, only counts earned HERE ship as deltas.
+        shipped: dict = {
+            id(entry): (entry.counters.packets, entry.counters.bytes)
+            for table in switch.pipeline
+            for entry in table.entries
+            if entry.counters.packets or entry.counters.bytes
+        }
+        faults.fire("spawn", "after")
         conn.send(("ready", epoch))
+    except WorkerKilled:
+        _die(conn)
+        return
     except Exception as exc:  # pragma: no cover - construction failures
         conn.send(("error", repr(exc), traceback.format_exc()))
         return
@@ -76,6 +120,7 @@ def shard_worker_main(
             return
         cmd = msg[0]
         try:
+            faults.fire(cmd, "before")
             if cmd == "burst":
                 _, burst_epoch, mode, wires = msg
                 if burst_epoch != epoch:
@@ -96,6 +141,7 @@ def shard_worker_main(
                         None,
                         len(pkts),
                         0,
+                        counter_deltas(verdicts, cache, shipped),
                     )
                 else:
                     cycles0 = meter.total_cycles
@@ -108,7 +154,9 @@ def shard_worker_main(
                         meter.total_cycles - cycles0,
                         len(pkts),
                         meter.cache.stats.llc_misses - llc0,
+                        counter_deltas(verdicts, cache, shipped),
                     )
+                faults.fire(cmd, "after")
                 conn.send(reply)
             elif cmd == "mods":
                 _, new_epoch, mods = msg
@@ -117,6 +165,13 @@ def shard_worker_main(
                 # ack promises the replica's fused datapath is current.
                 switch.warm()
                 epoch = new_epoch
+                # Flow-mods can swap entry objects; prune the shipped
+                # baselines so a recycled id() can't corrupt deltas.
+                live_index, _ = cache.maps()
+                shipped = {
+                    eid: val for eid, val in shipped.items() if eid in live_index
+                }
+                faults.fire(cmd, "after")
                 conn.send(("mods", epoch, cycles))
             elif cmd == "stats":
                 counters = []
@@ -127,24 +182,38 @@ def shard_worker_main(
                             counters.append(
                                 (table.table_id, idx, c.packets, c.bytes)
                             )
+                faults.fire(cmd, "after")
                 conn.send(("stats", switch.burst_stats, counters))
             elif cmd == "reset_stats":
                 switch.burst_stats.reset()
                 meter.reset()
+                shipped = {}
                 for table in switch.pipeline:
                     for entry in table.entries:
                         entry.counters.packets = 0
                         entry.counters.bytes = 0
                 conn.send(("ok",))
             elif cmd == "ping":
+                faults.fire(cmd, "after")
                 conn.send(("pong", epoch))
             elif cmd == "stop":
                 conn.send(("ok",))
                 return
             else:
                 conn.send(("error", f"unknown command {cmd!r}", ""))
+        except WorkerKilled:
+            _die(conn)
+            return
         except Exception as exc:
-            conn.send(("error", repr(exc), traceback.format_exc()))
+            # A hung worker may wake after the engine reaped its channel;
+            # reporting then fails too, and the worker just winds down.
+            try:
+                conn.send(("error", repr(exc), traceback.format_exc()))
+            except (OSError, BrokenPipeError):
+                return
+
+
+_NOTHING = object()
 
 
 class ThreadChannel:
@@ -153,18 +222,39 @@ class ThreadChannel:
     Objects still cross by value: sends pickle and receives unpickle, so
     a thread worker is exactly as shared-nothing as a process worker —
     the only difference is the GIL (correctness everywhere, speedup only
-    with processes).
+    with processes). Like ``multiprocessing.Connection`` it supports
+    ``poll(timeout)``, which is what the engine's RPC deadlines bound.
     """
 
     def __init__(self, inbox, outbox):
         self._inbox = inbox
         self._outbox = outbox
+        self._peeked = _NOTHING
 
     def send(self, obj) -> None:
         self._outbox.put(pickle.dumps(obj))
 
+    def poll(self, timeout: "float | None" = None) -> bool:
+        """True when a message (or EOF) is ready within ``timeout``."""
+        import queue
+
+        if self._peeked is not _NOTHING:
+            return True
+        try:
+            self._peeked = (
+                self._inbox.get(timeout=timeout)
+                if timeout is not None
+                else self._inbox.get_nowait()
+            )
+        except queue.Empty:
+            return False
+        return True
+
     def recv(self):
-        blob = self._inbox.get()
+        if self._peeked is not _NOTHING:
+            blob, self._peeked = self._peeked, _NOTHING
+        else:
+            blob = self._inbox.get()
         if blob is None:
             raise EOFError
         return pickle.loads(blob)

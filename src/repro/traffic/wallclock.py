@@ -282,6 +282,12 @@ def _run_multicore(
                         switch, pkts, "null", macroburst, XEON_E5_2620
                     )
                     best[key] = min(best.get(key, float("inf")), elapsed)
+            # Supervision telemetry must be read before teardown: a
+            # degraded or respawn-heavy run changes how the numbers
+            # should be read, so every sharded point carries it.
+            for meta, switch, _macroburst in combos:
+                if isinstance(switch, ShardedESwitch):
+                    meta["health"] = switch.health().as_dict()
         finally:
             for engine in engines:
                 engine.close()

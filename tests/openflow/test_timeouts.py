@@ -155,3 +155,134 @@ class TestManagerMechanics:
         ctrl.admitted.clear()
         verdict = sw.process(flows[0].copy())
         assert verdict.to_controller         # back to admission control
+
+
+class TestEntryIdentityTracking:
+    """Tracking is by entry_id, not object identity (ISSUE 4 bugfix)."""
+
+    def test_swapped_entry_objects_are_reresolved(self):
+        """Activity on a swapped-in object must still count as activity.
+
+        Pipelines are free to replace FlowEntry objects wholesale
+        (transactional rollback, snapshot restore, a sharded shadow);
+        a manager holding the pre-swap reference would read frozen
+        counters and idle-expire a perfectly busy flow.
+        """
+        import pickle
+
+        sw = build_switch("es", idle_timeout=10)
+        mgr = ExpiryManager(sw)
+        mgr.observe(0.0)
+        table = next(iter(sw.pipeline))
+        # Swap every entry object; entry_ids survive the round-trip.
+        table._entries = pickle.loads(pickle.dumps(table._entries))
+        live = next(e for e in table if e.idle_timeout)
+        live.counters.record(60)  # traffic lands on the NEW object
+        assert mgr.tick(10.0) == []  # activity seen: flow stays alive
+        assert mgr.tracked_count == 1
+        expired = mgr.tick(25.0)  # quiet since t=10: now it ages out
+        assert [r for _, _, r in expired] == ["idle"]
+
+    def test_swapped_object_with_reset_counters_is_rebased(self):
+        """A counter drop on re-resolve is a rebase, never activity."""
+        import pickle
+
+        sw = build_switch("es", idle_timeout=10)
+        entry = next(e for e in next(iter(sw.pipeline)) if e.idle_timeout)
+        entry.counters.record(60)
+        mgr = ExpiryManager(sw)
+        mgr.observe(0.0)
+        table = next(iter(sw.pipeline))
+        swapped = pickle.loads(pickle.dumps(table._entries))
+        for e in swapped:
+            e.counters.packets = 0
+            e.counters.bytes = 0
+        table._entries = swapped
+        # The drop 1 -> 0 must not register as traffic: idle fires.
+        expired = mgr.tick(10.0)
+        assert [r for _, _, r in expired] == ["idle"]
+
+    def test_vanished_entry_is_dropped_not_deleted_by_match(self):
+        """A reused (match, priority) slot must survive the sweep."""
+        sw = build_switch("es", idle_timeout=5)
+        mgr = ExpiryManager(sw)
+        mgr.observe(0.0)
+        # The timed rule goes away; an unrelated permanent rule takes
+        # the exact same (match, priority) slot.
+        sw.apply_flow_mod(
+            FlowMod(FlowModCommand.DELETE, 0, Match(eth_dst=0xAA), priority=1)
+        )
+        sw.apply_flow_mod(
+            FlowMod(FlowModCommand.ADD, 0, Match(eth_dst=0xAA), priority=1,
+                    instructions=(ApplyActions([Output(4)]),))
+        )
+        assert mgr.tick(100.0) == []  # tracked id dropped, nothing deleted
+        assert sw.process(mac_pkt()).forwarded  # the usurper lives on
+
+
+class TestTimeoutPrecedence:
+    """OpenFlow 1.3 §5.5: the hard timeout bounds total lifetime."""
+
+    def test_hard_wins_when_both_fire_same_tick(self):
+        sw = build_switch("es", idle_timeout=5, hard_timeout=10)
+        mgr = ExpiryManager(sw)
+        mgr.observe(0.0)
+        expired = mgr.tick(10.0)  # idle due since t=5, hard due now
+        assert [r for _, _, r in expired] == ["hard"]
+        assert mgr.expired_hard == 1 and mgr.expired_idle == 0
+
+    def test_busy_flow_still_expires_hard_not_idle(self):
+        sw = build_switch("es", idle_timeout=5, hard_timeout=10)
+        mgr = ExpiryManager(sw)
+        mgr.observe(0.0)
+        for t in (3.0, 6.0, 9.0):
+            sw.process(mac_pkt())
+            assert mgr.tick(t) == []
+        sw.process(mac_pkt())  # active right up to the deadline
+        expired = mgr.tick(10.0)
+        assert [r for _, _, r in expired] == ["hard"]
+
+
+class TestShardedExpiry:
+    """ExpiryManager over a ShardedESwitch: counters live in workers."""
+
+    def test_sweep_syncs_cross_shard_counters_first(self):
+        from repro.openflow.pipeline import Pipeline
+        from repro.parallel import ShardedESwitch
+
+        t = FlowTable(0)
+        t.add(FlowEntry(Match(eth_dst=0xAA), priority=1,
+                        actions=[Output(1)], idle_timeout=10))
+        t.add(FlowEntry(Match(), priority=0, actions=[]))
+        with ShardedESwitch(Pipeline([t]), workers=2,
+                            backend="thread") as eng:
+            mgr = ExpiryManager(eng)
+            mgr.observe(0.0)
+            # All traffic is remote: only the pre-sweep sync_flow_stats
+            # call lets the manager see it as activity.
+            for tick_at in (5.0, 10.0, 15.0):
+                eng.process_burst([mac_pkt()])
+                assert mgr.tick(tick_at) == [], tick_at
+            # Quiet now: ages out 10s after the last credited activity,
+            # and the expiry DELETE broadcasts to every worker.
+            expired = mgr.tick(25.0)
+            assert [r for _, _, r in expired] == ["idle"]
+            assert eng.epoch == 1  # the delete crossed the barrier
+            assert not eng.process_burst([mac_pkt()])[0].forwarded
+
+    def test_sharded_hard_expiry(self):
+        from repro.openflow.pipeline import Pipeline
+        from repro.parallel import ShardedESwitch
+
+        t = FlowTable(0)
+        t.add(FlowEntry(Match(eth_dst=0xAA), priority=1,
+                        actions=[Output(1)], hard_timeout=4))
+        t.add(FlowEntry(Match(), priority=0, actions=[]))
+        with ShardedESwitch(Pipeline([t]), workers=2,
+                            backend="thread") as eng:
+            mgr = ExpiryManager(eng)
+            mgr.observe(0.0)
+            eng.process_burst([mac_pkt()])
+            assert mgr.tick(3.0) == []
+            assert len(mgr.tick(4.0)) == 1
+            assert mgr.expired_hard == 1

@@ -85,3 +85,65 @@ class TestShardOf:
         a = [shard_of(p.data, 4, seed=0) for p in pkts]
         b = [shard_of(p.data, 4, seed=12345) for p in pkts]
         assert a != b
+
+
+class TestRssIndirection:
+    """The RETA: free while healthy, surgical when degrading."""
+
+    def test_healthy_table_matches_shard_of_bit_for_bit(self):
+        from repro.parallel.rss import RssIndirection
+
+        for n, seed in ((1, 0), (2, 0), (3, 7), (8, 0xDEAD)):
+            reta = RssIndirection(n, seed=seed)
+            for sport in range(1024, 1224):
+                data = tcp_pkt(sport=sport).data
+                assert reta.shard_for(data) == shard_of(data, n, seed)
+
+    def test_remap_moves_only_the_dead_shards_slots(self):
+        from repro.parallel.rss import RssIndirection
+
+        reta = RssIndirection(4, slots_per_shard=8)
+        before = list(reta.table)
+        moved = reta.remap(2, [0, 1, 3])
+        assert moved == 8  # exactly the dead shard's slots
+        assert 2 not in reta.owners()
+        for slot, (old, new) in enumerate(zip(before, reta.table)):
+            if old == 2:
+                assert new in (0, 1, 3)
+            else:
+                assert new == old  # survivors' flows never move
+
+    def test_surviving_flows_never_move(self):
+        from repro.parallel.rss import RssIndirection
+
+        reta = RssIndirection(4, seed=3)
+        flows = [tcp_pkt(sport=p).data for p in range(1024, 1324)]
+        before = {bytes(d): reta.shard_for(d) for d in flows}
+        reta.remap(1, [0, 2, 3])
+        for d in flows:
+            if before[bytes(d)] != 1:
+                assert reta.shard_for(d) == before[bytes(d)]
+            else:
+                assert reta.shard_for(d) in (0, 2, 3)
+
+    def test_remaps_compose(self):
+        from repro.parallel.rss import RssIndirection
+
+        reta = RssIndirection(3, slots_per_shard=4)
+        reta.remap(0, [1, 2])
+        reta.remap(1, [2])  # slots 0 inherited move again
+        assert reta.owners() == {2}
+
+    def test_remap_validation(self):
+        from repro.parallel.rss import RssIndirection
+        import pytest
+
+        reta = RssIndirection(2)
+        with pytest.raises(ValueError):
+            reta.remap(0, [])
+        with pytest.raises(ValueError):
+            reta.remap(0, [0, 1])
+        with pytest.raises(ValueError):
+            RssIndirection(0)
+        with pytest.raises(ValueError):
+            RssIndirection(2, slots_per_shard=0)
