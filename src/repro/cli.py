@@ -246,6 +246,7 @@ def cmd_bench_wallclock(args: argparse.Namespace) -> int:
         burst=args.burst or 32,
         repeats=args.repeats,
         cores=cores,
+        control_faults=args.control_faults,
     )
     print(f"{'case':8} {'variant':11} {'mode':6} {'wall pps':>12} {'us/pkt':>8}")
     for point in doc["points"]:
@@ -294,6 +295,21 @@ def cmd_bench_wallclock(args: argparse.Namespace) -> int:
                 "remapped onto survivors); their pps undercounts a healthy "
                 "engine of the same worker count."
             )
+    if doc.get("control_plane"):
+        print(f"\n{'fail mode':16} {'phase':10} {'wall pps':>12}  session")
+        for point in doc["control_plane"]:
+            session = point["session"]
+            status = (
+                f"outages={session['outages']} resyncs={session['resyncs']} "
+                f"suppressed={session['punts_suppressed']} "
+                f"secure_drops={session['secure_drops']} "
+                f"queue_drops={session['punt_queue_drops']}"
+            )
+            for i, phase in enumerate(point["phases"]):
+                print(
+                    f"{point['fail_mode']:16} {phase['phase']:10} "
+                    f"{phase['wall_pps']:12,.0f}  {status if i == 0 else ''}"
+                )
     print()
     for key, ratios in doc["speedups"].items():
         pairs = "  ".join(f"{k}={v:.2f}x" for k, v in ratios.items())
@@ -353,6 +369,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --wallclock: also measure ShardedESwitch "
                               "real-parallel scaling at these worker counts "
                               "(e.g. 1,2,4)")
+    p_bench.add_argument("--control-faults", action="store_true",
+                         help="with --wallclock: add the control-plane fault "
+                              "leg — wall-clock forwarding through a "
+                              "controller outage in both OpenFlow 1.3 §6.4 "
+                              "fail modes, with session health telemetry")
     p_bench.add_argument("--flows", type=int, default=1000)
     p_bench.add_argument("--packets", type=int, default=10_000)
     p_bench.add_argument("--seed", type=int, default=0)

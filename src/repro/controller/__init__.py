@@ -1,19 +1,36 @@
-"""Control-plane models: a reactive controller and update channels."""
+"""Control-plane models: reactive controllers, update channels, and the
+fail-static controller session (lossy channel, §6.4 fail modes)."""
 
 from repro.controller.channels import (
     CLI_CHANNEL,
     CONTROLLER_CHANNEL,
+    LossyChannel,
+    RELIABLE_CHANNEL,
     UpdateChannel,
+    apply_and_cost_cycles,
     setup_time,
 )
 from repro.controller.gateway_controller import GatewayController
 from repro.controller.learning_switch import LearningSwitch
+from repro.controller.session import (
+    ControllerSession,
+    FailMode,
+    SessionHealth,
+    SessionState,
+)
 
 __all__ = [
     "UpdateChannel",
+    "LossyChannel",
     "CLI_CHANNEL",
     "CONTROLLER_CHANNEL",
+    "RELIABLE_CHANNEL",
+    "apply_and_cost_cycles",
     "setup_time",
     "GatewayController",
     "LearningSwitch",
+    "ControllerSession",
+    "FailMode",
+    "SessionHealth",
+    "SessionState",
 ]

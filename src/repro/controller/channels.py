@@ -10,19 +10,35 @@ Two ways to feed flow-mods to a switch, as in the paper:
   latency that dwarfs either switch's processing — "it is the OpenFlow
   controller, rather than ESWITCH itself, that bottlenecks update rates".
 
-Switch-side cost comes from the switch object itself: ESwitch's
-``apply_flow_mod`` returns its estimated cycles; OVS's per-mod cost is the
-fixed ``OVS_FLOW_MOD_CYCLES`` below (transaction commit + classifier
-update + cache revalidation kick-off).
+Switch-side cost comes from the switch object itself:
+:func:`apply_and_cost_cycles` returns a typed
+:class:`~repro.openflow.messages.FlowModReply` on **every** branch —
+accepted mods carry their modeled switch cycles, rejected mods carry the
+switch's error list and zero cycles. :func:`setup_time` therefore counts a
+rejected mod's channel latency (the message still traveled the wire) but
+none of the switch-side processing it never received.
+
+:class:`LossyChannel` extends the fixed-latency model with message loss
+and delay jitter — the substrate of the fail-static controller session
+(:mod:`repro.controller.session`). It is deterministic under a seed so
+soak tests replay exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.eswitch import ESwitch
-from repro.openflow.messages import FlowMod
+from repro.openflow.messages import (
+    ErrorMsg,
+    ErrorType,
+    FlowMod,
+    FlowModFailed,
+    FlowModFailedCode,
+    FlowModReply,
+)
 from repro.ovs.switch import OvsSwitch
 from repro.simcpu.platform import Platform, XEON_E5_2620
 
@@ -43,15 +59,83 @@ CONTROLLER_CHANNEL = UpdateChannel("ctrl", per_message_s=1e-3)
 OVS_FLOW_MOD_CYCLES = 1.2e6
 
 
-def apply_and_cost_cycles(switch, mod: FlowMod) -> float:
-    """Apply one flow-mod; return the switch-side cost in cycles."""
-    if isinstance(switch, ESwitch):
-        return switch.apply_flow_mod(mod)
-    if isinstance(switch, OvsSwitch):
+@dataclass
+class LossyChannel:
+    """A controller↔switch link that loses and delays messages.
+
+    Each :meth:`deliver` models one message crossing the link: it returns
+    the one-way latency in seconds, or None when the message was lost.
+    Deterministic for a given ``seed`` and call sequence, so fault soaks
+    replay bit-for-bit.
+
+    Attributes:
+        loss: per-message drop probability (0 = reliable).
+        delay_s: base one-way latency.
+        jitter_s: maximum uniform jitter added on top of ``delay_s``.
+    """
+
+    loss: float = 0.0
+    delay_s: float = CONTROLLER_CHANNEL.per_message_s
+    jitter_s: float = 0.0
+    seed: int = 0
+    messages: int = field(default=0, init=False)
+    lost: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {self.loss}")
+        if self.delay_s < 0 or self.jitter_s < 0:
+            raise ValueError("latencies must be non-negative")
+        self._rng = random.Random(self.seed)
+
+    def deliver(self) -> "float | None":
+        """One message crossing: latency in seconds, or None if lost."""
+        self.messages += 1
+        if self.loss and self._rng.random() < self.loss:
+            self.lost += 1
+            return None
+        latency = self.delay_s
+        if self.jitter_s:
+            latency += self._rng.random() * self.jitter_s
+        return latency
+
+
+RELIABLE_CHANNEL = LossyChannel(loss=0.0, delay_s=0.0, jitter_s=0.0)
+
+
+def apply_and_cost_cycles(switch, mod: FlowMod) -> FlowModReply:
+    """Apply one flow-mod; return a typed accept/reject reply + cycles.
+
+    Every branch propagates a :class:`FlowModReply`: switches with
+    admission control (``submit_flow_mods``) answer through it; legacy
+    ``apply_flow_mod``-only switches get their exceptions converted to
+    typed rejections here, so a malformed mod can never crash a setup-time
+    sweep or a controller session.
+    """
+    submit = getattr(switch, "submit_flow_mods", None)
+    if submit is not None:
+        return submit([mod])
+    try:
+        if isinstance(switch, ESwitch):
+            return FlowModReply(accepted=True, cycles=switch.apply_flow_mod(mod))
         switch.apply_flow_mod(mod)
-        return OVS_FLOW_MOD_CYCLES
-    switch.apply_flow_mod(mod)
-    return 0.0
+    except FlowModFailed as exc:
+        return FlowModReply(accepted=False, errors=(exc.error,))
+    except Exception as exc:
+        return FlowModReply(
+            accepted=False,
+            errors=(
+                ErrorMsg(
+                    ErrorType.FLOW_MOD_FAILED,
+                    FlowModFailedCode.UNKNOWN,
+                    f"{type(exc).__name__}: {exc}",
+                    data=mod,
+                ),
+            ),
+        )
+    if isinstance(switch, OvsSwitch):
+        return FlowModReply(accepted=True, cycles=OVS_FLOW_MOD_CYCLES)
+    return FlowModReply(accepted=True, cycles=0.0)
 
 
 def setup_time(
@@ -60,8 +144,14 @@ def setup_time(
     channel: UpdateChannel,
     platform: Platform = XEON_E5_2620,
 ) -> float:
-    """Total seconds to push ``mods`` through ``channel`` into ``switch``."""
+    """Total seconds to push ``mods`` through ``channel`` into ``switch``.
+
+    A rejected mod still pays the channel's per-message latency (the
+    message traveled and the error reply came back) but contributes no
+    switch-side cycles — the switch refused it at admission.
+    """
     cycles = 0.0
     for mod in mods:
-        cycles += apply_and_cost_cycles(switch, mod)
+        reply = apply_and_cost_cycles(switch, mod)
+        cycles += reply.cycles
     return len(mods) * channel.per_message_s + cycles / platform.freq_hz

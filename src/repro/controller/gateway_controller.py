@@ -18,7 +18,15 @@ from repro.usecases import gateway
 
 
 class GatewayController:
-    """Handles packet-ins from the vPE's per-CE admission tables."""
+    """Handles packet-ins from the vPE's per-CE admission tables.
+
+    Hardened like :class:`~repro.controller.learning_switch.
+    LearningSwitch`: garbage packet-ins are counted (``malformed``) and
+    dropped, never raised, and a subscriber is marked admitted only after
+    the switch actually accepted the NAT rules — a rejected install
+    (``install_failures``) leaves the subscriber un-admitted so the next
+    punt retries.
+    """
 
     def __init__(self, switch, n_ce: int = 10, users_per_ce: int = 20):
         self.switch = switch
@@ -27,15 +35,21 @@ class GatewayController:
         self.admitted: set[tuple[int, int]] = set()
         self.rejected = 0
         self.packet_ins = 0
+        self.malformed = 0
+        self.install_failures = 0
 
     def __call__(self, packet_in: PacketIn) -> None:
         self.handle(packet_in)
 
     def handle(self, packet_in: PacketIn) -> None:
         self.packet_ins += 1
-        view = parse(packet_in.pkt)
-        src = field_by_name("ipv4_src").extract(view)
-        vlan = field_by_name("vlan_vid").extract(view)
+        try:
+            view = parse(packet_in.pkt)
+            src = field_by_name("ipv4_src").extract(view)
+            vlan = field_by_name("vlan_vid").extract(view)
+        except Exception:
+            self.malformed += 1
+            return
         subscriber = self._subscriber_of(src, vlan)
         if subscriber is None:
             self.rejected += 1
@@ -43,9 +57,18 @@ class GatewayController:
         if subscriber in self.admitted:
             return  # rules already installed; packet raced the update
         ce, user = subscriber
-        for mod in gateway.nat_flow_mods(ce, user):
-            self.switch.apply_flow_mod(mod)
+        if not self._install(gateway.nat_flow_mods(ce, user)):
+            self.install_failures += 1
+            return  # stays un-admitted: the next punt retries
         self.admitted.add(subscriber)
+
+    def _install(self, mods) -> bool:
+        submit = getattr(self.switch, "submit_flow_mods", None)
+        if submit is not None:
+            return bool(submit(list(mods)))
+        for mod in mods:
+            self.switch.apply_flow_mod(mod)
+        return True
 
     def _subscriber_of(
         self, src: "int | None", vlan: "int | None"

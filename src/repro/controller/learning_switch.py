@@ -54,7 +54,16 @@ def build_pipeline() -> Pipeline:
 
 
 class LearningSwitch:
-    """Handles packet-ins: learns sources, installs destination rules."""
+    """Handles packet-ins: learns sources, installs destination rules.
+
+    Hardened against a hostile or broken punt path: a packet-in carrying
+    a truncated or garbage frame is dropped and counted (``malformed``),
+    never raised — a controller that crashes on bad input is a
+    denial-of-service primitive. Installs go through the switch's typed
+    reply when it offers one; a rejected or channel-lost install rolls
+    the MAC binding back (``install_failures``), so the station's next
+    packet re-punts and the controller converges after the fault.
+    """
 
     def __init__(self, switch, idle_timeout: float = 300.0):
         self.switch = switch
@@ -63,37 +72,41 @@ class LearningSwitch:
         self.learned = 0
         self.moved = 0
         self.packet_ins = 0
+        self.malformed = 0
+        self.install_failures = 0
 
     def __call__(self, packet_in: PacketIn) -> None:
         self.handle(packet_in)
 
     def handle(self, packet_in: PacketIn) -> None:
         self.packet_ins += 1
-        view = parse(packet_in.pkt)
-        src = field_by_name("eth_src").extract(view)
-        if src is None:
+        try:
+            view = parse(packet_in.pkt)
+            src = field_by_name("eth_src").extract(view)
+            port = packet_in.pkt.in_port
+        except Exception:
+            self.malformed += 1
             return
-        port = packet_in.pkt.in_port
+        if src is None or not isinstance(port, int):
+            self.malformed += 1
+            return
         known = self.mac_table.get(src)
         if known == port:
             return  # already learned; packet raced the flow-mod
+        mods = []
         if known is not None:
             # Station moved: retire the old binding's rules first.
-            self.moved += 1
-            self.switch.apply_flow_mod(
+            mods.append(
                 FlowMod(FlowModCommand.DELETE, SRC_TABLE,
                         Match(eth_src=src, in_port=known), priority=10,
                         strict=True)
             )
-            self.switch.apply_flow_mod(
+            mods.append(
                 FlowMod(FlowModCommand.DELETE, DST_TABLE,
                         Match(eth_dst=src), priority=10, strict=True)
             )
-        else:
-            self.learned += 1
-        self.mac_table[src] = port
         # Known-station pass-through: suppresses further punts for src.
-        self.switch.apply_flow_mod(
+        mods.append(
             FlowMod(
                 FlowModCommand.ADD,
                 SRC_TABLE,
@@ -104,7 +117,7 @@ class LearningSwitch:
             )
         )
         # Unicast forwarding toward the learned station.
-        self.switch.apply_flow_mod(
+        mods.append(
             FlowMod(
                 FlowModCommand.ADD,
                 DST_TABLE,
@@ -114,6 +127,25 @@ class LearningSwitch:
                 idle_timeout=self.idle_timeout,
             )
         )
+        if not self._install(mods):
+            # The install never took (rejected or lost): leave the binding
+            # alone so the station's next packet re-punts and we retry.
+            self.install_failures += 1
+            return
+        if known is not None:
+            self.moved += 1
+        else:
+            self.learned += 1
+        self.mac_table[src] = port
+
+    def _install(self, mods: list) -> bool:
+        """Push a batch; True only when the switch really accepted it."""
+        submit = getattr(self.switch, "submit_flow_mods", None)
+        if submit is not None:
+            return bool(submit(mods))
+        for mod in mods:
+            self.switch.apply_flow_mod(mod)
+        return True
 
     def forget(self, mac: int) -> None:
         """Drop a binding (e.g. after an idle expiry notification)."""

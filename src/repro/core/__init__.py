@@ -22,7 +22,7 @@ Pipeline compilation proceeds exactly as Section 3 describes:
 
 from repro.core.analysis import CompileConfig, TemplateKind, select_template
 from repro.core.decompose import decompose_table
-from repro.core.eswitch import ESwitch
+from repro.core.eswitch import ESwitch, SwitchHealth
 
 __all__ = [
     "CompileConfig",
@@ -30,4 +30,5 @@ __all__ = [
     "select_template",
     "decompose_table",
     "ESwitch",
+    "SwitchHealth",
 ]

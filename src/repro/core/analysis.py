@@ -65,6 +65,14 @@ class CompileConfig:
         fuse: link the compiled tables into one whole-pipeline code
             object (:mod:`repro.core.fuse`); off forces every packet
             through the per-table trampoline dispatch.
+        compile_budget: maximum table compilations (codegen + exec) one
+            flow-mod batch may spend on its critical path; None =
+            unbounded. A batch that blows the budget does not fail —
+            further rebuilds are deferred to the side-by-side path
+            (Section 3.4's "constructed side by side with the running
+            datapath"), the old compiled tables serving until the next
+            packet flushes the rebuild. This bounds control-plane
+            latency under update storms without ever rejecting a mod.
     """
 
     direct_threshold: int = 4
@@ -72,6 +80,7 @@ class CompileConfig:
     keys_in_code: bool = True
     enable_range: bool = False
     fuse: bool = True
+    compile_budget: "int | None" = None
 
     def with_(self, **kwargs: object) -> "CompileConfig":
         return replace(self, **kwargs)

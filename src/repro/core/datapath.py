@@ -100,6 +100,10 @@ class CompiledDatapath:
         self.generation = 0
         self._fused = None
         self._fuse_failed_gen = -1
+        #: fusion attempts that degraded to the trampoline (fail-static
+        #: accounting: a fuse failure is a health event, never a crash).
+        self.fuse_failures = 0
+        self.last_fuse_error = ""
         self._extract_etype = field_by_name("eth_type").extract
         self.set_parser_layer(parser_layer)
 
@@ -162,13 +166,19 @@ class CompiledDatapath:
             return fused
         if self._fuse_failed_gen == generation:
             return None
-        from repro.core.fuse import FuseError, fuse_datapath
+        from repro.core.fuse import fuse_datapath
 
         try:
             fused = fuse_datapath(self)
-        except FuseError:
+        except Exception as exc:
+            # Containment: *any* fusion failure — an unfusable shape
+            # (FuseError) or an unexpected codegen bug — degrades to the
+            # trampoline, which is always correct. The failure is recorded
+            # for health reporting and retried only on the next generation.
             self._fused = None
             self._fuse_failed_gen = generation
+            self.fuse_failures += 1
+            self.last_fuse_error = f"{type(exc).__name__}: {exc}"
             return None
         self._fused = fused
         return fused

@@ -14,6 +14,29 @@ linking, and implements the update semantics of Section 3.4:
 
 Unlike OVS, no update invalidates any datapath state beyond the single
 table it touches — the property Fig. 18 measures.
+
+Fail-static guardrails (ISSUE 5) sit on top of the update semantics:
+
+* **admission control** (:meth:`ESwitch.admit_flow_mods` /
+  :meth:`ESwitch.submit_flow_mods`): malformed mods, out-of-space table
+  ids, dangling or backward goto targets, and per-table ``max_entries``
+  overflows are answered with typed
+  :class:`~repro.openflow.messages.ErrorMsg` s (``TABLE_FULL``,
+  ``BAD_TABLE_ID``, …) *before any switch state is touched* — a rejected
+  batch is bit-invisible: logical tables, compiled artifacts, the fused
+  driver object, counters, and modeled cycles are all exactly as if it
+  had never been sent;
+* **compile-failure containment**: template selection or codegen raising
+  does not crash the control path — the offending table is *quarantined*
+  onto the linked-list universal representation (the template with no
+  prerequisite, Fig. 4's bottom rung) and the degradation is reported
+  through :meth:`ESwitch.health`; whole-pipeline fusion failures already
+  degrade to the trampoline (:mod:`repro.core.datapath`), completing the
+  paper's fallback chain fused → trampoline → linked list;
+* a **per-batch compile budget** (``CompileConfig.compile_budget``)
+  bounds how many table compilations one batch may spend on its critical
+  path; past it, rebuilds defer to the side-by-side path and the old
+  compiled tables keep serving until the next packet's flush.
 """
 
 from __future__ import annotations
@@ -33,8 +56,19 @@ from repro.core.decompose import decomposable, decompose_table
 from repro.core.outcome import miss_outcome, outcome_of
 from repro.dpdk.lpm import LpmFullError
 from repro.openflow.flow_table import FlowTable
-from repro.openflow.messages import FlowMod, FlowModCommand
-from repro.openflow.pipeline import Pipeline, Verdict
+from repro.openflow.instructions import GotoTable
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    ErrorMsg,
+    ErrorType,
+    FlowMod,
+    FlowModCommand,
+    FlowModFailed,
+    FlowModFailedCode,
+    FlowModReply,
+    validate_flow_mod,
+)
+from repro.openflow.pipeline import MAX_TABLES, Pipeline, Verdict
 from repro.openflow.stats import BurstStats
 from repro.packet.packet import Packet
 from repro.simcpu.costs import CostBook, DEFAULT_COSTS
@@ -50,6 +84,54 @@ class UpdateStats:
     fallbacks: int = 0
     group_rebuilds: int = 0
     cycles: float = 0.0
+
+
+@dataclass(frozen=True)
+class SwitchHealth:
+    """Control-plane degradation report of one switch (read-only snapshot).
+
+    Attributes:
+        quarantined: ``(table_id, reason)`` pairs for tables pinned to the
+            linked-list universal template after a compile failure; healed
+            (removed) by the next clean rebuild of that table.
+        compile_failures: total template-compile failures contained so far.
+        budget_deferrals: rebuilds pushed off a batch's critical path by
+            ``CompileConfig.compile_budget``.
+        fuse_failures: whole-pipeline fusion attempts that degraded to the
+            trampoline.
+        last_fuse_error: message of the most recent fusion failure, or "".
+        fused_active: the current generation is served by a fused driver
+            (False = trampoline dispatch, the middle rung of the chain).
+        generation: the datapath's update generation counter.
+    """
+
+    quarantined: tuple[tuple[int, str], ...] = ()
+    compile_failures: int = 0
+    budget_deferrals: int = 0
+    fuse_failures: int = 0
+    last_fuse_error: str = ""
+    fused_active: bool = False
+    generation: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        # Trampoline dispatch counts as degradation only when a fusion
+        # attempt actually failed — a freshly built (or freshly updated)
+        # switch is merely *lazy*: its fuse runs on the next packet.
+        return bool(self.quarantined) or (
+            self.fuse_failures > 0 and not self.fused_active
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "quarantined": {tid: reason for tid, reason in self.quarantined},
+            "compile_failures": self.compile_failures,
+            "budget_deferrals": self.budget_deferrals,
+            "fuse_failures": self.fuse_failures,
+            "last_fuse_error": self.last_fuse_error,
+            "fused_active": self.fused_active,
+            "generation": self.generation,
+        }
 
 
 @dataclass
@@ -87,6 +169,15 @@ class ESwitch:
         self._next_internal_id = (
             max((t.table_id for t in pipeline.tables), default=0) + 1
         )
+        #: tables whose preferred template failed to compile and are pinned
+        #: to the linked-list universal representation: id -> reason.
+        self.quarantined: dict[int, str] = {}
+        self.compile_failures = 0
+        self.budget_deferrals = 0
+        #: table compilations spent by the current flow-mod batch; compared
+        #: against ``config.compile_budget`` to defer over-budget rebuilds.
+        self._batch_compiles = 0
+        self._in_batch = False
         self.datapath = CompiledDatapath(
             first_table=pipeline.first_table.table_id,
             parser_layer=required_layer(pipeline),
@@ -209,6 +300,21 @@ class ESwitch:
     def compiled_table_count(self) -> int:
         return len(self.datapath.trampoline)
 
+    def health(self) -> SwitchHealth:
+        """Degradation snapshot: quarantines, contained failures, fusion
+        state. Read-only — computing it never triggers a rebuild or fuse."""
+        dp = self.datapath
+        fused = dp._fused
+        return SwitchHealth(
+            quarantined=tuple(sorted(self.quarantined.items())),
+            compile_failures=self.compile_failures,
+            budget_deferrals=self.budget_deferrals,
+            fuse_failures=dp.fuse_failures,
+            last_fuse_error=dp.last_fuse_error,
+            fused_active=fused is not None and fused.generation == dp.generation,
+            generation=dp.generation,
+        )
+
     # -- compilation ---------------------------------------------------------------
 
     def _take_ids(self, count: int) -> int:
@@ -217,6 +323,33 @@ class ESwitch:
         return start
 
     def _compile_group(self, table: FlowTable) -> _Group:
+        """Compile one logical table, containing any compile failure.
+
+        Template selection, decomposition, or codegen raising must never
+        crash the control path: the failing table is *quarantined* onto the
+        linked-list universal template (the one with no prerequisite) and
+        reported through :meth:`health`. A later clean rebuild heals it.
+        """
+        try:
+            group = self._compile_group_preferred(table)
+        except Exception as exc:  # containment boundary, deliberately broad
+            self.compile_failures += 1
+            self.quarantined[table.table_id] = f"{type(exc).__name__}: {exc}"
+            self._batch_compiles += 1
+            self.datapath.install(
+                compile_table(
+                    table, self.config, self.costs, kind=TemplateKind.LINKED_LIST
+                )
+            )
+            group = _Group(
+                logical_id=table.table_id, compiled_ids=[table.table_id]
+            )
+        else:
+            self.quarantined.pop(table.table_id, None)
+        self._groups[table.table_id] = group
+        return group
+
+    def _compile_group_preferred(self, table: FlowTable) -> _Group:
         kind = select_template(table.entries, self.config)
         if (
             kind is TemplateKind.LINKED_LIST
@@ -228,20 +361,25 @@ class ESwitch:
             self._next_internal_id = max(
                 self._next_internal_id, max(t.table_id for t in tables) + 1
             )
-            for sub in tables:
-                self.datapath.install(compile_table(sub, self.config, self.costs))
-            group = _Group(
+            # Compile every sub-table *before* installing any, so a failure
+            # partway through leaks no trampoline entries for the
+            # containment path to clean up.
+            self._batch_compiles += len(tables)
+            compiled = [
+                compile_table(sub, self.config, self.costs) for sub in tables
+            ]
+            for ct in compiled:
+                self.datapath.install(ct)
+            return _Group(
                 logical_id=table.table_id,
                 compiled_ids=[t.table_id for t in tables],
                 decomposed=True,
             )
-        else:
-            self.datapath.install(
-                compile_table(table, self.config, self.costs, kind=kind)
-            )
-            group = _Group(logical_id=table.table_id, compiled_ids=[table.table_id])
-        self._groups[table.table_id] = group
-        return group
+        self._batch_compiles += 1
+        self.datapath.install(
+            compile_table(table, self.config, self.costs, kind=kind)
+        )
+        return _Group(logical_id=table.table_id, compiled_ids=[table.table_id])
 
     def _flush_rebuilds(self) -> None:
         for logical_id in sorted(self._dirty_groups):
@@ -262,7 +400,17 @@ class ESwitch:
     # -- updates ----------------------------------------------------------------------
 
     def apply_flow_mod(self, mod: FlowMod) -> float:
-        """Apply one flow-mod; returns the estimated update cost in cycles."""
+        """Apply one flow-mod; returns the estimated update cost in cycles.
+
+        Raises :class:`~repro.openflow.messages.FlowModFailed` (a typed
+        ``TABLE_FULL``) when an ADD would exceed the table's advertised
+        ``max_entries``; inside :meth:`apply_flow_mods` the transactional
+        rollback makes the whole batch invisible. Prefer
+        :meth:`submit_flow_mods`, which answers with error replies instead
+        of raising and never mutates on reject.
+        """
+        if not self._in_batch:
+            self._batch_compiles = 0
         table = self.pipeline.get_or_create(mod.table_id)
         new_table = mod.table_id not in self._groups
         if mod.command is FlowModCommand.DELETE:
@@ -276,6 +424,18 @@ class ESwitch:
                 # hash-store removal) would desynchronize them.
                 return 0.0
         else:
+            # ADD replacing an existing rule does not grow the table, so it
+            # is exempt from the capacity check (OF 1.3: overlap replace).
+            if table.full and not table.has_rule(mod.match, mod.priority):
+                raise FlowModFailed(
+                    ErrorMsg(
+                        ErrorType.FLOW_MOD_FAILED,
+                        FlowModFailedCode.TABLE_FULL,
+                        f"table {mod.table_id} at capacity "
+                        f"({table.max_entries} entries)",
+                        data=mod,
+                    )
+                )
             table.add(mod.to_entry())
         # Updates can deepen (or shallow) the fields in play: re-plan the
         # parser templates before the next packet.
@@ -301,7 +461,10 @@ class ESwitch:
                 snapshots[tid] = list(self.pipeline.table(tid).entries)
             except Exception:
                 snapshots[tid] = None  # table does not exist yet
+        cycles_before = self.update_stats.cycles
         total = 0.0
+        self._in_batch = True
+        self._batch_compiles = 0
         try:
             for mod in mods:
                 total += self.apply_flow_mod(mod)
@@ -318,13 +481,134 @@ class ESwitch:
                     # die with it, or the next packet's flush crashes
                     # looking up a table the rollback removed.
                     self._dirty_groups.discard(tid)
+                    self.quarantined.pop(tid, None)
                     continue
                 table = self.pipeline.table(tid)
                 table._entries = list(entries)
                 table.version += 1
                 self._rebuild_group(tid)
+            # The rolled-back mods must leave no trace in the modeled cost
+            # accounting (the cycles half of batch invisibility); the
+            # mechanism counters stand — they record work that really ran.
+            self.update_stats.cycles = cycles_before
             raise
+        finally:
+            self._in_batch = False
         return total
+
+    # -- admission control ------------------------------------------------------
+
+    def admit_flow_mods(self, mods: Sequence[FlowMod]) -> list[ErrorMsg]:
+        """Validate a batch against the live switch *without touching it*.
+
+        Returns every typed error the batch would provoke (empty = the
+        batch is admissible): the static checks of
+        :func:`~repro.openflow.messages.validate_flow_mod`, goto targets
+        resolving against the pipeline's tables plus those the batch
+        itself creates, and per-table ``max_entries`` capacity — simulated
+        over ``(match, priority)`` rule keys so ADD-replaces, MODIFYs and
+        interleaved DELETEs count exactly as :meth:`apply_flow_mods`
+        would apply them.
+        """
+        errors: list[ErrorMsg] = []
+        statically_ok: list[FlowMod] = []
+        for mod in mods:
+            err = validate_flow_mod(mod, max_tables=MAX_TABLES)
+            if err is not None:
+                errors.append(err)
+            else:
+                statically_ok.append(mod)
+
+        existing = set(self.pipeline._tables)
+        # Any mod addressing a table creates it (get_or_create semantics),
+        # so goto targets may resolve to tables minted later in the batch.
+        will_exist = existing | {mod.table_id for mod in statically_ok}
+        occupancy: dict[int, set[tuple[Match, int]]] = {}
+        capacity: dict[int, "int | None"] = {}
+
+        def _table_state(tid: int) -> tuple[set, "int | None"]:
+            if tid not in occupancy:
+                if tid in existing:
+                    table = self.pipeline.table(tid)
+                    occupancy[tid] = {
+                        (e.match, e.priority) for e in table.entries
+                    }
+                    capacity[tid] = table.max_entries
+                else:
+                    occupancy[tid] = set()
+                    capacity[tid] = None  # batch-created: unbounded
+            return occupancy[tid], capacity[tid]
+
+        for mod in statically_ok:
+            for instr in mod.instructions:
+                if (
+                    isinstance(instr, GotoTable)
+                    and instr.table_id not in will_exist
+                ):
+                    errors.append(
+                        ErrorMsg(
+                            ErrorType.BAD_INSTRUCTION,
+                            "OFPBIC_BAD_TABLE_ID",
+                            f"goto target {instr.table_id} does not exist "
+                            "and is not created by this batch",
+                            data=mod,
+                        )
+                    )
+            rules, cap = _table_state(mod.table_id)
+            key = (mod.match, mod.priority)
+            if mod.command is FlowModCommand.DELETE:
+                if mod.strict:
+                    rules.discard(key)
+                else:
+                    rules.difference_update(
+                        {k for k in rules if k[0] == mod.match}
+                    )
+            elif key in rules:
+                pass  # replaces in place: no growth, always admissible
+            elif cap is not None and len(rules) >= cap:
+                errors.append(
+                    ErrorMsg(
+                        ErrorType.FLOW_MOD_FAILED,
+                        FlowModFailedCode.TABLE_FULL,
+                        f"table {mod.table_id} at capacity ({cap} entries)",
+                        data=mod,
+                    )
+                )
+            else:
+                rules.add(key)
+        return errors
+
+    def submit_flow_mods(self, mods: Sequence[FlowMod]) -> FlowModReply:
+        """Admission-controlled batch apply: the control-plane entry point.
+
+        A rejected batch is answered with the full list of typed errors
+        and is **bit-invisible**: admission runs before any mutation, so
+        logical tables, compiled artifacts, the fused driver object,
+        update accounting, and the datapath generation are exactly as if
+        the batch had never been sent. An accepted batch applies
+        transactionally and reports its modeled switch-side cycles.
+        """
+        errors = self.admit_flow_mods(mods)
+        if errors:
+            return FlowModReply(accepted=False, errors=tuple(errors))
+        try:
+            cycles = self.apply_flow_mods(mods)
+        except FlowModFailed as exc:
+            # Admission simulates capacity exactly, so this is belt and
+            # braces: the transactional rollback already undid the batch.
+            return FlowModReply(accepted=False, errors=(exc.error,))
+        except Exception as exc:  # never let apply failures escape
+            return FlowModReply(
+                accepted=False,
+                errors=(
+                    ErrorMsg(
+                        ErrorType.FLOW_MOD_FAILED,
+                        FlowModFailedCode.UNKNOWN,
+                        f"{type(exc).__name__}: {exc}",
+                    ),
+                ),
+            )
+        return FlowModReply(accepted=True, cycles=cycles)
 
     def _recompile_after_update(
         self, table: FlowTable, mod: FlowMod, new_table: bool
@@ -351,8 +635,10 @@ class ESwitch:
         new_kind = select_template(table.entries, self.config)
         if new_kind is not compiled.kind:
             # Prerequisite changed: fall back (or upgrade) with a rebuild.
-            self._rebuild_group(table.table_id)
             stats.fallbacks += 1
+            if self._budget_spent():
+                return self._defer_rebuild(table.table_id)
+            self._rebuild_group(table.table_id)
             return costs.es_update_rebuild_base + costs.es_update_rebuild_per_entry * len(
                 table
             )
@@ -361,11 +647,29 @@ class ESwitch:
             stats.incremental += 1
             return costs.es_update_incremental
 
-        self._rebuild_group(table.table_id)
         stats.rebuilds += 1
+        if self._budget_spent():
+            return self._defer_rebuild(table.table_id)
+        self._rebuild_group(table.table_id)
         return costs.es_update_rebuild_base + costs.es_update_rebuild_per_entry * len(
             table
         )
+
+    def _budget_spent(self) -> bool:
+        budget = self.config.compile_budget
+        return budget is not None and self._batch_compiles >= budget
+
+    def _defer_rebuild(self, table_id: int) -> float:
+        """The batch blew its compile budget: push this rebuild to the
+        side-by-side path (the next packet's flush) instead of paying the
+        compile on the control path's critical path. New tables are exempt
+        (goto targets need them installed immediately); only rebuilds of
+        already-compiled tables defer, so the old compiled table keeps
+        serving — and the pre-packet flush guarantees no lookup ever sees
+        the stale build."""
+        self.budget_deferrals += 1
+        self._dirty_groups.add(table_id)
+        return self.costs.es_update_incremental
 
     def _try_incremental(
         self, compiled: CompiledTable, table: FlowTable, mod: FlowMod

@@ -520,8 +520,16 @@ def fuse_datapath(dp: "CompiledDatapath") -> FusedPipeline:
     lines = run_m + [""] + run_n + [""] + _emit_entrypoints(dp)
     source = "\n".join(lines) + "\n"
     generation = dp.generation
-    code = compile(source, f"<eswitch:fused:gen{generation}>", "exec")
-    exec(code, namespace)
+    try:
+        code = compile(source, f"<eswitch:fused:gen{generation}>", "exec")
+        exec(code, namespace)
+    except FuseError:
+        raise
+    except Exception as exc:
+        # An emitter bug producing unloadable source is a *fusion* failure,
+        # not a datapath one: surface it as FuseError so every caller takes
+        # the same trampoline-fallback path.
+        raise FuseError(f"generated driver failed to load: {exc}") from exc
     return FusedPipeline(
         generation=generation,
         source=source,

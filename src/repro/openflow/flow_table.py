@@ -34,12 +34,20 @@ class FlowTable:
         table_id: int = 0,
         name: str = "",
         miss_policy: TableMissPolicy = TableMissPolicy.DROP,
+        max_entries: "int | None" = None,
     ):
         if table_id < 0:
             raise ValueError(f"invalid table id {table_id}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.table_id = table_id
         self.name = name or f"table{table_id}"
         self.miss_policy = miss_policy
+        #: advertised capacity (OpenFlow table-features ``max_entries``);
+        #: None = unbounded. The table itself stays permissive — admission
+        #: control (``ESwitch.admit_flow_mods``) is what surfaces an
+        #: over-capacity flow-mod as ``OFPFMFC_TABLE_FULL``.
+        self.max_entries = max_entries
         self._entries: list[FlowEntry] = []  # kept sorted: priority desc, stable
         self.version = 0  # bumped on every modification (for cache invalidation)
 
@@ -85,6 +93,18 @@ class FlowTable:
             if entry.match == match:
                 return entry
         return None
+
+    def has_rule(self, match: Match, priority: int) -> bool:
+        """True when an entry with exactly this rule (match + priority)
+        exists — the ADD-replaces case capacity checks must not count."""
+        return any(
+            e.priority == priority and e.match == match for e in self._entries
+        )
+
+    @property
+    def full(self) -> bool:
+        """True when the table is at (or past) its advertised capacity."""
+        return self.max_entries is not None and len(self._entries) >= self.max_entries
 
     def remove_if(self, predicate: Callable[[FlowEntry], bool]) -> int:
         before = len(self._entries)

@@ -35,6 +35,12 @@ from repro.packet.parser import ParsedPacket, parse
 #: traverses at most one table per input field, so this is a loop guard only.
 MAX_TABLE_HOPS = 10_000
 
+#: OpenFlow's logical table-id space (0..254 usable, 255 = OFPTT_ALL).
+#: Admission control rejects flow-mods addressing tables beyond it with
+#: ``OFPFMFC_BAD_TABLE_ID``; *internal* tables minted by decomposition are
+#: not logical tables and are free to exceed it.
+MAX_TABLES = 255
+
 
 class PipelineError(Exception):
     """Raised on malformed pipeline programs (bad goto, missing table)."""

@@ -78,8 +78,15 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.analysis import CompileConfig, DEFAULT_CONFIG
-from repro.core.eswitch import ESwitch
-from repro.openflow.messages import FlowMod
+from repro.core.eswitch import ESwitch, SwitchHealth
+from repro.openflow.messages import (
+    ErrorMsg,
+    ErrorType,
+    FlowMod,
+    FlowModFailed,
+    FlowModFailedCode,
+    FlowModReply,
+)
 from repro.openflow.pipeline import Pipeline, Verdict
 from repro.openflow.stats import BurstStats
 from repro.packet.packet import Packet
@@ -120,10 +127,22 @@ class EngineHealth:
     degraded_shards: tuple[int, ...]   #: slots permanently remapped away
     liveness: tuple[bool, ...]         #: per-slot: is a worker serving it
     epoch: int                         #: current pipeline generation
+    #: workers that answered a broadcast with a logic error (e.g. an
+    #: injected compile fault) and were replaced from the shadow.
+    worker_errors: int = 0
+    #: the shadow replica's own fail-static snapshot (quarantines,
+    #: contained compile/fuse failures) — the control-plane half of the
+    #: engine's health.
+    switch_health: "SwitchHealth | None" = None
 
     @property
     def degraded(self) -> bool:
-        return bool(self.degraded_shards)
+        # Quarantined tables degrade the whole engine (every replica runs
+        # the same quarantined build); the shadow's fused_active does not —
+        # the shadow is control-plane-only and fuses lazily.
+        return bool(self.degraded_shards) or bool(
+            self.switch_health is not None and self.switch_health.quarantined
+        )
 
     def as_dict(self) -> dict:
         return {
@@ -135,6 +154,12 @@ class EngineHealth:
             "degraded_shards": list(self.degraded_shards),
             "liveness": list(self.liveness),
             "epoch": self.epoch,
+            "worker_errors": self.worker_errors,
+            "switch": (
+                self.switch_health.as_dict()
+                if self.switch_health is not None
+                else None
+            ),
         }
 
 
@@ -303,6 +328,7 @@ class ShardedESwitch:
         self.faults_detected = 0
         self.respawns = 0
         self.retries = 0
+        self.worker_errors = 0
         #: epochs reported by the shards of the most recent gather — the
         #: atomicity witness (all equal, and equal to ``self.epoch``).
         self.last_gather_epochs: tuple[int, ...] = ()
@@ -400,6 +426,8 @@ class ShardedESwitch:
             ),
             liveness=liveness,
             epoch=self.epoch,
+            worker_errors=self.worker_errors,
+            switch_health=self.shadow.health(),
         )
 
     def ping(self) -> dict[int, int]:
@@ -687,12 +715,61 @@ class ShardedESwitch:
             except (WorkerDied, WorkerTimeout):
                 self._handle_fault(slot, new_epoch)
                 continue
+            except ShardWorkerError:
+                # The replica errored applying a batch the shadow already
+                # accepted (e.g. an injected compile fault): it is
+                # logically diverged and must not serve another burst.
+                # Replace it from the shadow — which holds the batch — at
+                # the new epoch; the barrier still ends with every live
+                # shard on the same generation.
+                self.worker_errors += 1
+                self._handle_fault(slot, new_epoch)
+                continue
             if reply[0] != "mods" or reply[1] != new_epoch:
                 raise EpochSyncError(
                     f"worker acked {reply[:2]}, expected ('mods', {new_epoch})"
                 )
         self.epoch = new_epoch
         return cycles
+
+    def admit_flow_mods(self, mods: Sequence[FlowMod]) -> list[ErrorMsg]:
+        """Validate a batch against the shadow replica without touching it."""
+        return self.shadow.admit_flow_mods(mods)
+
+    def submit_flow_mods(self, mods: Sequence[FlowMod]) -> FlowModReply:
+        """Admission-controlled broadcast: the control-plane entry point.
+
+        Admission runs on the shadow replica first; a rejected batch is
+        answered with typed errors, never broadcast, and leaves the
+        engine bit-untouched — the epoch does not advance and every
+        worker keeps serving the prior pipeline generation, so batch
+        invisibility extends across shards. An accepted batch runs the
+        epoch-barrier broadcast of :meth:`apply_flow_mods`.
+        """
+        if self._closed:
+            raise RuntimeError("ShardedESwitch is closed")
+        mods = list(mods)
+        if not mods:
+            return FlowModReply(accepted=True)
+        errors = self.shadow.admit_flow_mods(mods)
+        if errors:
+            return FlowModReply(accepted=False, errors=tuple(errors))
+        try:
+            cycles = self.apply_flow_mods(mods)
+        except FlowModFailed as exc:
+            return FlowModReply(accepted=False, errors=(exc.error,))
+        except Exception as exc:  # contained: the control plane never raises
+            return FlowModReply(
+                accepted=False,
+                errors=(
+                    ErrorMsg(
+                        ErrorType.FLOW_MOD_FAILED,
+                        FlowModFailedCode.UNKNOWN,
+                        f"{type(exc).__name__}: {exc}",
+                    ),
+                ),
+            )
+        return FlowModReply(accepted=True, cycles=cycles)
 
     # -- statistics --------------------------------------------------------
 

@@ -113,6 +113,7 @@ def run_wallclock(
     warmup: int = 512,
     platform: Platform = XEON_E5_2620,
     cores: Sequence[int] = (),
+    control_faults: bool = False,
 ) -> dict:
     """The full sweep; returns the ``BENCH_wallclock.json`` document.
 
@@ -196,6 +197,11 @@ def run_wallclock(
         multicore = _run_multicore(
             cases, builders, cores, n_packets, burst, repeats, warmup, speedups
         )
+    control_plane: list[dict] = []
+    if control_faults:
+        control_plane = run_control_faults(
+            n_packets=min(n_packets, 1_500), burst=burst
+        )
     return {
         "meta": {
             "n_flows": n_flows,
@@ -217,7 +223,89 @@ def run_wallclock(
         "points": points,
         "speedups": speedups,
         "multicore": multicore,
+        "control_plane": control_plane,
     }
+
+
+def run_control_faults(
+    n_packets: int = 1_500,
+    burst: int = 32,
+    n_stations: int = 32,
+    loss: float = 0.05,
+    seed: int = 7,
+    fail_modes: Sequence[str] = ("fail-standalone", "fail-secure"),
+) -> list[dict]:
+    """The control-plane fault leg: wall-clock forwarding through an outage.
+
+    For each §6.4 fail mode, a :class:`~repro.controller.session.
+    ControllerSession` (lossy channel) fronts a fused :class:`ESwitch`
+    running the reactive learning-switch pipeline, and the same traffic
+    is timed across three phases: controller **up**, controller **down**
+    (disconnected past the liveness timeout), and **recovered** (after
+    reconnect + resync). Every point carries the session and switch
+    health snapshots — the CI smoke asserts the outage really registered
+    (``outages >= 1``, ``resyncs >= 1``) and that the datapath kept
+    serving wall-clock traffic while the controller was gone.
+    """
+    from repro.controller import (
+        ControllerSession,
+        FailMode,
+        LearningSwitch,
+        LossyChannel,
+    )
+    from repro.controller.learning_switch import build_pipeline
+
+    points: list[dict] = []
+    for mode_name in fail_modes:
+        fail_mode = FailMode(mode_name)
+        switch = ESwitch(build_pipeline(), config=CompileConfig(fuse=True))
+        session = ControllerSession(
+            switch,
+            channel=LossyChannel(loss=loss, seed=seed),
+            fail_mode=fail_mode,
+            echo_interval_s=1.0,
+            liveness_timeout_s=3.0,
+        )
+        controller = LearningSwitch(session)
+        session.controller = controller
+        _pipeline, macs = l2.build(n_stations)
+        from repro.traffic.flows import round_robin
+
+        flows = l2.traffic(macs, n_stations)
+        base = list(round_robin(flows, n_packets))
+
+        def timed_phase(label: str) -> dict:
+            pkts = [pkt.copy() for pkt in base]
+            t0 = time.perf_counter()
+            for start in range(0, len(pkts), burst):
+                session.process_burst(pkts[start : start + burst])
+            elapsed = time.perf_counter() - t0
+            return {
+                "phase": label,
+                "wall_pps": n_packets / elapsed,
+                "packets": n_packets,
+            }
+
+        phases = [timed_phase("up")]
+        session.advance(2.0)
+        session.disconnect()
+        session.advance(10.0)  # liveness timeout trips: outage declared
+        phases.append(timed_phase("down"))
+        session.reconnect()
+        session.advance(5.0)  # first echo through closes the outage
+        phases.append(timed_phase("recovered"))
+        points.append(
+            {
+                "fail_mode": mode_name,
+                "loss": loss,
+                "phases": phases,
+                "session": session.health().as_dict(),
+                "switch": switch.health().as_dict(),
+                "learned": controller.learned,
+                "install_failures": controller.install_failures,
+            }
+        )
+    return points
 
 
 def _run_multicore(

@@ -1,0 +1,269 @@
+"""Flow-mod admission control and batch invisibility (ISSUE 5).
+
+The contract: a rejected batch is answered with typed ErrorMsgs and is
+*bit-invisible* — logical tables, compiled artifacts, the fused driver
+object, flow counters, modeled cycles, and (for the sharded engine) the
+epoch are exactly as if the batch had never been sent.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import ESwitch
+from repro.openflow.actions import Output
+from repro.openflow.instructions import ApplyActions, GotoTable
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    ErrorType,
+    FlowMod,
+    FlowModCommand,
+    FlowModFailed,
+    FlowModFailedCode,
+)
+from repro.openflow.pipeline import MAX_TABLES
+from repro.openflow.stats import collect_flow_stats
+from repro.parallel import ShardedESwitch
+from repro.usecases import l2
+
+
+def mod(command=FlowModCommand.ADD, table_id=0, priority=5, port=3,
+        instructions=None, **match):
+    if instructions is None:
+        instructions = (ApplyActions([Output(port)]),)
+    return FlowMod(command, table_id, Match(**match), priority=priority,
+                   instructions=instructions)
+
+
+def capped_switch(cap=3):
+    """An L2 switch whose table 0 advertises ``max_entries=cap``."""
+    pipeline, macs = l2.build(8)
+    sw = ESwitch(pipeline)
+    table = sw.pipeline.table(0)
+    table.max_entries = len(table.entries) + cap
+    return sw, macs
+
+
+def codes(errors):
+    return [e.code for e in errors]
+
+
+class TestStaticValidation:
+    """The stateless half of admission (validate_flow_mod)."""
+
+    def setup_method(self):
+        self.sw = ESwitch(l2.build(8)[0])
+
+    def test_bad_command(self):
+        errs = self.sw.admit_flow_mods([mod(command="increment")])
+        assert codes(errs) == [FlowModFailedCode.BAD_COMMAND]
+
+    @pytest.mark.parametrize("tid", [-1, MAX_TABLES, MAX_TABLES + 7])
+    def test_bad_table_id(self, tid):
+        errs = self.sw.admit_flow_mods([mod(table_id=tid)])
+        assert codes(errs) == [FlowModFailedCode.BAD_TABLE_ID]
+
+    def test_bad_priority(self):
+        errs = self.sw.admit_flow_mods([mod(priority=1 << 17)])
+        assert codes(errs) == [FlowModFailedCode.BAD_COMMAND]
+
+    def test_bad_timeout(self):
+        bad = mod()
+        bad.idle_timeout = -3.0
+        errs = self.sw.admit_flow_mods([bad])
+        assert codes(errs) == [FlowModFailedCode.BAD_TIMEOUT]
+
+    def test_bad_match_type(self):
+        bad = mod()
+        bad.match = {"eth_dst": 5}
+        errs = self.sw.admit_flow_mods([bad])
+        assert [e.etype for e in errs] == [ErrorType.BAD_MATCH]
+
+    def test_goto_must_move_forward(self):
+        errs = self.sw.admit_flow_mods(
+            [mod(table_id=3, instructions=(GotoTable(3),))]
+        )
+        assert [e.etype for e in errs] == [ErrorType.BAD_INSTRUCTION]
+
+    def test_dangling_goto_target(self):
+        errs = self.sw.admit_flow_mods([mod(instructions=(GotoTable(9),))])
+        assert [e.etype for e in errs] == [ErrorType.BAD_INSTRUCTION]
+        assert errs[0].code == "OFPBIC_BAD_TABLE_ID"
+
+    def test_goto_target_created_by_the_batch_is_fine(self):
+        batch = [
+            mod(instructions=(GotoTable(9),)),
+            mod(table_id=9, port=2, eth_dst=0xBEEF),
+        ]
+        assert self.sw.admit_flow_mods(batch) == []
+        assert self.sw.submit_flow_mods(batch).accepted
+
+    def test_every_error_is_reported_not_just_the_first(self):
+        errs = self.sw.admit_flow_mods(
+            [mod(command="bogus"), mod(table_id=-2), mod(priority=9)]
+        )
+        assert codes(errs) == [
+            FlowModFailedCode.BAD_COMMAND, FlowModFailedCode.BAD_TABLE_ID,
+        ]
+
+
+class TestCapacity:
+    """Per-table max_entries, simulated exactly as apply would act."""
+
+    def test_overflow_is_rejected_with_table_full(self):
+        sw, _ = capped_switch(cap=2)
+        assert sw.submit_flow_mods([mod(eth_dst=0xA1)]).accepted
+        assert sw.submit_flow_mods([mod(eth_dst=0xA2)]).accepted
+        reply = sw.submit_flow_mods([mod(eth_dst=0xA3)])
+        assert not reply.accepted
+        assert codes(reply.errors) == [FlowModFailedCode.TABLE_FULL]
+
+    def test_replace_in_place_is_exempt(self):
+        sw, _ = capped_switch(cap=1)
+        assert sw.submit_flow_mods([mod(eth_dst=0xA1)]).accepted
+        # Same (match, priority): replaces, no growth, admissible at cap.
+        assert sw.submit_flow_mods([mod(eth_dst=0xA1, port=9)]).accepted
+
+    def test_interleaved_delete_frees_capacity(self):
+        sw, _ = capped_switch(cap=1)
+        assert sw.submit_flow_mods([mod(eth_dst=0xA1)]).accepted
+        batch = [
+            FlowMod(FlowModCommand.DELETE, 0, Match(eth_dst=0xA1),
+                    priority=5, strict=True),
+            mod(eth_dst=0xA2),
+        ]
+        assert sw.admit_flow_mods(batch) == []
+        assert sw.submit_flow_mods(batch).accepted
+
+    def test_batch_created_tables_are_unbounded(self):
+        sw, _ = capped_switch(cap=0)
+        batch = [mod(table_id=7, eth_dst=i, port=2) for i in range(20)]
+        assert sw.admit_flow_mods(batch) == []
+
+    def test_direct_apply_raises_typed_table_full(self):
+        sw, _ = capped_switch(cap=1)
+        sw.apply_flow_mod(mod(eth_dst=0xA1))
+        with pytest.raises(FlowModFailed) as exc:
+            sw.apply_flow_mod(mod(eth_dst=0xA2))
+        assert exc.value.error.code is FlowModFailedCode.TABLE_FULL
+
+    def test_transactional_batch_rolls_back_on_overflow(self):
+        sw, _ = capped_switch(cap=1)
+        entries_before = list(sw.pipeline.table(0).entries)
+        cycles_before = sw.update_stats.cycles
+        with pytest.raises(FlowModFailed):
+            sw.apply_flow_mods([mod(eth_dst=0xA1), mod(eth_dst=0xA2)])
+        assert list(sw.pipeline.table(0).entries) == entries_before
+        assert sw.update_stats.cycles == cycles_before
+
+
+def fingerprint(sw):
+    """Everything a rejected batch must leave untouched, by value."""
+    return (
+        sw.datapath.generation,
+        sw.update_stats.cycles,
+        sorted((s.table_id, s.priority, s.packets, s.bytes)
+               for s in collect_flow_stats(sw.pipeline)),
+        [
+            (t.table_id, sorted((repr(e.match), e.priority)
+                                for e in t.entries))
+            for t in sw.pipeline
+        ],
+        sw.table_kinds(),
+    )
+
+
+BAD_BATCHES = {
+    "dangling-goto": lambda: [mod(eth_dst=0xC0FE),
+                              mod(instructions=(GotoTable(200),))],
+    "backward-goto": lambda: [mod(eth_dst=0xC0FE),
+                              mod(table_id=1, instructions=(GotoTable(0),))],
+    "bad-priority": lambda: [mod(eth_dst=0xC0FE), mod(priority=-4)],
+    "table-full": lambda: [mod(eth_dst=0xC0FE), mod(eth_dst=0xC0FF)],
+}
+
+
+class TestBatchInvisibility:
+    """One poisoned mod rejects the batch wholesale — and the reject must
+    be invisible down to the fused driver's object identity."""
+
+    @pytest.mark.parametrize("reason", sorted(BAD_BATCHES))
+    def test_eswitch_rejected_batch_is_bit_invisible(self, reason):
+        pipeline, macs = l2.build(16)
+        sw = ESwitch(pipeline)
+        control = ESwitch(pickle.loads(pickle.dumps(pipeline)))
+        if reason == "table-full":
+            table = sw.pipeline.table(0)
+            table.max_entries = len(table.entries) + 1
+        probe = l2.traffic(macs, 24)
+        sw.warm()
+        sw.process_burst([p.copy() for p in probe])
+        control.warm()
+        control.process_burst([p.copy() for p in probe])
+
+        fused_before = sw.datapath._fused
+        assert fused_before is not None
+        before = fingerprint(sw)
+
+        reply = sw.submit_flow_mods(BAD_BATCHES[reason]())
+        assert not reply.accepted
+        assert reply.errors and reply.cycles == 0.0
+
+        assert fingerprint(sw) == before
+        # Not just equal state: the very same compiled driver object is
+        # still installed at the same generation — nothing recompiled.
+        assert sw.datapath._fused is fused_before
+        # And the switch keeps answering exactly like one that never saw
+        # the batch.
+        sv = sw.process_burst([p.copy() for p in probe])
+        cv = control.process_burst([p.copy() for p in probe])
+        assert [v.summary() for v in sv] == [v.summary() for v in cv]
+
+    @pytest.mark.parametrize("reason", sorted(BAD_BATCHES))
+    def test_sharded_rejected_batch_is_bit_invisible(self, reason):
+        if reason == "table-full":
+            pytest.skip("workers hold replicas; capacity is set post-fork")
+        pipeline, macs = l2.build(16)
+        probe = l2.traffic(macs, 24)
+        control = ESwitch(pickle.loads(pickle.dumps(pipeline)))
+        with ShardedESwitch(pipeline, workers=2, backend="thread") as eng:
+            eng.process_burst([p.copy() for p in probe])
+            control.process_burst([p.copy() for p in probe])
+            epoch_before = eng.epoch
+
+            reply = eng.submit_flow_mods(BAD_BATCHES[reason]())
+            assert not reply.accepted and reply.errors
+
+            # The epoch did not advance: nothing was broadcast, every
+            # worker keeps serving the prior generation.
+            assert eng.epoch == epoch_before
+            ev = eng.process_burst([p.copy() for p in probe])
+            cv = control.process_burst([p.copy() for p in probe])
+            assert [v.summary() for v in ev] == [v.summary() for v in cv]
+            assert all(e == epoch_before for e in eng.last_gather_epochs)
+            eng.sync_flow_stats()
+            counts = sorted((s.table_id, s.priority, s.packets, s.bytes)
+                            for s in collect_flow_stats(eng.pipeline))
+            control_counts = sorted(
+                (s.table_id, s.priority, s.packets, s.bytes)
+                for s in collect_flow_stats(control.pipeline))
+            assert counts == control_counts
+
+    def test_sharded_capacity_reject_leaves_epoch_alone(self):
+        pipeline, _ = l2.build(8)
+        with ShardedESwitch(pipeline, workers=2, backend="thread") as eng:
+            table = eng.shadow.pipeline.table(0)
+            table.max_entries = len(table.entries)
+            reply = eng.submit_flow_mods([mod(eth_dst=0xA1)])
+            assert not reply.accepted
+            assert codes(reply.errors) == [FlowModFailedCode.TABLE_FULL]
+            assert eng.epoch == 0
+
+    def test_accepted_batch_still_applies_normally(self):
+        sw = ESwitch(l2.build(8)[0])
+        generation = sw.datapath.generation
+        reply = sw.submit_flow_mods([mod(eth_dst=0x0BB0, port=4)])
+        assert reply.accepted
+        assert reply.cycles > 0.0
+        assert sw.datapath.generation != generation
+        assert sw.pipeline.table(0).has_rule(Match(eth_dst=0x0BB0), 5)

@@ -1,0 +1,292 @@
+"""Compile-failure containment (ISSUE 5 tentpole).
+
+Template selection or codegen raising must never crash the control path
+or the datapath: the offending table is quarantined onto the linked-list
+universal template, reported through health(), and healed by the next
+clean rebuild. Whole-pipeline fusion failures degrade to the trampoline.
+The per-batch compile budget defers over-budget rebuilds to the
+side-by-side path without ever serving a stale lookup.
+"""
+
+import pickle
+
+import repro.core.eswitch as eswitch_mod
+import repro.core.fuse as fuse_mod
+from repro.core import ESwitch
+from repro.core.analysis import CompileConfig, TemplateKind
+from repro.openflow.actions import Output
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable
+from repro.openflow.instructions import ApplyActions
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.openflow.pipeline import Pipeline
+from repro.parallel import ShardedESwitch
+from repro.usecases import l2
+
+
+def add_mod(table_id=0, priority=9, port=7, **match):
+    return FlowMod(FlowModCommand.ADD, table_id, Match(**match),
+                   priority=priority,
+                   instructions=(ApplyActions([Output(port)]),))
+
+
+def reference_summaries(pipeline_blob, pkts):
+    ref = pickle.loads(pipeline_blob)
+    return [ref.process(p.copy()).summary() for p in pkts]
+
+
+class TestQuarantine:
+    def test_select_template_failure_pins_linked_list(self, monkeypatch):
+        pipeline, macs = l2.build(16)
+        blob = pickle.dumps(pipeline)
+
+        def boom(entries, config):
+            raise RuntimeError("synthetic template-selection fault")
+
+        monkeypatch.setattr(eswitch_mod, "select_template", boom)
+        sw = ESwitch(pipeline)  # must not raise: containment, not crash
+
+        health = sw.health()
+        assert health.degraded
+        assert health.compile_failures == len(sw.pipeline.tables)
+        assert dict(health.quarantined).keys() == {
+            t.table_id for t in sw.pipeline.tables
+        }
+        assert all("RuntimeError" in why for _, why in health.quarantined)
+        assert set(sw.table_kinds().values()) == {
+            TemplateKind.LINKED_LIST.value
+        }
+        # The quarantined switch still answers correctly — degraded in
+        # speed, never in semantics.
+        probe = l2.traffic(macs, 24)
+        got = [sw.process(p.copy()).summary() for p in probe]
+        assert got == reference_summaries(blob, probe)
+
+    def test_codegen_failure_pins_linked_list(self, monkeypatch):
+        pipeline, macs = l2.build(16)
+        blob = pickle.dumps(pipeline)
+        real = eswitch_mod.compile_table
+
+        def flaky(table, config, costs, kind=None):
+            if kind is not TemplateKind.LINKED_LIST:
+                raise ValueError("synthetic codegen fault")
+            return real(table, config, costs, kind=kind)
+
+        monkeypatch.setattr(eswitch_mod, "compile_table", flaky)
+        sw = ESwitch(pipeline)
+        assert sw.health().degraded
+        assert len(sw.quarantined) >= 1
+        probe = l2.traffic(macs, 16)
+        got = [sw.process(p.copy()).summary() for p in probe]
+        assert got == reference_summaries(blob, probe)
+
+    def test_clean_rebuild_heals_the_quarantine(self, monkeypatch):
+        pipeline, macs = l2.build(16)
+
+        def boom(entries, config):
+            raise RuntimeError("synthetic fault")
+
+        monkeypatch.setattr(eswitch_mod, "select_template", boom)
+        sw = ESwitch(pipeline)
+        assert 0 in sw.quarantined
+        monkeypatch.undo()  # the "bug" is fixed
+
+        # The next update to table 0 sees a template-kind change
+        # (linked list -> the real selection) and rebuilds cleanly.
+        sw.apply_flow_mod(add_mod(0, eth_dst=0x02_0000_BEEF))
+        assert 0 not in sw.quarantined
+        health = sw.health()
+        assert 0 not in dict(health.quarantined)
+        assert sw.table_kinds()[0] == TemplateKind.HASH.value
+        # The failure history stays on the books.
+        assert health.compile_failures >= 1
+
+    def test_update_time_failure_is_contained_too(self, monkeypatch):
+        # A healthy switch whose codegen starts failing *at update time*:
+        # the rebuild the update triggers is contained the same way.
+        t0 = FlowTable(0)
+        t0.add(FlowEntry(Match(in_port=1), priority=5,
+                         instructions=(ApplyActions([Output(2)]),)))
+        sw = ESwitch(Pipeline([t0]))  # tiny table -> DIRECT, rebuilds on add
+        assert not sw.health().degraded
+        real = eswitch_mod.compile_table
+
+        def flaky(table, config, costs, kind=None):
+            if kind is not TemplateKind.LINKED_LIST:
+                raise ValueError("synthetic codegen fault at update time")
+            return real(table, config, costs, kind=kind)
+
+        monkeypatch.setattr(eswitch_mod, "compile_table", flaky)
+        # submit path: the batch is *accepted* (degrade, don't refuse) and
+        # the failing table lands in quarantine on the linked-list rung.
+        reply = sw.submit_flow_mods([add_mod(0, port=8, in_port=3)])
+        assert reply.accepted
+        assert 0 in sw.quarantined
+        assert sw.table_kinds()[0] == TemplateKind.LINKED_LIST.value
+        monkeypatch.undo()
+        from repro.packet import PacketBuilder
+
+        verdict = sw.process(PacketBuilder(in_port=3).eth().ipv4().udp()
+                             .build())
+        assert verdict.output_ports == [8]  # the new rule is live
+
+
+class TestFuseContainment:
+    def test_fuse_failure_degrades_to_trampoline(self, monkeypatch):
+        pipeline, macs = l2.build(16)
+        blob = pickle.dumps(pipeline)
+        sw = ESwitch(pipeline)
+
+        def boom(dp):
+            raise RuntimeError("synthetic fusion fault")
+
+        monkeypatch.setattr(fuse_mod, "fuse_datapath", boom)
+        assert sw.warm() is False  # no fused driver came up
+        health = sw.health()
+        assert health.fuse_failures >= 1
+        assert "RuntimeError" in health.last_fuse_error
+        assert not health.fused_active
+        # The trampoline serves the exact same answers.
+        probe = l2.traffic(macs, 24)
+        got = [sw.process(p.copy()).summary() for p in probe]
+        assert got == reference_summaries(blob, probe)
+
+    def test_fusion_recovers_on_next_generation(self, monkeypatch):
+        pipeline, _ = l2.build(8)
+        sw = ESwitch(pipeline)
+
+        def boom(dp):
+            raise RuntimeError("synthetic fusion fault")
+
+        monkeypatch.setattr(fuse_mod, "fuse_datapath", boom)
+        assert sw.warm() is False
+        monkeypatch.undo()
+        sw.apply_flow_mod(add_mod(0, eth_dst=0x02_0000_BEEF))
+        assert sw.warm() is True
+        health = sw.health()
+        assert health.fused_active
+        assert health.fuse_failures >= 1  # history preserved
+
+    def test_generated_driver_load_failure_is_a_fuse_error(self, monkeypatch):
+        # fuse_datapath wraps compile/exec of its generated source: a
+        # driver that fails to load raises FuseError (and the datapath
+        # then degrades to the trampoline), never a bare SyntaxError.
+        pipeline, _ = l2.build(8)
+        sw = ESwitch(pipeline)
+        real_compile = compile
+
+        def bad_compile(src, name, mode):
+            if "fused" in name:
+                raise SyntaxError("synthetic codegen corruption")
+            return real_compile(src, name, mode)
+
+        monkeypatch.setattr(fuse_mod, "compile", bad_compile, raising=False)
+        assert sw.warm() is False
+        assert "synthetic codegen corruption" in sw.health().last_fuse_error
+
+
+class TestCompileBudget:
+    def two_direct_tables(self):
+        # Two tiny tables, both under direct_threshold -> DIRECT kind,
+        # whose every update is an unconditional rebuild — the costliest
+        # control-path shape, exactly what the budget bounds.
+        t0 = FlowTable(0)
+        t0.add(FlowEntry(Match(in_port=1), priority=5,
+                         instructions=(ApplyActions([Output(2)]),)))
+        t0.add(FlowEntry(Match(), priority=0,
+                         instructions=(ApplyActions([Output(3)]),)))
+        t1 = FlowTable(5)
+        t1.add(FlowEntry(Match(in_port=2), priority=5,
+                         instructions=(ApplyActions([Output(4)]),)))
+        t1.add(FlowEntry(Match(), priority=0,
+                         instructions=(ApplyActions([Output(5)]),)))
+        return Pipeline([t0, t1])
+
+    def test_over_budget_rebuilds_defer_not_reject(self):
+        sw = ESwitch(self.two_direct_tables(),
+                     config=CompileConfig(compile_budget=1))
+        assert sw.table_kinds() == {0: "direct", 5: "direct"}
+        reply = sw.submit_flow_mods([
+            add_mod(0, port=8, in_port=3),
+            add_mod(5, port=9, in_port=4),
+        ])
+        assert reply.accepted  # the budget defers, it never refuses
+        assert sw.budget_deferrals >= 1
+        assert sw._dirty_groups  # the deferred rebuild is queued
+
+    def test_deferred_rebuild_is_flushed_before_any_lookup(self):
+        from repro.packet import PacketBuilder
+
+        sw = ESwitch(self.two_direct_tables(),
+                     config=CompileConfig(compile_budget=1))
+        sw.submit_flow_mods([
+            add_mod(0, port=8, in_port=3),
+            add_mod(5, port=9, in_port=4),
+        ])
+        assert sw.budget_deferrals >= 1
+        # The very next packet must see the new rule: the pre-packet
+        # flush ran before the lookup, so deferral is invisible in the
+        # answers.
+        verdict = sw.process(PacketBuilder(in_port=3).eth().ipv4().udp()
+                             .build())
+        assert verdict.output_ports == [8]
+        assert not sw._dirty_groups
+        assert sw.health().budget_deferrals >= 1
+
+    def test_no_budget_means_no_deferrals(self):
+        sw = ESwitch(self.two_direct_tables(),
+                     config=CompileConfig(compile_budget=None))
+        sw.submit_flow_mods([
+            add_mod(0, port=8, in_port=3),
+            add_mod(5, port=9, in_port=4),
+        ])
+        assert sw.budget_deferrals == 0
+        assert not sw._dirty_groups
+
+    def test_budget_exempts_new_tables(self):
+        # A batch minting a table its goto needs cannot defer the new
+        # table's compile — goto resolution needs it installed now.
+        sw = ESwitch(self.two_direct_tables(),
+                     config=CompileConfig(compile_budget=1))
+        reply = sw.submit_flow_mods(
+            [add_mod(9, port=2, in_port=6) for _ in range(1)]
+            + [add_mod(10, port=3, in_port=7)]
+        )
+        assert reply.accepted
+        assert sw.table_kinds()[9] == "direct"
+        assert sw.table_kinds()[10] == "direct"
+
+
+class TestShardedContainment:
+    def test_quarantined_compile_is_consistent_across_shards(self, monkeypatch):
+        # Thread workers share the patched module: every replica (and the
+        # shadow) quarantines the same tables the same way, the engine
+        # reports it through health(), and the answers stay correct.
+        pipeline, macs = l2.build(16)
+        blob = pickle.dumps(pipeline)
+
+        def boom(entries, config):
+            raise RuntimeError("synthetic fault")
+
+        monkeypatch.setattr(eswitch_mod, "select_template", boom)
+        with ShardedESwitch(pipeline, workers=2, backend="thread") as eng:
+            health = eng.health()
+            assert health.degraded
+            assert health.switch_health is not None
+            assert health.switch_health.quarantined
+            assert health.as_dict()["switch"]["quarantined"]
+            probe = l2.traffic(macs, 24)
+            got = [v.summary() for v in
+                   eng.process_burst([p.copy() for p in probe])]
+            assert got == reference_summaries(blob, probe)
+
+    def test_engine_health_carries_worker_error_counter(self):
+        pipeline, _ = l2.build(8)
+        with ShardedESwitch(pipeline, workers=2, backend="thread") as eng:
+            health = eng.health()
+            assert health.worker_errors == 0
+            assert not health.degraded
+            d = health.as_dict()
+            assert d["worker_errors"] == 0
+            assert d["switch"]["quarantined"] == {}
