@@ -8,10 +8,15 @@ Usage (also via ``python -m repro``)::
     repro model    pipeline.json
     repro bench    pipeline.json [--flows N] [--packets M] [--seed S] [--burst B]
     repro bench    --wallclock [--cores 1,2,4] [--out BENCH_wallclock.json] ...
+    repro fuzz     --seed N [--count K] [--minimize] [--out FILE]
+    repro fuzz     --replay tests/fuzz_corpus/case.json
 
 ``run`` drives the packet through all three datapaths (ESWITCH, the OVS
 baseline, and the reference interpreter) and reports disagreement loudly —
-the command-line version of the repo's differential testing.
+the command-line version of the repo's differential testing. ``fuzz`` is
+the heavy-calibre version: seeded random pipelines and traffic through
+the full five-backend matrix (see :mod:`repro.fuzz`), with deterministic
+replay and failure minimization.
 """
 
 from __future__ import annotations
@@ -320,6 +325,62 @@ def cmd_bench_wallclock(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing: run seeds (or replay a pinned case)."""
+    from repro.fuzz import Scenario, diverges, generate, minimize, run_scenario
+    from repro.fuzz.shrink import size_of
+
+    if args.replay:
+        failures = 0
+        for path in args.replay:
+            try:
+                scenario = Scenario.load(path)
+            except (OSError, serialize.SerializationError, KeyError) as exc:
+                raise SystemExit(f"error: cannot load {path}: {exc}")
+            divergences = run_scenario(scenario)
+            label = scenario.name or path
+            if divergences:
+                failures += 1
+                print(f"FAIL {label}: {len(divergences)} divergence(s)")
+                for div in divergences:
+                    print(f"  {div}")
+            else:
+                print(f"ok   {label}")
+        return 1 if failures else 0
+
+    first_failure = None
+    for seed in range(args.seed, args.seed + args.count):
+        scenario = generate(seed)
+        divergences = run_scenario(scenario)
+        if not divergences:
+            print(f"ok   seed {seed}")
+            continue
+        print(f"FAIL seed {seed}: {len(divergences)} divergence(s)")
+        for div in divergences:
+            print(f"  {div}")
+        obj = scenario.to_obj()
+        if args.minimize:
+            before = size_of(obj)
+            obj = minimize(obj, diverges)
+            print(f"  minimized {before} -> {size_of(obj)} bytes")
+        if first_failure is None:
+            first_failure = obj
+        print("  ready-to-paste corpus entry (tests/fuzz_corpus/):")
+        import json as _json
+
+        print(_json.dumps(obj, indent=2))
+        if args.fail_fast:
+            break
+    if first_failure is not None and args.out:
+        import json as _json
+
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(first_failure, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote failing scenario to {args.out}")
+    return 1 if first_failure is not None else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -383,6 +444,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--no-decompose", action="store_true")
     p_bench.add_argument("--range", action="store_true")
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing across the five-backend matrix"
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="first seed of the deterministic run")
+    p_fuzz.add_argument("--count", type=int, default=1,
+                        help="number of consecutive seeds to run")
+    p_fuzz.add_argument("--minimize", action="store_true",
+                        help="shrink each failure to a minimal scenario")
+    p_fuzz.add_argument("--out", default=None, metavar="FILE",
+                        help="write the first failing scenario JSON here "
+                             "(after --minimize, if given)")
+    p_fuzz.add_argument("--fail-fast", action="store_true",
+                        help="stop at the first failing seed")
+    p_fuzz.add_argument("--replay", nargs="+", default=None, metavar="FILE",
+                        help="replay pinned scenario file(s) instead of "
+                             "generating from seeds")
+    p_fuzz.set_defaults(fn=cmd_fuzz)
     return parser
 
 

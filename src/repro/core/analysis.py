@@ -65,6 +65,11 @@ class CompileConfig:
         fuse: link the compiled tables into one whole-pipeline code
             object (:mod:`repro.core.fuse`); off forces every packet
             through the per-table trampoline dispatch.
+        force_linked_list: pin every table to the linked-list universal
+            template (and implies no decomposition benefit): the
+            degenerate bottom of the Fig. 4 lattice. Semantically every
+            template must agree with it, which is exactly what the
+            differential fuzzer (:mod:`repro.fuzz`) uses it for.
         compile_budget: maximum table compilations (codegen + exec) one
             flow-mod batch may spend on its critical path; None =
             unbounded. A batch that blows the budget does not fail —
@@ -80,6 +85,7 @@ class CompileConfig:
     keys_in_code: bool = True
     enable_range: bool = False
     fuse: bool = True
+    force_linked_list: bool = False
     compile_budget: "int | None" = None
 
     def with_(self, **kwargs: object) -> "CompileConfig":
@@ -172,13 +178,15 @@ def lpm_applicable(entries: Sequence[FlowEntry]) -> bool:
 RANGE_FIELDS = frozenset({"tcp_src", "tcp_dst", "udp_src", "udp_dst"})
 
 
-def port_runs(entries: Sequence[FlowEntry]) -> "list[tuple[int, int, FlowEntry]] | None":
-    """Coalesce a single-port-field table into ``(lo, hi, entry)`` runs.
+def port_map(
+    entries: Sequence[FlowEntry],
+) -> "tuple[str, dict[int, FlowEntry]] | None":
+    """``(field, {port: winning entry})`` for a single-port-field table.
 
     Returns None unless every non-catch-all rule is an exact match on the
-    same port field. Runs merge consecutive port values whose entries
-    share identical instructions (the range template maps one interval to
-    one outcome).
+    same port field. Ports claimed by several rules keep the first
+    (highest-priority) one — the entry the reference interpreter would
+    match, so compiled attribution agrees with it.
     """
     rules, _catch_all = split_catch_all(entries)
     if not rules:
@@ -194,6 +202,22 @@ def port_runs(entries: Sequence[FlowEntry]) -> "list[tuple[int, int, FlowEntry]]
         value = entry.match.value_of(field)
         assert value is not None
         by_port.setdefault(value, entry)  # first (highest-priority) wins
+    return field, by_port
+
+
+def port_runs(entries: Sequence[FlowEntry]) -> "list[tuple[int, int, FlowEntry]] | None":
+    """Coalesce a single-port-field table into ``(lo, hi, entry)`` runs.
+
+    Runs merge consecutive port values whose entries share identical
+    instructions (the range template maps one interval to one *behavior*;
+    per-port entry identity is preserved separately, see
+    :func:`port_map` and ``compile_range``). ``entry`` is the run's
+    first port's entry. Returns None when :func:`port_map` does.
+    """
+    mapped = port_map(entries)
+    if mapped is None:
+        return None
+    _field, by_port = mapped
     runs: list[tuple[int, int, FlowEntry]] = []
     for port in sorted(by_port):
         entry = by_port[port]
@@ -226,6 +250,8 @@ def select_template(
     """First applicable template in the efficiency order of Fig. 4
     (plus the optional range extension, slotted before the hash when its
     compression prerequisite holds)."""
+    if config.force_linked_list:
+        return TemplateKind.LINKED_LIST
     if len(entries) <= config.direct_threshold:
         return TemplateKind.DIRECT
     if range_applicable(entries, config):

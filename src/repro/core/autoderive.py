@@ -63,7 +63,8 @@ def _outcomes_of(compiled) -> list:
     elif compiled.kind is TemplateKind.LPM:
         out.extend(compiled.namespace.get("_OUT", ()))
     elif compiled.kind is TemplateKind.RANGE:
-        out.extend(compiled.namespace.get("_OUTS", ()))
+        for run in compiled.namespace.get("_OUTS", ()):
+            out.extend(run)  # _OUTS is per-run lists of per-port outcomes
     elif compiled.kind is TemplateKind.LINKED_LIST:
         out.extend(entry[3] for entry in compiled.ll_entries or ())
     else:  # direct code: outcomes live as _O<i> constants

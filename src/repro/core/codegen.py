@@ -34,6 +34,7 @@ from repro.core.analysis import (
     CompileConfig,
     DEFAULT_CONFIG,
     TemplateKind,
+    port_map,
     port_runs,
     select_template,
     split_catch_all,
@@ -419,17 +420,25 @@ def compile_range(
     "allow 1024–2047"-style rule block.
     """
     runs = port_runs(table.entries)
-    if runs is None:
+    mapped = port_map(table.entries)
+    if runs is None or mapped is None:
         raise CompileError("range template prerequisite (exact port runs) violated")
     rules, catch_all = split_catch_all(table.entries)
     miss = outcome_of(catch_all) if catch_all is not None else miss_outcome(table)
-    name = rules[0].match.fields[0]
+    name, by_port = mapped
     fdef = field_by_name(name)
     req = fdef.proto_required
 
     starts = [lo for lo, _hi, _e in runs]
     ends = [hi for _lo, hi, _e in runs]
-    outs = [outcome_of(e) for _lo, _hi, e in runs]
+    # One outcome per PORT, grouped by run: rules merged into a run share
+    # behavior but keep distinct identity (flow counters, verdict paths),
+    # so the hit must resolve to the exact port's entry — the same entry
+    # the reference interpreter credits.
+    outs = [
+        [outcome_of(by_port[port]) for port in range(lo, hi + 1)]
+        for lo, hi, _e in runs
+    ]
     levels = max(1, math.ceil(math.log2(len(runs) + 1)))
 
     namespace: dict = {
@@ -455,7 +464,7 @@ def compile_range(
             "    _i = _bisect(_STARTS, _p) - 1",
             f"    m.touch(('es_range', {table.table_id}, _i >> 3))",
             "    if _i >= 0 and _p <= _ENDS[_i]:",
-            "        return _OUTS[_i]",
+            "        return _OUTS[_i][_p - _STARTS[_i]]",
             "    return _MISS",
         ]
     )

@@ -183,6 +183,19 @@ class CompiledDatapath:
         self._fused = fused
         return fused
 
+    def force_fuse_failure(self, reason: str = "forced degradation") -> None:
+        """Degrade this generation to the trampoline, as a real fusion
+        failure would. Drops any standing fused driver and pins the
+        *current* generation as failed — the next update (generation
+        bump) retries fusion normally. The differential fuzzer uses this
+        to hold a backend in the middle rung of the fallback chain;
+        production code paths reach the same state through
+        :meth:`_fused_fresh`'s containment."""
+        self._fused = None
+        self._fuse_failed_gen = self.generation
+        self.fuse_failures += 1
+        self.last_fuse_error = reason
+
     # -- the fast path -----------------------------------------------------------
 
     def process(self, pkt: Packet, meter: Meter = NULL_METER) -> Verdict:

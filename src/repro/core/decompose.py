@@ -200,11 +200,18 @@ def _emit_regular(
     table = FlowTable(table_id, miss_policy=miss_policy)
     n = len(rows)
     for i, row in enumerate(rows):
-        table.add(
-            FlowEntry(
-                Match.from_pairs(row.constraints),
-                priority=n - i,
-                instructions=row.original.instructions,
-            )
+        leaf = FlowEntry(
+            Match.from_pairs(row.constraints),
+            priority=n - i,
+            instructions=row.original.instructions,
         )
+        # The leaf *is* the original rule, restricted to the columns not
+        # yet dispatched on: statistics must land on the logical entry
+        # (a packet matching here matched that rule), so the counters
+        # object is shared, not copied, and ``origin`` lets the shard
+        # wire format resolve this compile artifact back to
+        # control-plane-visible identity.
+        leaf.origin = row.original
+        leaf.counters = row.original.counters
+        table.add(leaf)
     return table

@@ -349,6 +349,34 @@ class ESwitch:
         self._groups[table.table_id] = group
         return group
 
+    def force_quarantine(self, table_id: int, reason: str = "forced") -> None:
+        """Drive one logical table into the quarantine state on demand.
+
+        Exactly the containment path of :meth:`_compile_group`, minus the
+        triggering exception: the table is pinned to the linked-list
+        universal template, the quarantine is reported through
+        :meth:`health`, and the next clean rebuild (e.g. a flow-mod whose
+        template re-selection succeeds) heals it. The differential fuzzer
+        uses this to hold backends in the degraded state and assert they
+        still agree packet-for-packet.
+        """
+        table = self.pipeline.table(table_id)
+        old = self._groups.get(table_id)
+        self.compile_failures += 1
+        self.quarantined[table_id] = reason
+        self.datapath.install(
+            compile_table(table, self.config, self.costs,
+                          kind=TemplateKind.LINKED_LIST)
+        )
+        self._groups[table_id] = _Group(
+            logical_id=table_id, compiled_ids=[table_id]
+        )
+        self._dirty_groups.discard(table_id)
+        if old is not None:
+            for tid in old.compiled_ids:
+                if tid != table_id:
+                    self.datapath.uninstall(tid)
+
     def _compile_group_preferred(self, table: FlowTable) -> _Group:
         kind = select_template(table.entries, self.config)
         if (

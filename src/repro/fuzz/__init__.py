@@ -1,0 +1,34 @@
+"""Differential compiler fuzzing for the ESWITCH backend matrix.
+
+The subsystem has four parts, one module each:
+
+* :mod:`repro.fuzz.gen` — seeded random pipelines (one template rung per
+  table) and boundary-biased traffic/flow-mod schedules;
+* :mod:`repro.fuzz.scenario` — the JSON-round-trippable test-case
+  container pinned in ``tests/fuzz_corpus/``;
+* :mod:`repro.fuzz.diff` — the differential oracle across fused,
+  trampoline, linked-list, OVS-model, and sharded backends;
+* :mod:`repro.fuzz.shrink` — greedy minimization of failures into
+  corpus seeds.
+
+Entry points: ``repro fuzz`` (CLI) and ``tests/test_differential_fuzz.py``.
+"""
+
+from repro.fuzz.diff import DEFAULT_WORKERS, Divergence, diverges, run_scenario, run_seed
+from repro.fuzz.gen import GenerationError, RUNGS, generate
+from repro.fuzz.scenario import Scenario, packet_to_obj
+from repro.fuzz.shrink import minimize
+
+__all__ = [
+    "DEFAULT_WORKERS",
+    "Divergence",
+    "GenerationError",
+    "RUNGS",
+    "Scenario",
+    "diverges",
+    "generate",
+    "minimize",
+    "packet_to_obj",
+    "run_scenario",
+    "run_seed",
+]

@@ -1,0 +1,372 @@
+"""The differential oracle: one scenario, every backend, zero divergence.
+
+Runs an identical (pipeline, traffic, flow-mod schedule) through:
+
+* ``fused``       — ESwitch, whole-pipeline fusion (the paper's fast path);
+* ``trampoline``  — ESwitch, per-table templates behind the dispatch loop;
+* ``linked_list`` — ESwitch pinned to the universal linked-list rung
+                    (decomposition off): the semantics baseline compiler;
+* ``ovs``         — the OVS model (EMC → megaflow → vswitchd slow path);
+* ``shardedN``    — ShardedESwitch at workers ∈ {1, 4} (thread backend);
+
+against the **reference interpreter** (``Pipeline.process``), asserting:
+
+* identical per-packet verdicts (output ports, drop, to-controller);
+* identical post-action packet bytes (unsharded backends — the engine
+  never mutates caller packets, so bytes are unobservable there);
+* identical admission decisions and error taxonomies for every flow-mod
+  batch across the ESwitch family (the reference and OVS have no
+  admission control; they follow the arbiter's accepted batches);
+* identical end-of-run flow counters on every logical entry;
+* bit-identical modeled cycle totals where defined: fused ↔ trampoline
+  always (fusion's contract), and sharded(workers=1) ↔ fused unless the
+  scenario force-quarantines tables (quarantine is applied to the
+  unsharded switches only, changing their compiled rungs, not their
+  semantics).
+
+Degraded states are part of the matrix, not excluded from it: forced
+quarantine and forced fuse-failure must be *semantically invisible*,
+which is exactly what the oracle checks.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from dataclasses import dataclass
+
+from repro.core import ESwitch
+from repro.core.analysis import CompileConfig
+from repro.fuzz.scenario import Scenario
+from repro.openflow.messages import FlowModCommand
+from repro.ovs import OvsSwitch
+from repro.parallel import ShardedESwitch
+from repro.simcpu.platform import XEON_E5_2620
+from repro.simcpu.recorder import CycleMeter
+
+DEFAULT_WORKERS = (1, 4)
+
+
+@dataclass
+class Divergence:
+    kind: str  # verdict | bytes | admission | counters | cycles | crash
+    backend: str
+    detail: str
+    event: int = -1
+    packet: int = -1
+
+    def __str__(self) -> str:
+        where = ""
+        if self.event >= 0:
+            where = f" @event {self.event}"
+            if self.packet >= 0:
+                where += f" pkt {self.packet}"
+        return f"[{self.kind}] {self.backend}{where}: {self.detail}"
+
+
+def _counters(pipeline) -> dict:
+    return {
+        (table.table_id, i): (entry.counters.packets, entry.counters.bytes)
+        for table in pipeline
+        for i, entry in enumerate(table.entries)
+    }
+
+
+def _reply_sig(reply) -> tuple:
+    codes = tuple(sorted(
+        (err.etype.value,
+         err.code.value if hasattr(err.code, "value") else str(err.code))
+        for err in reply.errors
+    ))
+    return (bool(reply.accepted), codes)
+
+
+class _EswitchBackend:
+    family = "es"
+    compares_bytes = True
+
+    def __init__(self, name: str, scenario: Scenario, config: CompileConfig):
+        self.name = name
+        self.switch = ESwitch(scenario.build_pipeline(), config=config)
+        self.meter = CycleMeter(XEON_E5_2620)
+        for tid in scenario.quarantine:
+            self.switch.force_quarantine(tid, reason="fuzz: forced")
+        if name == "fused" and scenario.degrade_fuse:
+            self.switch.warm()
+            self.switch.datapath.force_fuse_failure("fuzz: forced degradation")
+
+    @property
+    def pipeline(self):
+        return self.switch.pipeline
+
+    def burst(self, pkts):
+        verdicts = self.switch.process_burst(pkts, self.meter)
+        return [v.summary() for v in verdicts], [bytes(p.data) for p in pkts]
+
+    def submit(self, mods):
+        return _reply_sig(self.switch.submit_flow_mods(mods))
+
+    def counters(self):
+        return _counters(self.switch.pipeline)
+
+    @property
+    def cycles(self):
+        return self.meter.total_cycles
+
+    def close(self):
+        pass
+
+
+class _OvsBackend:
+    family = "follower"
+    compares_bytes = True
+    name = "ovs"
+
+    def __init__(self, scenario: Scenario):
+        self.switch = OvsSwitch(scenario.build_pipeline())
+
+    @property
+    def pipeline(self):
+        return self.switch.pipeline
+
+    def burst(self, pkts):
+        sums = []
+        for pkt in pkts:
+            sums.append(self.switch.process(pkt).summary())
+        return sums, [bytes(p.data) for p in pkts]
+
+    def apply(self, mods):
+        for mod in mods:
+            self.switch.apply_flow_mod(mod)
+
+    def counters(self):
+        return _counters(self.switch.pipeline)
+
+    cycles = None
+
+    def close(self):
+        pass
+
+
+class _ShardedBackend:
+    family = "es"
+    compares_bytes = False  # the engine never mutates caller packets
+
+    def __init__(self, name: str, scenario: Scenario, workers: int,
+                 config: CompileConfig):
+        self.name = name
+        self.engine = ShardedESwitch(
+            scenario.build_pipeline(), workers=workers, backend="thread",
+            config=config,
+        )
+        self.meter = CycleMeter(XEON_E5_2620)
+
+    @property
+    def pipeline(self):
+        return self.engine.pipeline
+
+    def burst(self, pkts):
+        verdicts = self.engine.process_burst(pkts, self.meter)
+        return [v.summary() for v in verdicts], None
+
+    def submit(self, mods):
+        return _reply_sig(self.engine.submit_flow_mods(mods))
+
+    def counters(self):
+        self.engine.sync_flow_stats()
+        return _counters(self.engine.pipeline)
+
+    @property
+    def cycles(self):
+        return self.meter.total_cycles
+
+    def close(self):
+        self.engine.close()
+
+
+def _apply_reference(pipeline, mods):
+    """Mirror of ``ESwitch.apply_flow_mod``'s logical-table semantics."""
+    for mod in mods:
+        table = pipeline.get_or_create(mod.table_id)
+        if mod.command is FlowModCommand.DELETE:
+            table.remove(mod.match, mod.priority if mod.strict else None)
+        else:
+            table.add(mod.to_entry())
+
+
+def _diff_counters(got: dict, want: dict) -> str:
+    lines = []
+    for key in sorted(set(got) | set(want)):
+        g, w = got.get(key), want.get(key)
+        if g != w:
+            lines.append(f"table {key[0]} entry {key[1]}: {g} != {w}")
+    return "; ".join(lines[:8]) or "entry sets differ"
+
+
+def run_scenario(
+    scenario: Scenario, workers: "tuple" = DEFAULT_WORKERS
+) -> "list[Divergence]":
+    """Execute ``scenario`` across the full backend matrix.
+
+    Returns the (possibly empty) list of divergences. Never raises for a
+    backend fault — a backend that crashes is itself a divergence.
+    """
+    divergences: list[Divergence] = []
+    reference = scenario.build_pipeline()
+
+    base = CompileConfig(enable_range=scenario.enable_range)
+    backends: list = [
+        _EswitchBackend("fused", scenario, base),
+        _EswitchBackend("trampoline", scenario, base.with_(fuse=False)),
+        _EswitchBackend(
+            "linked_list", scenario,
+            base.with_(fuse=False, decompose=False, force_linked_list=True),
+        ),
+        _OvsBackend(scenario),
+    ]
+    for n in workers:
+        if n > 1 and scenario.tight_meter:
+            continue  # replica-local token buckets legitimately diverge
+        backends.append(_ShardedBackend(f"sharded{n}", scenario, n, base))
+
+    dead: set = set()
+
+    def crash(backend, exc, event, kind="crash"):
+        divergences.append(Divergence(
+            kind, backend.name,
+            "".join(traceback.format_exception_only(type(exc), exc)).strip(),
+            event=event,
+        ))
+        dead.add(backend.name)
+
+    try:
+        for ei, event in enumerate(scenario.events):
+            if "burst" in event:
+                ref_pkts = scenario.build_packets(event["burst"])
+                ref_sums = [reference.process(p).summary() for p in ref_pkts]
+                ref_datas = [bytes(p.data) for p in ref_pkts]
+                for backend in backends:
+                    if backend.name in dead:
+                        continue
+                    pkts = scenario.build_packets(event["burst"])
+                    try:
+                        sums, datas = backend.burst(pkts)
+                    except Exception as exc:  # noqa: BLE001 — the oracle
+                        crash(backend, exc, ei)
+                        continue
+                    for pi, (got, want) in enumerate(zip(sums, ref_sums)):
+                        if got != want:
+                            divergences.append(Divergence(
+                                "verdict", backend.name,
+                                f"{got} != reference {want}",
+                                event=ei, packet=pi,
+                            ))
+                    if backend.compares_bytes:
+                        for pi, (got, want) in enumerate(zip(datas, ref_datas)):
+                            if got != want:
+                                divergences.append(Divergence(
+                                    "bytes", backend.name,
+                                    f"{got.hex()} != reference {want.hex()}",
+                                    event=ei, packet=pi,
+                                ))
+            else:
+                batch = event["mods"]
+                arbiter = next(
+                    (b for b in backends
+                     if b.family == "es" and b.name not in dead), None
+                )
+                if arbiter is None:
+                    continue
+                try:
+                    decision = arbiter.submit(
+                        scenario.build_mods(batch, arbiter.pipeline)
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    crash(arbiter, exc, ei)
+                    continue
+                for backend in backends:
+                    if (backend is arbiter or backend.family != "es"
+                            or backend.name in dead):
+                        continue
+                    try:
+                        sig = backend.submit(
+                            scenario.build_mods(batch, backend.pipeline)
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        crash(backend, exc, ei)
+                        continue
+                    if sig != decision:
+                        divergences.append(Divergence(
+                            "admission", backend.name,
+                            f"{sig} != {arbiter.name} {decision}",
+                            event=ei,
+                        ))
+                if decision[0]:  # accepted: followers apply verbatim
+                    _apply_reference(
+                        reference, scenario.build_mods(batch, reference)
+                    )
+                    for backend in backends:
+                        if backend.family == "follower" and backend.name not in dead:
+                            try:
+                                backend.apply(
+                                    scenario.build_mods(batch, backend.pipeline)
+                                )
+                            except Exception as exc:  # noqa: BLE001
+                                crash(backend, exc, ei)
+
+        ref_counts = _counters(reference)
+        for backend in backends:
+            if backend.name in dead:
+                continue
+            try:
+                got = backend.counters()
+            except Exception as exc:  # noqa: BLE001
+                crash(backend, exc, -1)
+                continue
+            if got != ref_counts:
+                divergences.append(Divergence(
+                    "counters", backend.name, _diff_counters(got, ref_counts)
+                ))
+
+        by_name = {b.name: b for b in backends if b.name not in dead}
+        fused = by_name.get("fused")
+        for other_name in ("trampoline", "sharded1"):
+            other = by_name.get(other_name)
+            if fused is None or other is None:
+                continue
+            if other_name == "sharded1" and scenario.quarantine:
+                continue  # quarantine shifts unsharded rungs (and costs) only
+            if other.cycles != fused.cycles:
+                divergences.append(Divergence(
+                    "cycles", other_name,
+                    f"{other.cycles!r} != fused {fused.cycles!r}",
+                ))
+    finally:
+        for backend in backends:
+            try:
+                backend.close()
+            except Exception:  # noqa: BLE001 — teardown must not mask results
+                pass
+
+    return divergences
+
+
+def run_seed(seed: int, **gen_kwargs):
+    """Generate and execute one seed; returns ``(scenario, divergences)``."""
+    from repro.fuzz.gen import generate
+
+    scenario = generate(seed, **gen_kwargs)
+    return scenario, run_scenario(scenario)
+
+
+def diverges(obj: dict) -> bool:
+    """Shrinker predicate: does this scenario document still fail?
+
+    Invalid candidates (documents that no longer build) count as
+    non-failing, so the shrinker backtracks instead of chasing them.
+    """
+    try:
+        scenario = Scenario.from_obj(pickle.loads(pickle.dumps(obj)))
+        return bool(run_scenario(scenario))
+    except Exception:  # noqa: BLE001 — malformed candidate, not a finding
+        return False

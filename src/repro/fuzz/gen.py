@@ -1,0 +1,422 @@
+"""Seeded scenario generation: rung-targeted pipelines, boundary-biased
+traffic, and mid-stream flow-mod schedules.
+
+``generate(seed)`` is a pure function of its arguments — same seed,
+same scenario, byte for byte — which is what makes ``repro fuzz --seed``
+replayable and the CI smoke leg a fixed corpus in disguise.
+
+Pipelines are generated *per template rung*: every table aims at one
+rung of the ESWITCH lattice (direct / hash / LPM / range / linked list /
+decomposable), so a short fuzz run still visits every code generator.
+Traffic is biased toward match/miss boundaries (off-by-one values,
+in-mask and off-mask bit flips near installed rules) plus a tail of
+malformed frames; flow-mod batches land between bursts, including
+batches built to be *rejected* by admission control.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.fuzz import domain
+from repro.fuzz.scenario import Scenario, packet_to_obj
+from repro.openflow.flow_table import TableMissPolicy
+from repro.openflow.groups import GroupType
+
+RUNGS = ("direct", "hash", "lpm", "range", "linked_list", "decompose")
+
+_MISS_POLICIES = [p.value for p in TableMissPolicy]
+_GROUP_TYPES = [g.value for g in GroupType]
+
+
+class GenerationError(RuntimeError):
+    """The generator could not produce a valid scenario for a seed."""
+
+
+def _match_obj(fields: dict) -> dict:
+    out = {}
+    for name, (value, mask) in fields.items():
+        if mask == domain.full_mask(name):
+            out[name] = value
+        else:
+            out[name] = {"value": value, "mask": mask}
+    return out
+
+
+def _actions(rng, group_ids) -> list:
+    acts: list = []
+    n = 1 + (rng.random() < 0.3)
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.55:
+            acts.append({"output": rng.randint(1, 4)})
+        elif roll < 0.65:
+            acts.append("drop")
+        elif roll < 0.72:
+            acts.append("controller")
+        elif roll < 0.82:
+            field = rng.choice(["eth_dst", "ipv4_dst", "tcp_dst"])
+            acts.append({"set": {field: domain.domain_value(rng, field)}})
+        elif roll < 0.87:
+            acts.append("dec_ttl")
+        elif roll < 0.90:
+            acts.append("pop_vlan")
+        elif roll < 0.93:
+            acts.append({"push_vlan": {"vid": rng.randint(1, 4094)}})
+        elif group_ids and roll < 0.97:
+            acts.append({"group": rng.choice(group_ids)})
+        else:
+            acts.append("flood")
+    return acts
+
+
+def _entry_obj(rng, fields, priority, later_ids, group_ids, meter_ids) -> dict:
+    obj: dict = {
+        "priority": priority,
+        "match": _match_obj(fields),
+        "apply": _actions(rng, group_ids),
+    }
+    if rng.random() < 0.15:
+        obj["write"] = _actions(rng, group_ids)[:1]
+    if rng.random() < 0.05:
+        obj["clear"] = True
+    if later_ids and rng.random() < 0.3:
+        obj["goto"] = rng.choice(later_ids)
+    if meter_ids and rng.random() < 0.25:
+        obj["meter"] = rng.choice(meter_ids)
+    return obj
+
+
+# -- per-rung table builders -------------------------------------------------
+#
+# Each returns (table_obj, profiles): the serialize-dialect table document
+# plus the field-constraint maps of its entries, which the traffic
+# generator later aims packets at.
+
+
+def _build_direct(rng, tid, later, groups, meters):
+    profiles = [domain.random_fields(rng) for _ in range(rng.randint(1, 4))]
+    entries = [
+        _entry_obj(rng, f, rng.randint(0, 7), later, groups, meters)
+        for f in profiles
+    ]
+    return entries, profiles
+
+
+def _build_hash(rng, tid, later, groups, meters):
+    profile = rng.choice(["l2", "v4", "v4tcp", "v4udp", "v6"])
+    names = rng.sample(
+        list(domain.PROFILES[profile]), rng.randint(1, 2)
+    )
+    mask_of = {n: domain.random_mask(rng, n) for n in names}
+    entries, profiles, seen = [], [], set()
+    for _ in range(rng.randint(5, 10)):
+        fields = {
+            n: (domain.domain_value(rng, n) & mask_of[n], mask_of[n])
+            for n in names
+        }
+        key = tuple(sorted(fields.items()))
+        if key in seen:
+            continue  # CollisionFreeHash needs distinct keys
+        seen.add(key)
+        entries.append(
+            _entry_obj(rng, fields, rng.randint(1, 7), later, groups, meters)
+        )
+        profiles.append(fields)
+    if rng.random() < 0.3:  # split-off catch-all (strictly lowest priority)
+        entries.append(_entry_obj(rng, {}, 0, later, groups, meters))
+    return entries, profiles
+
+
+def _build_lpm(rng, tid, later, groups, meters):
+    field = rng.choice(["ipv4_src", "ipv4_dst"])
+    full = domain.full_mask(field)
+    entries, profiles, seen = [], [], set()
+    for _ in range(rng.randint(5, 10)):
+        plen = rng.choice([8, 16, 24, 32, rng.randint(1, 32)])
+        mask = (full << (32 - plen)) & full
+        value = domain.domain_value(rng, field) & mask
+        if (value, plen) in seen:
+            continue
+        seen.add((value, plen))
+        fields = {field: (value, mask)}
+        # LPM consistency: priority must equal prefix length.
+        entries.append(_entry_obj(rng, fields, plen, later, groups, meters))
+        profiles.append(fields)
+    if rng.random() < 0.4:
+        entries.append(_entry_obj(rng, {}, 0, later, groups, meters))
+    return entries, profiles
+
+
+def _build_range(rng, tid, later, groups, meters):
+    field = rng.choice(["tcp_dst", "udp_dst", "tcp_src", "udp_src"])
+    full = domain.full_mask(field)
+    entries, profiles = [], []
+    start = rng.randint(1, 1000)
+    for _run in range(rng.randint(2, 3)):
+        length = rng.randint(9, 14)
+        acts = _actions(rng, groups)
+        run_obj: dict = {"apply": acts}
+        if later and rng.random() < 0.3:
+            run_obj["goto"] = rng.choice(later)
+        for port in range(start, start + length):
+            fields = {field: (port & full, full)}
+            entry = {"priority": 5, "match": _match_obj(fields)}
+            entry.update(run_obj)  # identical instructions merge into a run
+            entries.append(entry)
+            profiles.append(fields)
+        start += length + rng.randint(2, 50)  # gap: runs stay disjoint
+    if rng.random() < 0.3:
+        entries.append(_entry_obj(rng, {}, 0, later, groups, meters))
+    return entries, profiles
+
+
+def _build_linked_list(rng, tid, later, groups, meters):
+    entries, profiles = [], []
+    for _ in range(rng.randint(5, 10)):
+        fields = domain.random_fields(rng)
+        entries.append(
+            _entry_obj(rng, fields, rng.choice([3, 3, 5, 5, rng.randint(0, 9)]),
+                       later, groups, meters)
+        )
+        profiles.append(fields)
+    # Defeat decomposition: one column, two different masks.
+    for mask in (0xFFFFFF00, 0xFFFF0000):
+        fields = {"ipv4_src": (domain.domain_value(rng, "ipv4_src") & mask, mask)}
+        entries.append(_entry_obj(rng, fields, 3, later, groups, meters))
+        profiles.append(fields)
+    return entries, profiles
+
+
+def _build_decompose(rng, tid, later, groups, meters):
+    profile = rng.choice(["v4", "v4tcp", "v4udp"])
+    names = list(domain.PROFILES[profile])
+    mask_of = {n: domain.random_mask(rng, n) for n in names}
+    entries, profiles = [], []
+    for _ in range(rng.randint(5, 9)):
+        k = rng.randint(1, min(3, len(names)))
+        chosen = rng.sample(names, k)
+        fields = {
+            n: (domain.domain_value(rng, n) & mask_of[n], mask_of[n])
+            for n in chosen
+        }
+        if "ip_proto" in fields:
+            if any(f.startswith("tcp_") for f in fields):
+                fields["ip_proto"] = (6, domain.full_mask("ip_proto"))
+            elif any(f.startswith("udp_") for f in fields):
+                fields["ip_proto"] = (17, domain.full_mask("ip_proto"))
+        entries.append(
+            _entry_obj(rng, fields, rng.randint(0, 7), later, groups, meters)
+        )
+        profiles.append(fields)
+    return entries, profiles
+
+
+_BUILDERS = {
+    "direct": _build_direct,
+    "hash": _build_hash,
+    "lpm": _build_lpm,
+    "range": _build_range,
+    "linked_list": _build_linked_list,
+    "decompose": _build_decompose,
+}
+
+
+# -- traffic and flow-mod schedules ------------------------------------------
+
+
+def _burst(rng, profiles, size, allow_malformed) -> list:
+    out = []
+    for _ in range(size):
+        roll = rng.random()
+        if profiles and roll < 0.70:
+            fields = dict(rng.choice(profiles))
+            if rng.random() < 0.5:
+                fields = domain.perturb_fields(rng, fields)
+            pkt = domain.packet_for_fields(rng, fields)
+        elif allow_malformed and roll > 0.85:
+            pkt = domain.malformed_packet(rng)
+        else:
+            pkt = domain.packet_for_fields(rng, domain.random_fields(rng))
+        out.append(packet_to_obj(pkt))
+    return out
+
+
+def _mods_batch(rng, tids, profiles, group_ids, meter_ids, quarantine) -> list:
+    batch = []
+    for _ in range(rng.randint(1, 3)):
+        # Bias toward quarantined tables: a clean rebuild heals them, and
+        # post-heal parity is exactly what the fuzzer is hunting.
+        tid = (rng.choice(list(quarantine))
+               if quarantine and rng.random() < 0.4 else rng.choice(tids))
+        later = [t for t in tids if t > tid]
+        if profiles and rng.random() < 0.35:
+            fields = dict(rng.choice(profiles))
+            obj = {
+                "cmd": "delete",
+                "table": tid,
+                "match": _match_obj(fields),
+                "priority": rng.randint(0, 9),
+                "strict": rng.random() < 0.5,
+            }
+        else:
+            fields = domain.random_fields(rng)
+            obj = _entry_obj(rng, fields, rng.randint(0, 9), later,
+                             group_ids, meter_ids)
+            obj["cmd"] = rng.choice(["add", "add", "modify"])
+            obj["table"] = tid
+            profiles.append(fields)
+        batch.append(obj)
+    if rng.random() < 0.25:
+        # A poison mod: admission must reject the whole batch, leaving
+        # every backend bit-identical to the no-op.
+        poison = rng.randrange(3)
+        obj = {
+            "cmd": "add",
+            "table": rng.choice(tids),
+            "match": {},
+            "priority": 1,
+            "apply": [{"output": 1}],
+        }
+        if poison == 0:
+            obj["table"] = 300  # beyond the 255-table id space
+        elif poison == 1:
+            obj["goto"] = 250  # resolvable id space, nonexistent table
+        else:
+            obj["priority"] = 0x10000  # out of OpenFlow's 16-bit range
+        batch.insert(rng.randrange(len(batch) + 1), obj)
+    return batch
+
+
+# -- the generator -----------------------------------------------------------
+
+
+def generate(
+    seed: int,
+    *,
+    max_tables: int = 4,
+    force_rungs: "tuple | None" = None,
+    allow_quarantine: bool = True,
+    allow_degrade: bool = True,
+    allow_malformed: bool = True,
+    allow_mods: bool = True,
+    allow_tight_meter: bool = True,
+) -> Scenario:
+    """One scenario, deterministically, from ``seed``.
+
+    ``force_rungs`` pins the per-table template targets (cycled when
+    shorter than the table count) — how the corpus curation script gets
+    one scenario per lattice rung.
+    """
+    for attempt in range(10):
+        scenario = _generate_once(
+            random.Random(f"{seed}/{attempt}"), seed, max_tables, force_rungs,
+            allow_quarantine, allow_degrade, allow_malformed, allow_mods,
+            allow_tight_meter,
+        )
+        if _sane(scenario):
+            return scenario
+    raise GenerationError(f"seed {seed}: no valid scenario in 10 attempts")
+
+
+def _generate_once(
+    rng, seed, max_tables, force_rungs, allow_quarantine, allow_degrade,
+    allow_malformed, allow_mods, allow_tight_meter,
+) -> Scenario:
+    n_tables = (len(force_rungs) if force_rungs
+                else rng.randint(1, max_tables))
+    rungs = [
+        force_rungs[i % len(force_rungs)] if force_rungs
+        else rng.choice(RUNGS)
+        for i in range(n_tables)
+    ]
+
+    group_ids: list = []
+    groups_obj = []
+    if rng.random() < 0.3:
+        for gid in range(1, rng.randint(2, 3)):
+            gtype = rng.choice(_GROUP_TYPES)
+            n_buckets = 1 if gtype == "indirect" else rng.randint(1, 3)
+            buckets = [
+                {"weight": rng.randint(1, 4),
+                 "actions": [{"output": rng.randint(1, 4)}]}
+                for _ in range(n_buckets)
+            ]
+            groups_obj.append(
+                {"id": gid, "type": gtype, "buckets": buckets}
+            )
+            group_ids.append(gid)
+
+    meter_ids: list = []
+    meters_obj = []
+    tight_meter = False
+    if rng.random() < 0.25:
+        tight_meter = allow_tight_meter and rng.random() < 0.3
+        meters_obj.append({"id": 1, "rate_pps": 1000.0, "burst": 1})
+        meter_ids.append(1)
+
+    tables_obj, profiles = [], []
+    tids = list(range(n_tables))
+    for tid, rung in zip(tids, rungs):
+        later = [t for t in tids if t > tid]
+        entries, table_profiles = _BUILDERS[rung](
+            rng, tid, later, group_ids, meter_ids
+        )
+        tables_obj.append({
+            "id": tid,
+            "name": f"t{tid}-{rung}",
+            "miss": rng.choice(_MISS_POLICIES),
+            "entries": entries,
+        })
+        profiles.extend(table_profiles)
+
+    quarantine: tuple = ()
+    if allow_quarantine and rng.random() < 0.2:
+        quarantine = (rng.choice(tids),)
+    degrade_fuse = allow_degrade and rng.random() < 0.15
+
+    events: list = []
+    for i in range(rng.randint(1, 4)):
+        if i and allow_mods and rng.random() < 0.5:
+            events.append({"mods": _mods_batch(
+                rng, tids, profiles, group_ids, meter_ids, quarantine
+            )})
+        events.append({"burst": _burst(
+            rng, profiles, rng.randint(2, 12), allow_malformed
+        )})
+
+    scenario = Scenario(
+        pipeline_obj={
+            **({"groups": groups_obj} if groups_obj else {}),
+            **({"meters": meters_obj} if meters_obj else {}),
+            "tables": tables_obj,
+        },
+        events=events,
+        seed=seed,
+        enable_range=("range" in rungs) or rng.random() < 0.1,
+        quarantine=quarantine,
+        degrade_fuse=degrade_fuse,
+        tight_meter=tight_meter,
+    )
+    if meters_obj and not tight_meter:
+        # A meter that can never fire: rate-limit state stays identical
+        # across sharded replicas, keeping workers>1 comparable.
+        meters_obj[0]["burst"] = scenario.total_packets() + 16
+    return scenario
+
+
+def _sane(scenario: Scenario) -> bool:
+    """Dry-run the reference interpreter: a scenario whose *reference*
+    crashes is a generator bug, not a differential finding."""
+    try:
+        pipeline = scenario.build_pipeline()
+        pipeline.validate()
+        for event in scenario.events:
+            if "burst" in event:
+                for pkt in scenario.build_packets(event["burst"]):
+                    pipeline.process(pkt)
+            else:
+                scenario.build_mods(event["mods"], pipeline)
+        return True
+    except Exception:
+        return False

@@ -52,6 +52,7 @@ class FlowEntry:
         "cookie",
         "idle_timeout",
         "hard_timeout",
+        "origin",
     )
 
     def __init__(
@@ -78,6 +79,12 @@ class FlowEntry:
         else:
             self.instructions = tuple(instructions or ())
         self.counters = FlowCounters()
+        #: the logical entry this one stands in for, or None. Synthetic
+        #: leaf entries minted by flow table decomposition point back at
+        #: the rule they carry the instructions of, so statistics and
+        #: wire-format entry identity resolve to control-plane-visible
+        #: state (their ``counters`` alias the origin's object).
+        self.origin: "FlowEntry | None" = None
         self.cookie = cookie
         #: seconds of inactivity after which the entry expires (0 = never).
         self.idle_timeout = idle_timeout

@@ -15,12 +15,13 @@ compact, picklable wire dialect:
   applies the same flow-mods in the same epoch order, so logical
   ``entries`` tuples are identical everywhere.
 
-Hops whose entry is *not* a logical pipeline entry — the synthetic
-dispatch/leaf entries a decomposed table compiles to — carry the
-``(-1, -1)`` position and decode to ``None``: those objects are
-per-replica compile artifacts whose identity is meaningless outside
-their own process (no caller-visible consumer reads more than the hop's
-table id and logical-entry identity).
+Hops through decomposition-internal tables resolve through the entry's
+``origin`` pointer: a synthetic *leaf* entry stands in for a logical
+rule and encodes as that rule's position (so decoded paths and counter
+deltas attribute to control-plane-visible state, exactly like the
+single-process datapath's shared-counters accounting). Synthetic
+*dispatch* entries have no logical identity at all; they carry the
+``(-1, -1)`` position and decode to ``None``.
 
 The engine re-binds positions to its own shadow pipeline's entries on
 gather, giving callers real ``Verdict`` objects whose ``path`` points at
@@ -91,12 +92,13 @@ def encode_verdicts(
             | (_TO_CONTROLLER if verdict.to_controller else 0)
             | (_TABLE_MISS if verdict.table_miss else 0)
         )
-        path = tuple(
-            (tid,) + (index.get(id(entry), (-1, -1)) if entry is not None
-                      else (-1, -1))
-            for tid, entry in verdict.path
-        )
-        out.append((tuple(verdict.output_ports), flags, path))
+        path = []
+        for tid, entry in verdict.path:
+            if entry is not None and entry.origin is not None:
+                entry = entry.origin  # decomposition leaf -> logical rule
+            pos = index.get(id(entry), (-1, -1)) if entry is not None else (-1, -1)
+            path.append((tid,) + pos)
+        out.append((tuple(verdict.output_ports), flags, tuple(path)))
     return out
 
 
@@ -152,13 +154,19 @@ def counter_deltas(
     touched: dict[int, object] = {}
     for verdict in verdicts:
         for _tid, entry in verdict.path:
-            if entry is not None:
-                touched[id(entry)] = entry
+            if entry is None:
+                continue
+            if entry.origin is not None:
+                # A decomposition leaf records into its logical rule's
+                # (shared) counters: report the delta under the logical
+                # entry, once, however many leaves alias it.
+                entry = entry.origin
+            touched[id(entry)] = entry
     out = []
     for eid, entry in touched.items():
         pos = index.get(eid)
         if pos is None:
-            continue  # synthetic decomposition entry: no logical counters
+            continue  # synthetic dispatch entry: no logical counters
         c = entry.counters
         prev = shipped.get(eid, (0, 0))
         d_packets, d_bytes = c.packets - prev[0], c.bytes - prev[1]

@@ -33,23 +33,29 @@ from repro.usecases import gateway, l2
 def summarize(verdicts, pipeline):
     """Verdicts as comparable values: entry refs become logical positions.
 
-    Entries outside the logical pipeline (synthetic decomposition
-    dispatch/leaf entries) summarize as None — per-replica compile
-    artifacts with no cross-process identity, exactly how the wire
-    decodes them.
+    Synthetic decomposition *leaf* entries resolve through ``origin`` to
+    the logical rule they stand in for — exactly how the wire encodes
+    them; dispatch entries (no logical identity) summarize as None.
     """
     pos = {}
     for table in pipeline:
         for i, entry in enumerate(table.entries):
             pos[id(entry)] = i
+
+    def resolve(e):
+        if e is None:
+            return None
+        if e.origin is not None:
+            e = e.origin
+        return pos.get(id(e))
+
     return [
         (
             tuple(v.output_ports),
             v.dropped,
             v.to_controller,
             v.table_miss,
-            tuple((tid, pos.get(id(e)) if e is not None else None)
-                  for tid, e in v.path),
+            tuple((tid, resolve(e)) for tid, e in v.path),
         )
         for v in verdicts
     ]

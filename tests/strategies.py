@@ -1,4 +1,9 @@
-"""Shared hypothesis strategies and helpers for property-based tests."""
+"""Shared hypothesis strategies and helpers for property-based tests.
+
+The value/mask vocabulary lives in :mod:`repro.fuzz.domain` — property
+tests and the differential fuzzer draw from the same generator library,
+so a bug either side finds is expressible in the other's terms.
+"""
 
 from __future__ import annotations
 
@@ -6,38 +11,24 @@ import random
 
 from hypothesis import strategies as st
 
+from repro.fuzz import domain
+from repro.fuzz.domain import FIELD_DOMAINS, FIELD_WIDTHS, MASKS, V6_A, V6_B
 from repro.openflow.actions import Controller, Drop, Output, SetField
 from repro.openflow.flow_entry import FlowEntry
 from repro.openflow.flow_table import FlowTable, TableMissPolicy
 from repro.openflow.instructions import ApplyActions, GotoTable
 from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
 from repro.openflow.pipeline import Pipeline
 from repro.packet.builder import PacketBuilder
 from repro.packet.packet import Packet
 
-#: Fields random pipelines draw from, with their widths. Small value
-#: domains make rule/packet collisions likely — that's the point.
-V6_A = 0x20010DB8000000000000000000000001
-V6_B = 0x20010DB8000000000000000000000002
-
-FIELD_DOMAINS: dict[str, list[int]] = {
-    "in_port": [1, 2, 3],
-    "eth_dst": [0x0200_0000_0001, 0x0200_0000_0002, 0x0200_0000_0003],
-    "ipv4_src": [0x0A000001, 0x0A000002, 0xC0A80001],
-    "ipv4_dst": [0xC0000201, 0xC0000202, 0x08080808],
-    "ipv6_dst": [V6_A, V6_B],
-    "ip_proto": [6, 17],
-    "tcp_dst": [22, 80, 443],
-    "udp_dst": [53, 123],
-    "vlan_vid": [100, 200],
-}
-
-MASKS = {
-    "ipv4_src": [0xFFFFFFFF, 0xFFFFFF00, 0xFFFF0000, 0x80000000],
-    "ipv4_dst": [0xFFFFFFFF, 0xFFFFFF00, 0xFFFF0000],
-    "ipv6_dst": [(1 << 128) - 1, ((1 << 64) - 1) << 64],  # exact and /64
-    "eth_dst": [0xFFFFFFFFFFFF],
-}
+__all__ = [
+    "FIELD_DOMAINS", "FIELD_WIDTHS", "MASKS", "V6_A", "V6_B",
+    "matches", "masked_matches", "actions", "flow_tables", "tied_tables",
+    "pipelines", "goto_dag_pipelines", "flow_mod_batches", "packets",
+    "random_packet",
+]
 
 
 @st.composite
@@ -57,6 +48,36 @@ def matches(draw) -> Match:
             pairs[name] = (value, mask)
         else:
             pairs[name] = value
+    return Match(**pairs)
+
+
+@st.composite
+def masked_matches(draw) -> Match:
+    """A match with **arbitrary masks**: prefix masks of any length and
+    non-contiguous bit patterns on every maskable field — the corners the
+    curated :data:`MASKS` pools never reach."""
+    names = draw(
+        st.lists(
+            st.sampled_from(sorted(FIELD_DOMAINS)), min_size=1, max_size=3, unique=True
+        )
+    )
+    pairs = {}
+    for name in names:
+        width = FIELD_WIDTHS[name]
+        full = (1 << width) - 1
+        value = draw(st.sampled_from(FIELD_DOMAINS[name] + [draw(st.integers(0, full))]))
+        if name in domain.EXACT_ONLY:
+            pairs[name] = value & full
+            continue
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            mask = full
+        elif kind == 1:  # prefix of arbitrary length
+            plen = draw(st.integers(1, width))
+            mask = (full << (width - plen)) & full
+        else:  # arbitrary, possibly non-contiguous
+            mask = draw(st.integers(1, full))
+        pairs[name] = (value & mask, mask)
     return Match(**pairs)
 
 
@@ -91,6 +112,31 @@ def flow_tables(draw, table_id: int = 0, max_entries: int = 8, goto_ids=()):
 
 
 @st.composite
+def tied_tables(draw, table_id: int = 0, max_entries: int = 6):
+    """A table where several overlapping entries share one priority, so
+    the winner is decided by insertion-order tie-breaking — every backend
+    must break the tie the same way."""
+    table = FlowTable(
+        table_id, miss_policy=draw(st.sampled_from(list(TableMissPolicy)))
+    )
+    tie = draw(st.integers(1, 10))
+    n = draw(st.integers(2, max_entries))
+    for i in range(n):
+        # Bias toward the shared priority and toward broad (maskable)
+        # matches so overlaps actually happen.
+        priority = tie if draw(st.integers(0, 3)) else draw(st.integers(0, 20))
+        match = draw(masked_matches()) if draw(st.booleans()) else draw(matches())
+        table.add(
+            FlowEntry(
+                match,
+                priority=priority,
+                instructions=[ApplyActions([Output(i + 1)])],
+            )
+        )
+    return table
+
+
+@st.composite
 def pipelines(draw, max_tables: int = 3):
     n = draw(st.integers(1, max_tables))
     tables = []
@@ -98,6 +144,69 @@ def pipelines(draw, max_tables: int = 3):
         goto_targets = range(i + 1, n)
         tables.append(draw(flow_tables(table_id=i, goto_ids=tuple(goto_targets))))
     return Pipeline(tables)
+
+
+@st.composite
+def goto_dag_pipelines(draw, max_tables: int = 5):
+    """A deeper pipeline whose goto graph is a random acyclic DAG: each
+    entry in table ``i`` may jump to any strictly later table, not just
+    ``i+1``, so dispatch trampolines see skip-level edges and diamonds."""
+    n = draw(st.integers(2, max_tables))
+    tables = []
+    for i in range(n):
+        table = FlowTable(
+            i, miss_policy=draw(st.sampled_from(list(TableMissPolicy)))
+        )
+        for _ in range(draw(st.integers(1, 4))):
+            instrs: list = [ApplyActions([draw(actions())])]
+            if i + 1 < n and draw(st.integers(0, 2)):
+                instrs.append(GotoTable(draw(st.integers(i + 1, n - 1))))
+            table.add(
+                FlowEntry(
+                    draw(matches()),
+                    priority=draw(st.integers(0, 20)),
+                    instructions=instrs,
+                )
+            )
+        tables.append(table)
+    return Pipeline(tables)
+
+
+@st.composite
+def flow_mod_batches(draw, pipeline: Pipeline, max_mods: int = 6):
+    """A mid-stream flow-mod schedule against an existing pipeline:
+    ADD/MODIFY/DELETE at real and colliding (match, priority) points,
+    with occasional strict deletes and invalid table ids that the
+    admission layer must reject identically everywhere."""
+    table_ids = [t.table_id for t in pipeline.tables]
+    existing = [
+        (t.table_id, e.match, e.priority)
+        for t in pipeline.tables
+        for e in t.entries
+    ]
+    mods = []
+    for _ in range(draw(st.integers(1, max_mods))):
+        command = draw(st.sampled_from(list(FlowModCommand)))
+        # Mostly target live entries so MODIFY/DELETE actually bite.
+        if existing and draw(st.integers(0, 2)):
+            table_id, match, priority = draw(st.sampled_from(existing))
+        else:
+            table_id = draw(st.sampled_from(table_ids))
+            match = draw(matches())
+            priority = draw(st.integers(0, 20))
+        if not draw(st.integers(0, 9)):  # rare poison mod: bad table id
+            table_id = 300
+        mods.append(
+            FlowMod(
+                command=command,
+                table_id=table_id,
+                match=match,
+                priority=priority,
+                instructions=(ApplyActions([draw(actions())]),),
+                strict=draw(st.booleans()),
+            )
+        )
+    return mods
 
 
 @st.composite
