@@ -40,7 +40,7 @@ from repro.core.analysis import CompileConfig
 from repro.fuzz.scenario import Scenario
 from repro.openflow.messages import FlowModCommand
 from repro.ovs import OvsSwitch
-from repro.parallel import ShardedESwitch
+from repro.parallel import ShardedESwitch, rings
 from repro.simcpu.platform import XEON_E5_2620
 from repro.simcpu.recorder import CycleMeter
 
@@ -153,11 +153,11 @@ class _ShardedBackend:
     compares_bytes = False  # the engine never mutates caller packets
 
     def __init__(self, name: str, scenario: Scenario, workers: int,
-                 config: CompileConfig):
+                 config: CompileConfig, transport: str = "auto"):
         self.name = name
         self.engine = ShardedESwitch(
             scenario.build_pipeline(), workers=workers, backend="thread",
-            config=config,
+            config=config, transport=transport,
         )
         self.meter = CycleMeter(XEON_E5_2620)
 
@@ -228,6 +228,13 @@ def run_scenario(
         if n > 1 and scenario.tight_meter:
             continue  # replica-local token buckets legitimately diverge
         backends.append(_ShardedBackend(f"sharded{n}", scenario, n, base))
+    # The zero-copy transport as its own oracle: the same sharded engine
+    # with bursts crossing as packed frames over shared-memory rings —
+    # any codec bit-rot shows up as a verdict/counters/cycles divergence.
+    if rings.shared_memory_available():
+        backends.append(_ShardedBackend(
+            "sharded1_rings", scenario, 1, base, transport="ring"
+        ))
 
     dead: set = set()
 
@@ -330,11 +337,11 @@ def run_scenario(
 
         by_name = {b.name: b for b in backends if b.name not in dead}
         fused = by_name.get("fused")
-        for other_name in ("trampoline", "sharded1"):
+        for other_name in ("trampoline", "sharded1", "sharded1_rings"):
             other = by_name.get(other_name)
             if fused is None or other is None:
                 continue
-            if other_name == "sharded1" and scenario.quarantine:
+            if other_name.startswith("sharded1") and scenario.quarantine:
                 continue  # quarantine shifts unsharded rungs (and costs) only
             if other.cycles != fused.cycles:
                 divergences.append(Divergence(

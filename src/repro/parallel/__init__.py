@@ -15,6 +15,12 @@ per-core datapath (and of OVS's per-PMD-thread datapaths, NSDI'15).
   around a dead shard;
 * :mod:`repro.parallel.wire` — the compact picklable forms packets,
   verdicts, and flow-counter deltas take across the shard boundary;
+* :mod:`repro.parallel.frames` — the same wire dialect struct-packed
+  into versioned binary frames (columnar, one struct call per section):
+  the zero-pickle per-burst codec;
+* :mod:`repro.parallel.rings` — persistent shared-memory SPSC ring
+  pairs the frames travel through (sequence-number cursors, batched
+  acks): the zero-syscall per-burst transport;
 * :mod:`repro.parallel.worker` — the shard worker loop (one replica,
   one command channel, one per-core cycle meter);
 * :mod:`repro.parallel.faults` — deterministic worker fault injection
@@ -26,6 +32,7 @@ per-core datapath (and of OVS's per-PMD-thread datapaths, NSDI'15).
   snapshot, bounded burst retry, graceful degradation).
 """
 
+from repro.parallel import frames, rings
 from repro.parallel.engine import (
     EngineHealth,
     EpochSyncError,
@@ -47,6 +54,8 @@ __all__ = [
     "ShardedESwitch",
     "WorkerDied",
     "WorkerTimeout",
+    "frames",
+    "rings",
     "rss_hash",
     "shard_of",
 ]

@@ -74,6 +74,7 @@ import math
 import os
 import pickle
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -90,6 +91,7 @@ from repro.openflow.messages import (
 from repro.openflow.pipeline import Pipeline, Verdict
 from repro.openflow.stats import BurstStats
 from repro.packet.packet import Packet
+from repro.parallel import frames, rings
 from repro.parallel.rss import RssIndirection
 from repro.parallel.wire import EntryIndexCache, decode_verdicts, encode_packets
 from repro.parallel.worker import shard_worker_main, thread_channel_pair
@@ -134,6 +136,9 @@ class EngineHealth:
     #: contained compile/fuse failures) — the control-plane half of the
     #: engine's health.
     switch_health: "SwitchHealth | None" = None
+    #: resolved burst transport: ``ring`` (shared-memory frames) or
+    #: ``pipe`` (pickled tuples over the control channel).
+    transport: str = "pipe"
 
     @property
     def degraded(self) -> bool:
@@ -155,6 +160,7 @@ class EngineHealth:
             "liveness": list(self.liveness),
             "epoch": self.epoch,
             "worker_errors": self.worker_errors,
+            "transport": self.transport,
             "switch": (
                 self.switch_health.as_dict()
                 if self.switch_health is not None
@@ -164,18 +170,20 @@ class EngineHealth:
 
 
 class _ProcessShard:
-    """One worker process plus its engine-side pipe end."""
+    """One worker process plus its engine-side pipe end (and rings)."""
 
     def __init__(self, index, blob, config, costs, platform,
-                 start_epoch=0, injector=None, generation=0):
+                 start_epoch=0, injector=None, generation=0, ring_pair=None):
         import multiprocessing as mp
 
         ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context()
+        self.rings = ring_pair
+        ring_names = ring_pair.names if ring_pair is not None else None
         self.conn, child_conn = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
             target=shard_worker_main,
             args=(child_conn, blob, config, costs, platform,
-                  index, start_epoch, injector, generation),
+                  index, start_epoch, injector, generation, ring_names),
             name=f"repro-shard-{index}",
             daemon=True,
         )
@@ -184,6 +192,19 @@ class _ProcessShard:
 
     def poll(self, timeout: float) -> bool:
         return self.conn.poll(timeout)
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def _destroy_rings(self) -> None:
+        # The engine owns the segments: unlink here so a stopped *or
+        # reaped* worker never leaks /dev/shm names (teardown hygiene).
+        if self.rings is not None:
+            try:
+                self.rings.destroy()
+            except Exception:  # pragma: no cover - defensive
+                pass
+            self.rings = None
 
     def stop(self) -> None:
         try:
@@ -196,6 +217,7 @@ class _ProcessShard:
         if self.proc.is_alive():  # pragma: no cover - defensive
             self.proc.terminate()
             self.proc.join(timeout=5)
+        self._destroy_rings()
 
     def reap(self) -> None:
         """Put down a dead or unresponsive worker, no questions asked."""
@@ -208,20 +230,24 @@ class _ProcessShard:
         if self.proc.is_alive():  # pragma: no cover - defensive
             self.proc.kill()
             self.proc.join(timeout=5)
+        self._destroy_rings()
 
 
 class _ThreadShard:
     """One worker thread plus its engine-side channel end (fallback)."""
 
     def __init__(self, index, blob, config, costs, platform,
-                 start_epoch=0, injector=None, generation=0):
+                 start_epoch=0, injector=None, generation=0, ring_pair=None):
         import threading
 
+        # Threads share the address space: the worker maps the same
+        # RingPair object directly (SPSC roles touch disjoint cursors).
+        self.rings = ring_pair
         self.conn, child_conn = thread_channel_pair()
         self.proc = threading.Thread(
             target=shard_worker_main,
             args=(child_conn, blob, config, costs, platform,
-                  index, start_epoch, injector, generation),
+                  index, start_epoch, injector, generation, ring_pair),
             name=f"repro-shard-{index}",
             daemon=True,
         )
@@ -230,6 +256,17 @@ class _ThreadShard:
     def poll(self, timeout: float) -> bool:
         return self.conn.poll(timeout)
 
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def _destroy_rings(self) -> None:
+        if self.rings is not None:
+            try:
+                self.rings.destroy()
+            except Exception:  # pragma: no cover - defensive
+                pass
+            self.rings = None
+
     def stop(self) -> None:
         try:
             self.conn.send(("stop",))
@@ -237,11 +274,42 @@ class _ThreadShard:
         except (OSError, EOFError):
             pass
         self.proc.join(timeout=5)
+        self._destroy_rings()
 
     def reap(self) -> None:
         # A hung thread cannot be killed; closing the channel makes its
         # next recv raise EOFError and the (daemon) thread wind down.
         self.conn.close()
+        self._destroy_rings()
+
+
+class _PendingBurst:
+    """One submitted burst's in-flight state (the double-buffer handle).
+
+    Returned by :meth:`ShardedESwitch.submit_burst`; opaque to callers
+    except as a token for :meth:`ShardedESwitch.collect`. ``active``
+    rows carry the *shard object* each lane shipped to, not just the
+    slot — if supervision replaces the worker before the gather, the
+    stale row is recognized (``slot.shard is not shard``) and the lane
+    goes straight to the retry list instead of waiting on a replacement
+    that never saw the sub-burst.
+    """
+
+    __slots__ = ("pkts", "meter", "mode", "verdicts", "deltas", "epochs",
+                 "failed", "active", "gathered", "result")
+
+    def __init__(self, pkts, meter) -> None:
+        self.pkts = pkts
+        self.meter = meter
+        self.mode = "null"
+        self.verdicts: list = []
+        self.deltas: list = []          #: acked (cycles, packets, llc)
+        self.epochs: list[int] = []     #: the atomicity witness
+        self.failed: list[int] = []     #: input positions lost to faults
+        #: (slot, shard-at-send-time, input positions, seq) per sent lane
+        self.active: list = []
+        self.gathered = False
+        self.result: "list | None" = None
 
 
 class _ShardSlot:
@@ -287,6 +355,17 @@ class ShardedESwitch:
       slot degrades (0 disables respawn: first fault degrades);
     * ``fault_injector`` — a :class:`~repro.parallel.faults.
       FaultInjector` test hook wired into every worker.
+
+    Transport (see :mod:`repro.parallel.frames` / ``rings``):
+
+    * ``transport="auto"`` (default) puts bursts on shared-memory ring
+      pairs as packed binary frames for the process backend (falling
+      back to the pickled pipe when shared memory is unavailable) and
+      on the pipe for the thread backend; ``"ring"``/``"pipe"`` force a
+      transport (``"ring"`` raises if shared memory cannot be mapped).
+      Control traffic (mods, pings, stats, errors) always rides the
+      pipe — pickle survives only off the per-burst path.
+    * ``ring_capacity`` — bytes per ring buffer direction.
     """
 
     def __init__(
@@ -298,6 +377,8 @@ class ShardedESwitch:
         costs: CostBook = DEFAULT_COSTS,
         platform: Platform = XEON_E5_2620,
         backend: str = "auto",
+        transport: str = "auto",
+        ring_capacity: int = rings.DEFAULT_CAPACITY,
         rss_seed: int = 0,
         rpc_deadline: "float | None" = 30.0,
         max_retries: int = 3,
@@ -311,6 +392,8 @@ class ShardedESwitch:
             raise ValueError("need at least one shard worker")
         if backend not in ("auto", "process", "thread"):
             raise ValueError(f"unknown backend {backend!r}")
+        if transport not in ("auto", "ring", "pipe"):
+            raise ValueError(f"unknown transport {transport!r}")
         if rpc_deadline is not None and rpc_deadline <= 0:
             raise ValueError("rpc_deadline must be positive (or None)")
         if max_retries < 0 or max_respawns < 0 or retry_backoff < 0:
@@ -351,34 +434,71 @@ class ShardedESwitch:
             if entry.counters.packets or entry.counters.bytes
         }
         self._slots: list[_ShardSlot] = []
-        self.backend = self._spawn(backend, blob)
+        self._ring_capacity = ring_capacity
+        #: double-buffering state: bursts submitted but not yet collected,
+        #: in submission order, plus the engine-global sequence counter
+        #: that pairs ring/pipe replies with their submissions.
+        self._inflight: "deque[_PendingBurst]" = deque()
+        self._seq = 0
+        self.backend, self.transport = self._spawn(backend, transport, blob)
         self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
 
-    def _spawn(self, backend, blob) -> str:
-        kinds = []
-        if backend in ("auto", "process"):
-            kinds.append(("process", _ProcessShard))
-        if backend in ("auto", "thread"):
-            kinds.append(("thread", _ThreadShard))
+    def _make_shard(self, index, blob, start_epoch, generation):
+        """Spawn one shard on the resolved backend/transport combo.
+
+        Creates a fresh ring pair per worker when the transport is
+        ``ring`` — respawned replacements never reuse a dead worker's
+        segments (whose cursors are in an unknown state)."""
+        ring_pair = None
+        if self._use_rings:
+            ring_pair = rings.RingPair.create(self._ring_capacity)
+        cls = _ProcessShard if self._backend_kind == "process" else _ThreadShard
+        try:
+            return cls(index, blob, self._config, self._costs, self._platform,
+                       start_epoch, self.fault_injector, generation, ring_pair)
+        except BaseException:
+            if ring_pair is not None:
+                ring_pair.destroy()
+            raise
+
+    def _spawn(self, backend, transport, blob) -> "tuple[str, str]":
+        kinds = ["process", "thread"] if backend == "auto" else [backend]
+        combos: list[tuple[str, bool]] = []
+        for kind in kinds:
+            if transport == "ring":
+                wants = [True]
+            elif transport == "pipe":
+                wants = [False]
+            else:  # auto: rings for processes, pipe for threads
+                wants = [True, False] if kind == "process" else [False]
+            combos.extend((kind, w) for w in wants)
+        shm_ok = rings.shared_memory_available() if any(
+            w for _k, w in combos
+        ) else False
+        combos = [(k, w) for k, w in combos if not w or shm_ok]
+        if not combos:
+            raise ShardWorkerError(
+                "ring transport requested but shared memory is unavailable"
+            )
         last_error: "Exception | None" = None
-        for name, factory in kinds:
+        for kind, use_rings in combos:
+            self._backend_kind = kind
+            self._use_rings = use_rings
             shards: list = []
             try:
                 for i in range(self.workers):
-                    shards.append(
-                        factory(i, blob, self._config, self._costs,
-                                self._platform, 0, self.fault_injector, 0)
-                    )
+                    shards.append(self._make_shard(i, blob, 0, 0))
                 for shard in shards:
                     reply = shard.conn.recv()
                     if reply[0] != "ready":
                         raise ShardWorkerError(f"{reply[1]}\n{reply[2]}")
-                self._factory = factory
                 self._slots = [_ShardSlot(i, s) for i, s in enumerate(shards)]
-                return name
+                return kind, ("ring" if use_rings else "pipe")
             except ShardWorkerError:
+                for shard in shards:
+                    shard.reap()
                 raise  # the replica itself failed to build: not a backend issue
             except Exception as exc:  # pragma: no cover - platform dependent
                 last_error = exc
@@ -393,6 +513,11 @@ class ShardedESwitch:
         if self._closed:
             return
         self._closed = True
+        try:
+            self._drain_inflight()
+        except Exception:  # best effort: close must not raise on a fault
+            pass
+        self._inflight.clear()
         for slot in self._slots:
             if slot.shard is not None:
                 slot.shard.stop()
@@ -428,6 +553,7 @@ class ShardedESwitch:
             epoch=self.epoch,
             worker_errors=self.worker_errors,
             switch_health=self.shadow.health(),
+            transport=self.transport,
         )
 
     def ping(self) -> dict[int, int]:
@@ -437,6 +563,7 @@ class ShardedESwitch:
         (respawn or degrade), so the returned map covers exactly the
         workers that are *proven* responsive right now.
         """
+        self._drain_inflight()
         out: dict[int, int] = {}
         for slot in self._live_slots():
             try:
@@ -500,9 +627,8 @@ class ShardedESwitch:
             if blob is None:
                 blob = self._respawn_blob()
             try:
-                shard = self._factory(
-                    slot.index, blob, self._config, self._costs, self._platform,
-                    epoch, self.fault_injector, slot.respawns,
+                shard = self._make_shard(
+                    slot.index, blob, epoch, slot.respawns
                 )
                 deadline = self.rpc_deadline if self.rpc_deadline is not None else 30.0
                 if not shard.poll(deadline):
@@ -514,7 +640,8 @@ class ShardedESwitch:
                 if reply[0] != "ready":
                     shard.reap()
                     raise ShardWorkerError(f"{reply[1]}\n{reply[2]}")
-            except (WorkerDied, WorkerTimeout, EOFError, OSError):
+            except (WorkerDied, WorkerTimeout, EOFError, OSError,
+                    rings.RingError):
                 # The replacement itself failed to come up: count it and
                 # spend another respawn (or fall through to degradation).
                 self.faults_detected += 1
@@ -551,64 +678,109 @@ class ShardedESwitch:
         backoff, and only successfully gathered attempts contribute
         verdicts, cycles, counters, and telemetry.
         """
+        return self.collect(self.submit_burst(pkts, meter))
+
+    def submit_burst(
+        self, pkts: "Sequence[Packet]", meter: Meter = NULL_METER
+    ) -> "_PendingBurst":
+        """Scatter a burst and return without waiting for the verdicts.
+
+        The double-buffering half of the transport: scattering burst N+1
+        while burst N is still computing keeps every shard busy across
+        the gather. Pass the handle to :meth:`collect` for the verdicts;
+        handles must be collected in submission order (``collect``
+        drains any earlier handle first). Control-plane calls
+        (flow-mods, pings, stats pulls) drain all in-flight bursts
+        before touching the workers, preserving the epoch barrier.
+        """
         if self._closed:
             raise RuntimeError("ShardedESwitch is closed")
+        p = _PendingBurst(pkts, meter)
         if not pkts:
-            return []
-        mode = "null" if isinstance(meter, NullMeter) else "cycle"
-        verdicts: list = [None] * len(pkts)
-        deltas: list[float] = []
-        metered_packets = 0
-        llc = 0
-        epochs: list[int] = []
+            p.gathered = True
+            p.result = []
+            return p
+        p.mode = "null" if isinstance(meter, NullMeter) else "cycle"
+        p.verdicts = [None] * len(pkts)
+        self._scatter(p, range(len(pkts)))
+        self._inflight.append(p)
+        return p
 
-        pending = list(range(len(pkts)))
+    def collect(self, p: "_PendingBurst") -> list[Verdict]:
+        """Gather a submitted burst's verdicts (in input order).
+
+        Idempotent: collecting an already-collected handle returns the
+        cached verdict list. Earlier in-flight bursts are gathered
+        first — replies are strictly FIFO per worker.
+        """
+        if p.result is not None:
+            return p.result
+        while self._inflight and self._inflight[0] is not p:
+            self._gather(self._inflight.popleft())
+        if self._inflight and self._inflight[0] is p:
+            self._inflight.popleft()
+        if not p.gathered:
+            self._gather(p)
+        return self._finalize(p)
+
+    def _finalize(self, p: "_PendingBurst") -> list[Verdict]:
+        """Retry faulted lanes, enforce the epoch witness, absorb cycles."""
+        pending = p.failed
+        p.failed = []
         attempt = 0
         while pending:
-            failed = self._scatter_gather(
-                pending, pkts, mode, verdicts, deltas, epochs
-            )
-            if not failed:
-                break
             attempt += 1
             if attempt > self.max_retries:
                 raise ShardWorkerError(
-                    f"burst lost {len(failed)} packets to worker faults and "
+                    f"burst lost {len(pending)} packets to worker faults and "
                     f"exhausted {self.max_retries} retries"
                 )
             self.retries += 1
             if self.retry_backoff:
                 time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
-            pending = failed
+            # Retries are synchronous rounds: nothing else may be in
+            # flight or the re-scattered lanes would queue behind it.
+            self._drain_inflight()
+            self._scatter(p, pending)
+            self._gather(p)
+            pending = p.failed
+            p.failed = []
 
-        self.last_gather_epochs = tuple(epochs)
+        self.last_gather_epochs = tuple(p.epochs)
         epoch = self.epoch
-        if any(e != epoch for e in epochs):
+        if any(e != epoch for e in p.epochs):
             raise EpochSyncError(
-                f"gather saw epochs {epochs}, engine at {epoch}"
+                f"gather saw epochs {p.epochs}, engine at {epoch}"
             )
+        deltas = p.deltas
         total = math.fsum(d for d, _n, _l in deltas) if deltas else 0.0
         if deltas:
             metered_packets = sum(n for _d, n, _l in deltas)
             llc = sum(l for _d, _n, l in deltas)
+            meter = p.meter
             absorb = getattr(meter, "absorb", None)
             if absorb is not None:
                 absorb(total, packets=metered_packets, llc_misses=llc)
             else:  # a plain Meter: cycles arrive pre-factored
                 meter.charge(total)
-        self.burst_stats.record(len(pkts), total)
-        return verdicts
+        self.burst_stats.record(len(p.pkts), total)
+        p.result = p.verdicts
+        return p.result
 
-    def _scatter_gather(
-        self, pending, pkts, mode, verdicts, deltas, epochs
-    ) -> list[int]:
-        """One scatter/gather round over the live slots.
+    def _drain_inflight(self) -> None:
+        """Gather every in-flight burst (without finalizing it).
 
-        Fills ``verdicts`` (by input position), appends acked meter
-        deltas and epochs, folds acked counter deltas into the ledger,
-        and returns the input positions lost to faults (already handled:
-        their slots are respawned or degraded by the time this returns).
+        Runs before control-plane RPCs (the pipe must hold no pending
+        burst replies), before retry rounds, and on close. A drained
+        burst finalizes — retries, meter absorb — when its handle is
+        eventually collected.
         """
+        while self._inflight:
+            self._gather(self._inflight.popleft())
+
+    def _scatter(self, p: "_PendingBurst", pending) -> None:
+        """Send one round of sub-bursts; extends ``p.active``/``p.failed``."""
+        pkts = p.pkts
         shard_for = self._rss.shard_for
         lanes: dict[int, list[int]] = {}
         if len(self._slots) == 1 and not self._slots[0].degraded:
@@ -617,38 +789,154 @@ class ShardedESwitch:
             for i in pending:
                 lanes.setdefault(shard_for(pkts[i].data), []).append(i)
         epoch = self.epoch
-        # Scatter first (all sends before any receive: the workers run
-        # their sub-bursts genuinely in parallel), then gather.
-        active: list[tuple[_ShardSlot, list[int]]] = []
-        failed: list[int] = []
+        # All sends before any receive: the workers run their sub-bursts
+        # genuinely in parallel.
         for sidx, lane in lanes.items():
             slot = self._slots[sidx]
-            wires = encode_packets([pkts[i] for i in lane])
+            seq = self._seq
+            self._seq += 1
+            shard = slot.shard
             try:
-                slot.shard.conn.send(("burst", epoch, mode, wires))
-            except (OSError, BrokenPipeError, ValueError):
+                self._send_burst(slot, epoch, seq, p.mode,
+                                 [pkts[i] for i in lane])
+            except (OSError, BrokenPipeError, ValueError, rings.RingError):
                 self._handle_fault(slot, epoch)
-                failed.extend(lane)
+                p.failed.extend(lane)
                 continue
-            active.append((slot, lane))
-        cache = self._decode_cache
-        for slot, lane in active:
+            p.active.append((slot, shard, lane, seq))
+        p.gathered = False
+
+    def _send_burst(self, slot, epoch, seq, mode, lane_pkts) -> None:
+        """Ship one sub-burst over the slot's transport.
+
+        Ring path: pack a binary frame and push it — zero pickle, zero
+        syscalls. A frame the codec cannot express or that exceeds the
+        ring's safe margin degrades to the pipe for that burst only —
+        after draining the slot's in-flight lanes, so the worker never
+        sees the pipe burst ahead of an earlier ring burst.
+        """
+        shard = slot.shard
+        pair = shard.rings
+        if pair is not None:
+            frame = None
             try:
-                reply = self._rpc_recv(slot)
+                frame = frames.request_from_packets(epoch, seq, mode, lane_pkts)
+            except frames.FrameError:
+                pass  # unpackable (oversized field): pipe fallback below
+            if frame is not None and pair.req.fits(len(frame)):
+                pair.req.push(frame)
+                return
+            self._drain_slot(slot)
+        shard.conn.send(
+            ("burst", epoch, mode, encode_packets(lane_pkts), seq)
+        )
+
+    def _drain_slot(self, slot) -> None:
+        """Gather until ``slot`` has no in-flight lane (ordering guard)."""
+        while self._inflight and any(
+            s is slot for s, _sh, _l, _q in self._inflight[0].active
+        ):
+            self._gather(self._inflight.popleft())
+
+    def _gather(self, p: "_PendingBurst") -> None:
+        """Receive every active lane of one burst; faults feed ``p.failed``."""
+        epoch = self.epoch
+        cache = self._decode_cache
+        for slot, shard, lane, seq in p.active:
+            if slot.shard is not shard:
+                # The worker this lane shipped to was reaped (a fault on
+                # an earlier burst sharing the slot): the lane is lost.
+                p.failed.extend(lane)
+                continue
+            try:
+                (shard_epoch, wire_verdicts, cycles, packets, shard_llc,
+                 counter_deltas) = self._recv_burst(slot, shard, seq)
             except (WorkerDied, WorkerTimeout):
                 self._handle_fault(slot, epoch)
-                failed.extend(lane)
+                p.failed.extend(lane)
                 continue
-            (_, shard_epoch, wire_verdicts, cycles, packets, shard_llc,
-             counter_deltas) = reply
-            epochs.append(shard_epoch)
+            p.epochs.append(shard_epoch)
             for i, verdict in zip(lane, decode_verdicts(wire_verdicts, cache)):
-                verdicts[i] = verdict
+                p.verdicts[i] = verdict
             self._absorb_counters(counter_deltas)
             slot.stats.record(len(lane), cycles if cycles is not None else 0.0)
             if cycles is not None:
-                deltas.append((cycles, packets, shard_llc))
-        return failed
+                p.deltas.append((cycles, packets, shard_llc))
+        p.active = []
+        p.gathered = True
+
+    def _recv_burst(self, slot, shard, seq):
+        """One deadline-bounded burst receive on the slot's transport.
+
+        Returns ``(epoch, verdict_wires, cycles, packets, llc, deltas)``
+        from either a ring frame or a pipe tuple, paired to ``seq``.
+        Raises the same typed supervision errors as :meth:`_rpc_recv`;
+        a desynchronized sequence number or corrupt frame is treated as
+        a worker fault (the replica's stream can no longer be trusted).
+        """
+        pair = shard.rings
+        if pair is None:
+            reply = self._rpc_recv(slot)
+            if reply[0] != "burst" or reply[7] != seq:
+                raise WorkerDied(
+                    f"shard {slot.index} desynchronized: got "
+                    f"{reply[0]!r}/seq {reply[7] if len(reply) > 7 else '?'}, "
+                    f"expected burst/seq {seq}"
+                )
+            return reply[1:7]
+        deadline = self.rpc_deadline
+        end = None if deadline is None else time.monotonic() + deadline
+        delays = (0.0, 0.0, 0.0001, 0.0005, 0.002)
+        spin = 0
+        while True:
+            try:
+                if pair.rep.readable():
+                    frame = pair.rep.pop()
+                    pair.rep.commit_reads()
+                    if frame is not None:
+                        return self._decode_rep_frame(slot, frame, seq)
+            except rings.RingError as exc:
+                raise WorkerDied(
+                    f"shard {slot.index} reply ring failed: {exc!r}"
+                )
+            # Error replies (and per-burst pipe degradation) arrive on
+            # the control pipe even under ring transport.
+            if shard.conn.poll(0):
+                reply = self._rpc_recv(slot)
+                if reply[0] != "burst" or reply[7] != seq:
+                    raise WorkerDied(
+                        f"shard {slot.index} desynchronized on the pipe: "
+                        f"got {reply[0]!r}, expected burst/seq {seq}"
+                    )
+                return reply[1:7]
+            if not shard.alive():
+                # One last look: the worker may have pushed its reply
+                # and exited between our ring check and the liveness
+                # probe (a drain race, not a death).
+                if not pair.rep.readable() and not shard.conn.poll(0):
+                    raise WorkerDied(f"shard {slot.index} died mid-burst")
+                continue
+            if end is not None and time.monotonic() > end:
+                raise WorkerTimeout(
+                    f"shard {slot.index} blew the {deadline}s RPC deadline"
+                )
+            time.sleep(delays[spin] if spin < len(delays) else delays[-1])
+            spin += 1
+
+    def _decode_rep_frame(self, slot, frame, seq):
+        try:
+            rep, _ = frames.unpack_reply(frame)
+        except frames.FrameError as exc:
+            raise WorkerDied(
+                f"shard {slot.index} sent a corrupt reply frame: {exc!r}"
+            )
+        if rep.seq != seq:
+            raise WorkerDied(
+                f"shard {slot.index} desynchronized: reply seq {rep.seq}, "
+                f"expected {seq}"
+            )
+        return (rep.epoch, rep.verdicts, rep.cycles, rep.packets,
+                rep.llc, rep.deltas)
 
     def _absorb_counters(self, wire_deltas) -> None:
         """Fold one acked sub-burst's counter deltas into the ledger."""
@@ -696,6 +984,9 @@ class ShardedESwitch:
         mods = list(mods)
         if not mods:
             return 0.0
+        # The barrier must not race an in-flight burst: gather first, so
+        # every worker is idle and tagged with the pre-mod epoch.
+        self._drain_inflight()
         cycles = self.shadow.apply_flow_mods(mods)  # validates; may raise
         self.shadow.warm()
         new_epoch = self.epoch + 1
@@ -794,6 +1085,7 @@ class ShardedESwitch:
         (and is respawned or degraded). The engine-side ledgers are the
         authoritative numbers — this exists to cross-check them.
         """
+        self._drain_inflight()
         out: list = [None] * len(self._slots)
         for slot in self._live_slots():
             try:
@@ -814,7 +1106,8 @@ class ShardedESwitch:
         and the ledger absorbs only acked sub-bursts, so worker deaths
         and retries cannot skew it). Purely local: no worker RPC, no
         deadline, no fault path — safe to call from an expiry sweep at
-        any time.
+        any time. (In-flight submitted bursts are *not* drained: their
+        counters land when they are collected.)
         """
         ledger = self._counter_ledger
         for table in self.shadow.pipeline:

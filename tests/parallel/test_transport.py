@@ -1,0 +1,249 @@
+"""The transport contract: zero pickle per burst, parity across wires.
+
+ISSUE 7's acceptance bar, as executable checks:
+
+* with ring transport, a storm of bursts crosses the shard boundary
+  with **zero** pickle calls on the datapath (pickle remains only for
+  the one-time snapshot at spawn and rare control messages);
+* ring and pipe transports are bit-identical in verdicts, counters,
+  and modeled cycles — the codec is a re-encoding, not a re-semantics;
+* the double-buffered path (``submit_burst``/``collect``) returns
+  exactly what the sequential path returns, in order;
+* the thread backend's by-reference channel is unobservable: caller
+  packets are never mutated, replies never alias worker state.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import ESwitch
+from repro.parallel import ShardedESwitch, rings
+from repro.simcpu.platform import XEON_E5_2620
+from repro.simcpu.recorder import CycleMeter
+from repro.usecases import gateway
+
+from test_sharded import add_mod, summarize
+
+needs_shm = pytest.mark.skipif(
+    not rings.shared_memory_available(),
+    reason="multiprocessing.shared_memory unavailable",
+)
+
+
+def scenario():
+    pipeline, fib = gateway.build(n_ce=2, users_per_ce=8, n_prefixes=16)
+    pkts = gateway.traffic(fib, 96, n_ce=2, users_per_ce=8)
+    return pipeline, pkts
+
+
+def bursts_of(pkts, size=16):
+    return [pkts[i:i + size] for i in range(0, len(pkts), size)]
+
+
+class _PickleTap:
+    """Counts every route into pickle the transports can take: the
+    stdlib module functions, and ``multiprocessing.reduction.
+    ForkingPickler`` — the class ``Connection.send``/``recv`` actually
+    ride (its ``dumps``/``loads`` class attributes are looked up at
+    call time, so patching the class intercepts every pipe message)."""
+
+    def __init__(self, monkeypatch):
+        from multiprocessing import reduction
+
+        self.calls = 0
+
+        def count(fn):
+            def wrapped(*a, **k):
+                self.calls += 1
+                return fn(*a, **k)
+            return wrapped
+
+        monkeypatch.setattr(pickle, "dumps", count(pickle.dumps))
+        monkeypatch.setattr(pickle, "loads", count(pickle.loads))
+        monkeypatch.setattr(
+            reduction.ForkingPickler, "dumps",
+            count(reduction.ForkingPickler.dumps),
+        )
+        monkeypatch.setattr(
+            reduction.ForkingPickler, "loads",
+            staticmethod(count(reduction.ForkingPickler.loads)),
+        )
+
+
+@needs_shm
+class TestZeroPickleDatapath:
+    def test_burst_storm_never_pickles(self, monkeypatch):
+        """Thread backend + ring transport puts both halves of the
+        conversation in this process: if either the scatter or the
+        gather side touched pickle, the tap would see it."""
+        pipeline, pkts = scenario()
+        with ShardedESwitch(pipeline, workers=2, backend="thread",
+                            transport="ring") as eng:
+            assert eng.transport == "ring"
+            eng.process_burst([p.copy() for p in pkts[:16]])  # warm lanes
+            tap = _PickleTap(monkeypatch)
+            for burst in bursts_of(pkts):
+                eng.process_burst([p.copy() for p in burst])
+            assert tap.calls == 0, (
+                f"{tap.calls} pickle call(s) on the per-burst datapath"
+            )
+
+    def test_pipe_transport_does_pickle(self, monkeypatch):
+        """The tap itself works: the process+pipe wire visibly pickles
+        (engine side of every burst), so zero on rings is meaningful."""
+        pipeline, pkts = scenario()
+        with ShardedESwitch(pipeline, workers=2, backend="process",
+                            transport="pipe") as eng:
+            eng.process_burst([p.copy() for p in pkts[:16]])
+            tap = _PickleTap(monkeypatch)
+            eng.process_burst([p.copy() for p in pkts[:16]])
+            assert tap.calls > 0
+
+    def test_process_engine_side_never_pickles(self, monkeypatch):
+        """Process backend: the engine half of the ring conversation
+        (this process) stays pickle-free per burst too."""
+        pipeline, pkts = scenario()
+        with ShardedESwitch(pipeline, workers=2, backend="process",
+                            transport="ring") as eng:
+            assert eng.transport == "ring"
+            eng.process_burst([p.copy() for p in pkts[:16]])
+            tap = _PickleTap(monkeypatch)
+            for burst in bursts_of(pkts):
+                eng.process_burst([p.copy() for p in burst])
+            assert tap.calls == 0
+
+
+class TestTransportParity:
+    @needs_shm
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_ring_equals_pipe(self, backend):
+        pipeline, pkts = scenario()
+        results = {}
+        for transport in ("ring", "pipe"):
+            eng = ShardedESwitch(
+                pickle.loads(pickle.dumps(pipeline)), workers=2,
+                backend=backend, transport=transport,
+            )
+            try:
+                assert eng.transport == transport
+                meter = CycleMeter(XEON_E5_2620)
+                sums = []
+                for burst in bursts_of(pkts):
+                    verdicts = eng.process_burst(
+                        [p.copy() for p in burst], meter
+                    )
+                    sums.append(summarize(verdicts, eng.pipeline))
+                add_mod(eng)
+                for burst in bursts_of(pkts, 24):
+                    verdicts = eng.process_burst(
+                        [p.copy() for p in burst], meter
+                    )
+                    sums.append(summarize(verdicts, eng.pipeline))
+                eng.sync_flow_stats()
+                counts = {
+                    (t.table_id, i): (e.counters.packets, e.counters.bytes)
+                    for t in eng.pipeline for i, e in enumerate(t.entries)
+                }
+                results[transport] = (sums, counts, meter.total_cycles)
+            finally:
+                eng.close()
+        assert results["ring"] == results["pipe"]
+
+    @needs_shm
+    def test_workers1_ring_matches_sequential(self):
+        pipeline, pkts = scenario()
+        seq = ESwitch(pickle.loads(pickle.dumps(pipeline)))
+        sm = CycleMeter(XEON_E5_2620)
+        em = CycleMeter(XEON_E5_2620)
+        with ShardedESwitch(pipeline, workers=1, backend="process",
+                            transport="ring") as eng:
+            for burst in bursts_of(pkts):
+                sv = seq.process_burst([p.copy() for p in burst], sm)
+                ev = eng.process_burst([p.copy() for p in burst], em)
+                assert summarize(ev, eng.pipeline) == summarize(sv, seq.pipeline)
+            assert em.total_cycles == sm.total_cycles  # bit-exact, Fraction
+
+
+class TestDoubleBuffer:
+    @needs_shm
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_submit_collect_matches_sequential(self, backend):
+        """Depth-2 pipelining (submit N+1 before collecting N) returns
+        the same verdicts in the same order as one-at-a-time."""
+        pipeline, pkts = scenario()
+        seq = ESwitch(pickle.loads(pickle.dumps(pipeline)))
+        want = [
+            summarize(seq.process_burst([p.copy() for p in b]), seq.pipeline)
+            for b in bursts_of(pkts)
+        ]
+        with ShardedESwitch(pipeline, workers=2, backend=backend,
+                            transport="ring") as eng:
+            handles = []
+            got = []
+            for burst in bursts_of(pkts):
+                handle = eng.submit_burst([p.copy() for p in burst])
+                handles.append(handle)
+                if len(handles) > 1:  # keep two in flight
+                    got.append(summarize(
+                        eng.collect(handles.pop(0)), eng.pipeline
+                    ))
+            while handles:
+                got.append(summarize(eng.collect(handles.pop(0)), eng.pipeline))
+            assert got == want
+            eng.sync_flow_stats()
+        assert (
+            {(t.table_id, i): (e.counters.packets, e.counters.bytes)
+             for t in eng.pipeline for i, e in enumerate(t.entries)}
+            == {(t.table_id, i): (e.counters.packets, e.counters.bytes)
+                for t in seq.pipeline for i, e in enumerate(t.entries)}
+        )
+
+    @needs_shm
+    def test_collect_is_idempotent_and_out_of_order(self):
+        pipeline, pkts = scenario()
+        with ShardedESwitch(pipeline, workers=2, backend="thread",
+                            transport="ring") as eng:
+            h1 = eng.submit_burst([p.copy() for p in pkts[:16]])
+            h2 = eng.submit_burst([p.copy() for p in pkts[16:32]])
+            v2 = eng.collect(h2)      # out of order: forces FIFO drain of h1
+            v1 = eng.collect(h1)
+            assert eng.collect(h1) is v1   # idempotent
+            assert eng.collect(h2) is v2
+            assert len(v1) == 16 and len(v2) == 16
+
+
+class TestThreadByReference:
+    def test_caller_packets_never_mutated(self):
+        """The thread channel hands packet objects across by reference;
+        the worker runs them through replicas that rewrite headers — the
+        caller's own packets must come back byte-identical anyway."""
+        pipeline, pkts = scenario()
+        with ShardedESwitch(pipeline, workers=2, backend="thread",
+                            transport="pipe") as eng:
+            originals = [bytes(p.data) for p in pkts]
+            for burst in bursts_of(pkts):
+                eng.process_burst(burst)   # no defensive copies by caller
+            assert [bytes(p.data) for p in pkts] == originals
+
+    def test_thread_matches_process_backend(self):
+        pipeline, pkts = scenario()
+        results = {}
+        for backend in ("thread", "process"):
+            eng = ShardedESwitch(
+                pickle.loads(pickle.dumps(pipeline)), workers=2,
+                backend=backend,
+            )
+            try:
+                meter = CycleMeter(XEON_E5_2620)
+                sums = [
+                    summarize(
+                        eng.process_burst([p.copy() for p in b], meter),
+                        eng.pipeline,
+                    )
+                    for b in bursts_of(pkts)
+                ]
+                results[backend] = (sums, meter.total_cycles)
+            finally:
+                eng.close()
+        assert results["thread"] == results["process"]
