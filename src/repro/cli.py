@@ -176,11 +176,31 @@ def cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def parse_flow_count(spec: str) -> int:
+    """``--flows 1e6`` / ``1_000_000`` / ``1000`` -> int, validated."""
+    try:
+        count = int(spec)
+    except ValueError:
+        try:
+            as_float = float(spec)
+        except ValueError:
+            raise SystemExit(f"error: malformed --flows value {spec!r}")
+        count = int(as_float)
+        if count != as_float:
+            raise SystemExit(f"error: --flows must be a whole number, got {spec!r}")
+    if count < 1:
+        raise SystemExit(f"error: --flows must be positive, got {spec!r}")
+    return count
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
+    args.flows = parse_flow_count(args.flows)
     if args.burst < 0:
         raise SystemExit(f"error: --burst must be >= 0, got {args.burst}")
     if args.wire_micro:
         return cmd_bench_wire_micro(args)
+    if args.megascale:
+        return cmd_bench_megascale(args)
     if args.wallclock:
         return cmd_bench_wallclock(args)
     if args.pipeline is None:
@@ -372,6 +392,60 @@ def cmd_bench_wallclock(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_megascale(args: argparse.Namespace) -> int:
+    """The million-flow rig (``--megascale``): every template rung at
+    ``--flows`` entries (wall pps + footprint), the Fig. 3 OVS cache
+    collapse across a distinct-flow axis, and sustained flow-mod churn —
+    written to ``BENCH_megascale.json``. All legs are time-boxed at
+    ``--rung-seconds``."""
+    import json
+
+    from repro.traffic.megascale import run_megascale
+
+    doc = run_megascale(
+        n_flows=args.flows,
+        n_packets=args.packets,
+        burst=args.burst or 32,
+        churn_mods=args.churn_mods,
+        rung_seconds=args.rung_seconds,
+    )
+    print(f"{'rung':8} {'wall pps':>12} {'pkts':>8} {'build s':>8} "
+          f"{'compile s':>9} {'MB':>8}  templates")
+    for p in doc["rungs"]:
+        kinds = ",".join(sorted(set(p["table_kinds"].values())))
+        if p["data_driven"]:
+            kinds += " (data-driven)"
+        print(f"{p['rung']:8} {p['wall_pps']:12,.0f} {p['packets']:8} "
+              f"{p['build_table_s']:8.1f} {p['compile_s']:9.1f} "
+              f"{p['footprint_bytes'] / 1e6:8.1f}  {kinds}")
+    print(f"\n{'flows':>9} {'variant':8} {'modeled Mpps':>12} "
+          f"{'wall pps':>12}  cache hit rates")
+    for p in doc["collapse"]:
+        rates = p.get("cache_rates")
+        cache = (
+            "  ".join(f"{k}={v:.2f}" for k, v in rates.items()) if rates else "-"
+        )
+        print(f"{p['flows']:9} {p['variant']:8} {p['modeled_pps'] / 1e6:12.2f} "
+              f"{p['wall_pps']:12,.0f}  {cache}")
+    print(f"\n{'rung':8} {'mods':>8} {'wall mods/s':>12} "
+          f"{'modeled mods/s':>14}  mechanism")
+    for p in doc["churn"]:
+        modeled = p.get("modeled_entries_per_sec")
+        modeled_s = f"{modeled:,.0f}" if modeled else "-"
+        mech = ""
+        if "incremental" in p:
+            mech = (f"incr={p['incremental']} rebuilds={p['rebuilds']} "
+                    f"skips={p['kind_stable_skips']}")
+        print(f"{p['rung']:8} {p['mods_applied']:8} "
+              f"{p['entries_per_sec']:12,.0f} {modeled_s:>14}  "
+              f"{mech or p.get('note', '')}")
+    out = args.out if args.out != "BENCH_wallclock.json" else "BENCH_megascale.json"
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    print(f"\nwrote {out}")
+    return 0
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """Differential fuzzing: run seeds (or replay a pinned case)."""
     from repro.fuzz import Scenario, diverges, generate, minimize, run_scenario
@@ -492,7 +566,21 @@ def build_parser() -> argparse.ArgumentParser:
                               "leg — wall-clock forwarding through a "
                               "controller outage in both OpenFlow 1.3 §6.4 "
                               "fail modes, with session health telemetry")
-    p_bench.add_argument("--flows", type=int, default=1000)
+    p_bench.add_argument("--megascale", action="store_true",
+                         help="the million-flow rig: every template rung at "
+                              "--flows entries, the Fig. 3 OVS cache "
+                              "collapse, and sustained flow-mod churn "
+                              "(writes BENCH_megascale.json; all legs "
+                              "time-boxed at --rung-seconds)")
+    p_bench.add_argument("--rung-seconds", type=float, default=30.0,
+                         help="with --megascale: time budget per measured "
+                              "leg — slow rungs measure fewer packets "
+                              "instead of hanging")
+    p_bench.add_argument("--churn-mods", type=int, default=2_000,
+                         help="with --megascale: flow-mods per churn rung")
+    p_bench.add_argument("--flows", default="1000", metavar="N",
+                         help="flow count; scientific notation accepted "
+                              "(1e6 = a million flows)")
     p_bench.add_argument("--packets", type=int, default=10_000)
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--burst", type=int, default=0, metavar="B",

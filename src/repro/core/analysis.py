@@ -78,6 +78,20 @@ class CompileConfig:
             datapath"), the old compiled tables serving until the next
             packet flushes the rebuild. This bounds control-plane
             latency under update storms without ever rejecting a mod.
+        source_budget: maximum generated source size (characters) one
+            table may occupy. The direct-code template patches every key
+            into the instruction stream, so its source grows O(entries);
+            past the budget ``compile_direct`` emits the *data-driven*
+            variant instead — same guards and matchers, same cost atoms,
+            bit-identical cycles, but the keys live in a closure array
+            rather than source text, so ``compile()`` stays bounded at
+            any table size. None = unbounded (the pre-budget behavior).
+        fuse_source_budget: maximum characters of table bodies the fused
+            driver may textually inline, cumulatively. Tables past the
+            budget are linked by closure-bound call (exactly how linked
+            lists always link) instead of being inlined — the driver
+            stays one bounded ``compile()`` even when individual tables
+            are huge. None = unbounded.
     """
 
     direct_threshold: int = 4
@@ -87,6 +101,8 @@ class CompileConfig:
     fuse: bool = True
     force_linked_list: bool = False
     compile_budget: "int | None" = None
+    source_budget: "int | None" = 1 << 16
+    fuse_source_budget: "int | None" = 1 << 20
 
     def with_(self, **kwargs: object) -> "CompileConfig":
         return replace(self, **kwargs)

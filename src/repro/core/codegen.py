@@ -76,6 +76,47 @@ class CompiledTable:
     ll_matchers: dict = field(default_factory=dict)
     #: how many flow entries are compiled in (for stats/inspection).
     entry_count: int = 0
+    #: the source-budget fallback fired: keys live in closure arrays, not
+    #: source text. Data-driven bodies return from inside a loop and must
+    #: be linked by closure call, never textually inlined (see fuse.py).
+    data_driven: bool = False
+
+    def footprint(self) -> dict:
+        """Estimated resident bytes of this compiled table.
+
+        Backing stores (hash, LPM) report exactly; generated source and
+        entry/outcome lists are estimated (~56 bytes per list slot plus
+        ~120 bytes per Outcome). This is the per-rung memory telemetry of
+        the million-flow bench — relative magnitudes matter, not malloc
+        truth.
+        """
+        detail: dict = {}
+        total = len(self.source)
+        if self.hash_store is not None:
+            detail = self.hash_store.footprint()
+            total += detail["bytes"]
+        elif self.lpm_store is not None:
+            detail = self.lpm_store.footprint()
+            total += detail["bytes"]
+            total += len(self.namespace.get("_OUT", ())) * (56 + 120)
+        elif self.ll_entries is not None:
+            total += len(self.ll_entries) * (56 + 120 + 64)
+        elif self.data_driven:
+            total += len(self.namespace.get("_ENTRIES", ())) * (56 + 120 + 64)
+        else:
+            # Direct/range: outcomes live as namespace constants.
+            total += sum(
+                120 for k in self.namespace if k.startswith("_O")
+            ) + len(self.namespace.get("_OUTS", ())) * (56 + 120)
+        return {
+            "table_id": self.table_id,
+            "kind": self.kind.value,
+            "entries": self.entry_count,
+            "source_bytes": len(self.source),
+            "data_driven": self.data_driven,
+            "bytes": total,
+            **{k: v for k, v in detail.items() if k not in ("kind", "bytes")},
+        }
 
 
 # -- match-condition expression builders ----------------------------------------
@@ -154,12 +195,25 @@ def compile_direct(
     flow entry becomes a protocol-bitmask guard followed by inlined matcher
     templates with the keys patched in, ending in a jump to its outcome;
     fall-through is the next entry ("ADDR_NEXT_FLOW").
+
+    Tables whose generated source would exceed ``config.source_budget``
+    compile to the *data-driven* variant instead
+    (:func:`_compile_direct_data`): same guards, matchers, and cost atoms
+    — bit-identical verdicts and modeled cycles — with the keys held in a
+    closure array rather than patched into a multi-megabyte source
+    string, so ``compile()`` stays bounded at million-entry tables.
     """
+    budget = config.source_budget
+    # ~24 chars is a hard floor per emitted entry; skip generating source
+    # that is certain to blow the budget (the point of having one).
+    if budget is not None and len(table.entries) * 24 > budget:
+        return _compile_direct_data(table, config, costs)
     namespace: dict = {"_MISS": miss_outcome(table)}
     lines = [
         "def _match(data, pkt, l3, l4, proto, etype, nxt, m):",
         f"    m.charge({costs.direct_base!r})",
     ]
+    total = sum(len(line) + 1 for line in lines)
     for i, entry in enumerate(table.entries):
         namespace[f"_O{i}"] = outcome_of(entry)
         guards, conds = _conditions(entry.match)
@@ -173,6 +227,9 @@ def compile_direct(
             lines.append(f"        return _O{i}")
         else:
             lines.append(f"    return _O{i}")
+        total += sum(len(line) + 1 for line in lines[-3:])
+        if budget is not None and total > budget:
+            return _compile_direct_data(table, config, costs)
     lines.append("    return _MISS")
     source = "\n".join(lines) + "\n"
     fn = _compile(source, namespace, table.table_id, TemplateKind.DIRECT)
@@ -184,6 +241,66 @@ def compile_direct(
         namespace=namespace,
         miss=namespace["_MISS"],
         entry_count=len(table),
+    )
+
+
+def _compile_direct_data(
+    table: FlowTable,
+    config: CompileConfig = DEFAULT_CONFIG,
+    costs: CostBook = DEFAULT_COSTS,
+) -> CompiledTable:
+    """The data-driven direct variant: the source-budget fallback rung.
+
+    Entry order, guard evaluation, charge atoms, and (in the
+    ``keys_in_code=False`` ablation) key-table touches mirror the in-code
+    template line for line, so modeled cycles are bit-identical — the
+    fallback is a *planned degradation* of code size, not of semantics or
+    of the performance model. The per-entry matchers are the same shared
+    generated functions the linked-list template uses; what changes is
+    only where the keys live (closure array vs instruction stream).
+    """
+    namespace: dict = {"_MISS": miss_outcome(table)}
+    matchers: dict[tuple, object] = {}
+    entries: list[tuple[tuple, object, tuple, Outcome]] = []
+    for entry in table.entries:
+        sig = tuple((name, mask) for name, (_v, mask) in entry.match.items())
+        fn = matchers.get(sig)
+        if fn is None:
+            fn = _build_sig_matcher(sig, len(matchers))
+            matchers[sig] = fn
+        values = tuple(v for _name, (v, _m) in entry.match.items())
+        entries.append((_guard_masks(entry.match), fn, values, outcome_of(entry)))
+    namespace["_ENTRIES"] = entries
+    touch = (
+        []
+        if config.keys_in_code
+        else [f"        m.touch(('es_keys', {table.table_id}, _i >> 2))"]
+    )
+    lines = (
+        [
+            "def _match(data, pkt, l3, l4, proto, etype, nxt, m):",
+            f"    m.charge({costs.direct_base!r})",
+            "    for _i, (_req, _fn, _vals, _out) in enumerate(_ENTRIES):",
+            f"        m.charge({costs.direct_per_entry!r})",
+        ]
+        + touch
+        + [
+            "        if all(proto & _g for _g in _req) and _fn(data, pkt, l3, l4, proto, etype, nxt, _vals):",
+            "            return _out",
+            "    return _MISS",
+        ]
+    )
+    source = "\n".join(lines) + "\n"
+    fn = _compile(source, namespace, table.table_id, TemplateKind.DIRECT)
+    return CompiledTable(
+        table_id=table.table_id,
+        kind=TemplateKind.DIRECT,
+        fn=fn,
+        source=source,
+        namespace=namespace,
+        miss=namespace["_MISS"],
+        entry_count=len(table),
+        data_driven=True,
     )
 
 
@@ -200,15 +317,18 @@ def compile_hash(
     fields = first.fields
     masks = tuple(first.mask_of(name) for name in fields)
 
-    store = CollisionFreeHash()
+    items: dict = {}
     for entry in rules:
         if entry.match.fields != fields or tuple(
             entry.match.mask_of(name) for name in fields
         ) != masks:
             raise CompileError("hash template prerequisite (global mask) violated")
         key = _hash_key_of(entry.match, fields)
-        if key not in store:  # first occurrence = highest priority wins
-            store.insert(key, outcome_of(entry))
+        if key not in items:  # first occurrence = highest priority wins
+            items[key] = outcome_of(entry)
+    # One bulk build instead of insert-at-a-time: a million-entry table
+    # pays a single layout search, not an incremental growth sequence.
+    store = CollisionFreeHash(items)
 
     miss = outcome_of(catch_all) if catch_all is not None else miss_outcome(table)
     guards = _guards(first)
@@ -264,9 +384,12 @@ def compile_lpm(
     if not rules:
         raise CompileError("LPM template needs at least one prefix entry")
     name = rules[0].match.fields[0]
-    deep = sum(1 for e in rules if e.match.prefix_len(name) > 24)
-    store = Dir24_8Lpm(max_tbl8_groups=max(64, 2 * deep))
+    # Growable tbl8 pool: a million-prefix FIB allocates whatever /25+
+    # groups it needs instead of tripping a fixed ceiling.
+    store = Dir24_8Lpm()
     outcomes: list[Outcome] = []
+    adds: list[tuple[int, int, int]] = []
+    seen: set[tuple[int, int]] = set()
     for entry in rules:
         match = entry.match
         if match.fields != (name,) or not match.is_prefix(name):
@@ -274,10 +397,13 @@ def compile_lpm(
         value = match.value_of(name)
         depth = match.prefix_len(name)
         assert value is not None
-        if store.get_rule(value, depth) is not None:
+        norm = (Dir24_8Lpm._prefix(value, depth), depth)
+        if norm in seen:
             continue  # shadowed duplicate: the highest-priority rule wins
-        store.add(value, depth, len(outcomes))
+        seen.add(norm)
+        adds.append((value, depth, len(outcomes)))
         outcomes.append(outcome_of(entry))
+    store.add_bulk(adds)
 
     miss = outcome_of(catch_all) if catch_all is not None else miss_outcome(table)
     fdef = field_by_name(name)

@@ -22,7 +22,7 @@ from typing import Sequence
 
 from repro.core.codegen import CompiledTable
 from repro.core.outcome import Outcome
-from repro.openflow.actions import Action, Output, SetField, DecTtl
+from repro.openflow.actions import Action, Output
 from repro.openflow.fields import field_by_name, max_layer
 from repro.openflow.pipeline import MAX_TABLE_HOPS, Pipeline, PipelineError, Verdict
 from repro.packet import parser as pp
@@ -32,21 +32,22 @@ from repro.simcpu.recorder import Meter, NULL_METER
 
 
 def required_layer(pipeline: Pipeline) -> int:
-    """Deepest protocol layer the pipeline's matches *and actions* need."""
-    from repro.openflow.groups import GroupAction
+    """Deepest protocol layer the pipeline's matches *and actions* need.
 
+    Reads each table's :meth:`~repro.openflow.flow_table.FlowTable.
+    feature_counts` fingerprint multiset — one key per distinct entry
+    *shape* — instead of rescanning every entry's actions. Flow-mod
+    handling calls this once per update, so at million-entry tables the
+    O(entries) walk was the update bottleneck; this is O(shapes).
+    """
     deepest = 2
-    names: set[str] = set(pipeline.matched_fields())
+    names: set[str] = set()
     for table in pipeline:
-        for entry in table:
-            for action in entry.apply_actions + entry.write_actions:
-                if isinstance(action, SetField):
-                    names.add(action.field)
-                elif isinstance(action, DecTtl):
-                    deepest = max(deepest, 3)
-                elif isinstance(action, GroupAction):
-                    # SELECT bucket choice hashes the 5-tuple: full parse.
-                    deepest = 4
+        for (_prio, sig, set_names, depth) in table.feature_counts():
+            if depth > deepest:
+                deepest = depth
+            names.update(n for n, _m in sig)
+            names.update(set_names)
     if names:
         deepest = max(deepest, max_layer(names))
     return deepest
@@ -88,6 +89,7 @@ class CompiledDatapath:
         use_etype: bool = True,
         costs: CostBook = DEFAULT_COSTS,
         enable_fusion: bool = True,
+        fuse_source_budget: "int | None" = None,
     ):
         if parser_layer not in _PARSERS:
             raise ValueError(f"parser layer must be 2, 3, or 4, not {parser_layer}")
@@ -97,6 +99,9 @@ class CompiledDatapath:
         self.use_etype = use_etype
         self.costs = costs
         self.enable_fusion = enable_fusion
+        #: cumulative chars of table bodies the fuser may textually inline;
+        #: tables past it are linked by closure call (None = unbounded).
+        self.fuse_source_budget = fuse_source_budget
         self.generation = 0
         self._fused = None
         self._fuse_failed_gen = -1

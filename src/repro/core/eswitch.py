@@ -75,6 +75,28 @@ from repro.simcpu.costs import CostBook, DEFAULT_COSTS
 from repro.simcpu.recorder import Meter, NULL_METER
 
 
+def _lpm_hazard(classes: "set[tuple[int, tuple]]") -> bool:
+    """Any pair of distinct shape classes that *could* hide a duplicate-
+    prefix or ancestor-priority conflict, regardless of entry values.
+
+    A class is ``(priority, match signature)``; prefix depth is the mask
+    popcount (a catch-all counts as depth 0). Distinct classes with
+    ``d1 <= d2`` and ``p1 >= p2`` are hazardous: equal depths admit the
+    same prefix at two priorities, and a shallower prefix at >= priority
+    can shadow a descendant — exactly the two conditions
+    ``lpm_applicable`` walks the value set to rule out.
+    """
+    flat = [
+        (prio, sum(int(m).bit_count() for _n, m in sig))
+        for prio, sig in classes
+    ]
+    for i, (p1, d1) in enumerate(flat):
+        for j, (p2, d2) in enumerate(flat):
+            if i != j and d1 <= d2 and p1 >= p2:
+                return True
+    return False
+
+
 @dataclass
 class UpdateStats:
     """How updates were absorbed (Fig. 18's mechanism)."""
@@ -83,6 +105,9 @@ class UpdateStats:
     rebuilds: int = 0
     fallbacks: int = 0
     group_rebuilds: int = 0
+    #: template re-selections skipped by the shape-class stability proof
+    #: (the O(entries) scan never ran for these mods).
+    kind_stable_skips: int = 0
     cycles: float = 0.0
 
 
@@ -103,6 +128,11 @@ class SwitchHealth:
         fused_active: the current generation is served by a fused driver
             (False = trampoline dispatch, the middle rung of the chain).
         generation: the datapath's update generation counter.
+        data_driven: compiled table ids on the source-budget fallback rung
+            (keys in closure arrays instead of generated source) — planned
+            degradation of code size, bit-identical semantics and cycles.
+        footprint_bytes: estimated resident bytes across every compiled
+            table (stores, generated source, outcome lists).
     """
 
     quarantined: tuple[tuple[int, str], ...] = ()
@@ -112,6 +142,8 @@ class SwitchHealth:
     last_fuse_error: str = ""
     fused_active: bool = False
     generation: int = 0
+    data_driven: tuple[int, ...] = ()
+    footprint_bytes: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -131,6 +163,8 @@ class SwitchHealth:
             "last_fuse_error": self.last_fuse_error,
             "fused_active": self.fused_active,
             "generation": self.generation,
+            "data_driven": list(self.data_driven),
+            "footprint_bytes": self.footprint_bytes,
         }
 
 
@@ -184,6 +218,7 @@ class ESwitch:
             use_etype=True,
             costs=costs,
             enable_fusion=config.fuse,
+            fuse_source_budget=config.fuse_source_budget,
         )
         for table in pipeline.tables:
             self._compile_group(table)
@@ -305,6 +340,7 @@ class ESwitch:
         state. Read-only — computing it never triggers a rebuild or fuse."""
         dp = self.datapath
         fused = dp._fused
+        footprints = [ct.footprint() for ct in dp.trampoline.values()]
         return SwitchHealth(
             quarantined=tuple(sorted(self.quarantined.items())),
             compile_failures=self.compile_failures,
@@ -313,7 +349,27 @@ class ESwitch:
             last_fuse_error=dp.last_fuse_error,
             fused_active=fused is not None and fused.generation == dp.generation,
             generation=dp.generation,
+            data_driven=tuple(
+                sorted(fp["table_id"] for fp in footprints if fp["data_driven"])
+            ),
+            footprint_bytes=sum(fp["bytes"] for fp in footprints),
         )
+
+    def footprint(self) -> dict:
+        """Per-rung memory telemetry: every compiled table's estimated
+        resident bytes (see :meth:`CompiledTable.footprint`), plus the
+        total. Flushes deferred rebuilds first so the report reflects the
+        structures the next packet would actually probe."""
+        if self._dirty_groups:
+            self._flush_rebuilds()
+        tables = {
+            tid: ct.footprint()
+            for tid, ct in sorted(self.datapath.trampoline.items())
+        }
+        return {
+            "total_bytes": sum(fp["bytes"] for fp in tables.values()),
+            "tables": tables,
+        }
 
     # -- compilation ---------------------------------------------------------------
 
@@ -441,6 +497,17 @@ class ESwitch:
             self._batch_compiles = 0
         table = self.pipeline.get_or_create(mod.table_id)
         new_table = mod.table_id not in self._groups
+        len_before = len(table)
+        pre_class_exists = False
+        if not new_table and mod.command is not FlowModCommand.DELETE:
+            # Does the mod's (priority, match-shape) class already exist?
+            # Answered *before* the mutation from the O(shapes) feature
+            # multiset; the add below then maintains it incrementally.
+            sig = tuple((n, m) for n, (_v, m) in mod.match.items())
+            pre_class_exists = any(
+                k[0] == mod.priority and k[1] == sig
+                for k in table.feature_counts()
+            )
         if mod.command is FlowModCommand.DELETE:
             # Only a *strict* delete constrains the priority; priority 0 is
             # a legitimate strict target, not a wildcard (the falsy-zero
@@ -470,7 +537,8 @@ class ESwitch:
         layer = required_layer(self.pipeline)
         if layer != self.datapath.parser_layer:
             self.datapath.set_parser_layer(layer)
-        cycles = self._recompile_after_update(table, mod, new_table)
+        kind_stable = self._kind_stable(table, mod, len_before, pre_class_exists)
+        cycles = self._recompile_after_update(table, mod, new_table, kind_stable)
         # Incremental updates mutate compiled-table namespaces in place
         # (hash store, LPM slots, linked list entries, _MISS rebinds)
         # without touching the trampoline — invalidate the fused driver
@@ -638,8 +706,73 @@ class ESwitch:
             )
         return FlowModReply(accepted=True, cycles=cycles)
 
+    def _kind_stable(
+        self,
+        table: FlowTable,
+        mod: FlowMod,
+        len_before: int,
+        pre_class_exists: bool,
+    ) -> bool:
+        """True when this mod provably cannot change the selected template.
+
+        ``select_template`` is O(entries) — ran per flow-mod it turns
+        million-entry churn into a template-reselection benchmark. But
+        template applicability depends almost entirely on the table's
+        *shape classes* ``(priority, match signature)``, of which there
+        are a handful, so most mods can prove stability from the
+        :meth:`~repro.openflow.flow_table.FlowTable.feature_counts`
+        multiset alone:
+
+        * HASH applicability is shape-only. An ADD into an existing class
+          (or any strict DELETE that leaves a keyed class standing)
+          cannot change it.
+        * LPM applicability is value-dependent only through *hazard
+          pairs* — distinct classes ``(p1, d1)``, ``(p2, d2)`` with
+          ``d1 <= d2`` and ``p1 >= p2``, the shape of both duplicate-
+          prefix-at-different-priority and ancestor-priority conflicts.
+          A hazard-free class set is consistent for *any* values; strict
+          DELETE from a consistent set always stays consistent.
+
+        Everything value- or mode-sensitive falls through to the full
+        recompute: wildcard deletes, range/linked-list modes, tables near
+        the direct-code threshold, new shape classes.
+        """
+        config = self.config
+        if config.force_linked_list or config.enable_range:
+            return False
+        if min(len(table), len_before) <= config.direct_threshold:
+            return False
+        if mod.command is FlowModCommand.DELETE and not mod.strict:
+            return False
+        group = self._groups.get(table.table_id)
+        if group is None or group.decomposed:
+            return False
+        compiled = self.datapath.trampoline.get(table.table_id)
+        if compiled is None:
+            return False
+        is_delete = mod.command is FlowModCommand.DELETE
+        counts = table.feature_counts()  # post-mod
+        if compiled.kind is TemplateKind.HASH:
+            if not is_delete and not pre_class_exists:
+                return False
+            # A delete may extinguish the last keyed class, leaving only
+            # catch-alls — no longer hash material.
+            return any(k[1] for k in counts)
+        if compiled.kind is TemplateKind.LPM:
+            if is_delete:
+                return True
+            if not pre_class_exists:
+                return False
+            classes = {(k[0], k[1]) for k in counts}
+            return not _lpm_hazard(classes)
+        return False
+
     def _recompile_after_update(
-        self, table: FlowTable, mod: FlowMod, new_table: bool
+        self,
+        table: FlowTable,
+        mod: FlowMod,
+        new_table: bool,
+        kind_stable: bool = False,
     ) -> float:
         costs = self.costs
         stats = self.update_stats
@@ -660,7 +793,11 @@ class ESwitch:
             return costs.es_update_incremental
 
         compiled = self.datapath.table(table.table_id)
-        new_kind = select_template(table.entries, self.config)
+        if kind_stable:
+            new_kind = compiled.kind
+            stats.kind_stable_skips += 1
+        else:
+            new_kind = select_template(table.entries, self.config)
         if new_kind is not compiled.kind:
             # Prerequisite changed: fall back (or upgrade) with a rebuild.
             stats.fallbacks += 1

@@ -59,7 +59,10 @@ class FuseError(Exception):
 #: code whose ``return`` statements never sit inside a loop, so they rewrite
 #: mechanically to ``out = ...; break`` under a one-shot ``while True``.
 #: The linked list template returns from inside its entry loop and is
-#: linked by closure-bound direct call instead.
+#: linked by closure-bound direct call instead — as is any *data-driven*
+#: direct table (the source-budget fallback loops over a closure array,
+#: so the same inside-a-loop caveat applies) and any body that would push
+#: the cumulative inlined source past ``fuse_source_budget``.
 INLINABLE = frozenset(
     {TemplateKind.DIRECT, TemplateKind.HASH, TemplateKind.LPM, TemplateKind.RANGE}
 )
@@ -260,6 +263,8 @@ def _emit_dispatch(dp: "CompiledDatapath", namespace: dict, null: bool) -> tuple
     order += [tid for tid in sorted(dp.trampoline) if tid not in order]
     lines: list[str] = []
     inlined: list[int] = []
+    budget = getattr(dp, "fuse_source_budget", None)
+    inlined_chars = 0
     variant = "n" if null else "m"
     for pos, tid in enumerate(order):
         compiled = dp.trampoline[tid]
@@ -272,7 +277,17 @@ def _emit_dispatch(dp: "CompiledDatapath", namespace: dict, null: bool) -> tuple
         lines.append(f"        {head} tid == {tid}:")
         kind = getattr(compiled, "kind", None)
         source = getattr(compiled, "source", "")
-        if kind in INLINABLE and source.startswith("def _match("):
+        can_inline = (
+            kind in INLINABLE
+            and source.startswith("def _match(")
+            # Data-driven bodies return from inside their entry loop; the
+            # return→break rewrite would exit that loop, not the table.
+            and not getattr(compiled, "data_driven", False)
+        )
+        if can_inline and budget is not None and inlined_chars + len(source) > budget:
+            can_inline = False  # over the fused-source budget: link by call
+        if can_inline:
+            inlined_chars += len(source)
             prefix = f"_t{tid}_{variant}"
             lines.append("            while True:")
             body = _inline_body(compiled, prefix, namespace, null)

@@ -6,15 +6,29 @@ time lookups, a key to a robust datapath performance" (Section 3.1), and the
 switch rebuilds it "periodically … to minimize hash collisions"
 (Section 3.4).
 
-This implementation searches for a seed under which every key occupies a
-distinct slot (perfect hashing by seed search over an oversized table).
-Lookups are therefore a single probe: hash, compare, done. Inserting a key
-that would collide triggers a rebuild with a fresh seed (growing the table
-when the load factor demands it) — build cost is paid at update time, never
-at lookup time, exactly the trade the paper makes.
+Lookups are a single probe: one seeded mix over the key, then
+
+    bucket = h & bucket_mask
+    index  = ((h ^ disp[bucket]) * GOLD mod 2^64) >> shift
+
+where ``disp`` is a small per-bucket displacement (a CHD-style two-level
+perfect hash). A colliding ``insert()`` therefore only reseeds the one
+bucket it lands in — the displacement search re-homes that bucket's handful
+of keys into free slots — instead of re-hashing the whole table. Full
+redistributions happen only on geometric growth (table doubles when the
+load factor crosses 1/OVERSIZE_FACTOR), so a build-from-empty of n keys
+does O(log n) full rebuilds and O(n) total redistributed keys, and the
+whole insert sequence is amortized O(n log n) work. The old implementation
+reseeded the *entire* table on every collision — a rebuild storm at 10⁶
+entries.
 
 Keys are integers or tuples of integers (compound keys: the template "runs
 together relevant header fields into a single key").
+
+Adversarial key sets (distinct keys whose mix collides under every seed,
+e.g. ``0`` and ``(0,)``) are detected and rejected with a typed
+:class:`HashBuildError` after a bounded number of seed attempts instead of
+looping forever.
 """
 
 from __future__ import annotations
@@ -29,6 +43,8 @@ SLOTS_PER_LINE = 4
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 _MASK64 = (1 << 64) - 1
+#: Fibonacci multiplier for the multiply-shift slot hash (odd, well mixed).
+_GOLD = 0x9E3779B97F4A7C15
 
 
 def _mix(key: "int | tuple[int, ...]", seed: int) -> int:
@@ -39,6 +55,8 @@ def _mix(key: "int | tuple[int, ...]", seed: int) -> int:
     else:
         components = key
     for part in components:
+        if part < 0:
+            part = -2 * part - 1  # fold into the naturals; >>= below terminates
         while True:
             h = ((h ^ (part & 0xFFFFFFFF)) * _FNV_PRIME) & _MASK64
             part >>= 32
@@ -49,16 +67,26 @@ def _mix(key: "int | tuple[int, ...]", seed: int) -> int:
 
 
 class RebuildRequired(RuntimeError):
-    """Internal signal: no collision-free seed found at the current size."""
+    """Internal signal: no collision-free layout found at the current size."""
+
+
+class HashBuildError(RuntimeError):
+    """No collision-free layout exists within the attempt budget.
+
+    Raised for adversarial key sets — distinct keys whose mix collides
+    under every seed — instead of looping forever growing the table.
+    """
 
 
 class CollisionFreeHash:
-    """Perfect-hash-by-seed-search table with single-probe lookups."""
+    """Two-level (bucket-displaced) perfect hash with single-probe lookups."""
 
     #: Slots allocated per key (the memory-for-speed trade).
     OVERSIZE_FACTOR = 4
-    #: Seeds tried per size before growing the table.
+    #: Top-level seeds tried per full build before giving up (typed error).
     MAX_SEED_TRIES = 64
+    #: Displacement values tried per bucket before escalating to a rebuild.
+    MAX_DISP_TRIES = 256
     MIN_SLOTS = 8
 
     def __init__(self, items: "dict | None" = None):
@@ -66,7 +94,18 @@ class CollisionFreeHash:
         self._seed = 0
         self._slots: list = []
         self._nslots = 0
-        self.rebuild_count = 0
+        self._shift = 64
+        self._bmask = 0
+        self._disp: list = []
+        #: keys per bucket, sparse (only non-empty buckets have an entry)
+        self._bucket_keys: dict[int, list] = {}
+        # -- telemetry (the cycle model and the scale tests read these) --
+        self.rebuild_count = 0  # full redistributions (growth / rebuild())
+        self.bucket_reseeds = 0  # bucket-local displacement searches
+        self.displaced_keys = 0  # existing keys re-homed by bucket reseeds
+        self.seed_attempts = 0  # top-level seeds tried across all builds
+        self.reseed_probes = 0  # displacement candidates tried, total
+        self.rebuild_keys = 0  # keys redistributed by full rebuilds, total
         self._build()
 
     # -- lookups ----------------------------------------------------------
@@ -74,8 +113,6 @@ class CollisionFreeHash:
     def get(self, key: Key, default: object = None) -> object:
         """Single-probe lookup (the ``_mix`` loop inlined: this runs per
         packet, and the call frame would cost more than the mix itself)."""
-        if not self._nslots:
-            return default
         h = (_FNV_OFFSET ^ self._seed) & _MASK64
         for part in (key,) if isinstance(key, int) else key:
             while True:
@@ -84,15 +121,14 @@ class CollisionFreeHash:
                 if not part:
                     break
         h ^= h >> 33
-        slot = self._slots[h % self._nslots]
+        index = ((h ^ self._disp[h & self._bmask]) * _GOLD & _MASK64) >> self._shift
+        slot = self._slots[index]
         if slot is not None and slot[0] == key:
             return slot[1]
         return default
 
     def get_traced(self, key: Key, default: object = None) -> tuple[object, int]:
         """Lookup plus the abstract cache-line id probed (for the cost model)."""
-        if not self._nslots:
-            return default, 0
         h = (_FNV_OFFSET ^ self._seed) & _MASK64
         for part in (key,) if isinstance(key, int) else key:
             while True:
@@ -101,7 +137,7 @@ class CollisionFreeHash:
                 if not part:
                     break
         h ^= h >> 33
-        index = h % self._nslots
+        index = ((h ^ self._disp[h & self._bmask]) * _GOLD & _MASK64) >> self._shift
         line = index // SLOTS_PER_LINE
         slot = self._slots[index]
         if slot is not None and slot[0] == key:
@@ -125,28 +161,78 @@ class CollisionFreeHash:
     def slot_count(self) -> int:
         return self._nslots
 
+    @property
+    def telemetry(self) -> dict:
+        """Counters for the scale tests and bench points."""
+        return {
+            "rebuild_count": self.rebuild_count,
+            "bucket_reseeds": self.bucket_reseeds,
+            "displaced_keys": self.displaced_keys,
+            "seed_attempts": self.seed_attempts,
+            "reseed_probes": self.reseed_probes,
+            "rebuild_keys": self.rebuild_keys,
+        }
+
+    def footprint(self) -> dict:
+        """Estimated resident bytes of the lookup structure.
+
+        Slots are modeled at the cost model's 16 bytes each; the
+        displacement array at 8 bytes per bucket; the shadow item dict at
+        ~64 bytes per entry (CPython dict overhead, order of magnitude).
+        """
+        nbuckets = self._bmask + 1
+        return {
+            "kind": "hash",
+            "entries": len(self._items),
+            "slots": self._nslots,
+            "buckets": nbuckets,
+            "bytes": self._nslots * 16 + nbuckets * 8 + len(self._items) * 64,
+        }
+
     # -- updates -------------------------------------------------------------
 
     def insert(self, key: Key, value: object) -> None:
-        """Insert or update; rebuilds (new seed / larger table) on collision."""
+        """Insert or update. Amortized O(1): in-slot place on the fast path,
+        a bucket-local reseed on collision, a full (geometric) rebuild only
+        when the load factor crosses 1/OVERSIZE_FACTOR."""
+        is_new = key not in self._items
         self._items[key] = value
-        if self._nslots:
-            index = _mix(key, self._seed) % self._nslots
-            slot = self._slots[index]
-            if slot is None or slot[0] == key:
-                self._slots[index] = (key, value)
-                return
-        self._build()
+        if is_new and len(self._items) * self.OVERSIZE_FACTOR > self._nslots:
+            self._build()
+            return
+        h = _mix(key, self._seed)
+        bucket = h & self._bmask
+        index = ((h ^ self._disp[bucket]) * _GOLD & _MASK64) >> self._shift
+        slot = self._slots[index]
+        if slot is None or slot[0] == key:
+            self._slots[index] = (key, value)
+            if is_new:
+                self._bucket_keys.setdefault(bucket, []).append(key)
+            return
+        if is_new:
+            self._bucket_keys.setdefault(bucket, []).append(key)
+        if not self._reseed_bucket(bucket):
+            self._build()
 
     def remove(self, key: Key) -> bool:
         """Remove a key; no rebuild needed (the slot just empties)."""
         if key not in self._items:
             return False
         del self._items[key]
-        index = _mix(key, self._seed) % self._nslots
+        h = _mix(key, self._seed)
+        bucket = h & self._bmask
+        index = ((h ^ self._disp[bucket]) * _GOLD & _MASK64) >> self._shift
         slot = self._slots[index]
         if slot is not None and slot[0] == key:
             self._slots[index] = None
+        keys = self._bucket_keys.get(bucket)
+        if keys is not None:
+            try:
+                keys.remove(key)
+            except ValueError:
+                pass
+            if not keys:
+                del self._bucket_keys[bucket]
         return True
 
     def rebuild(self) -> None:
@@ -155,29 +241,115 @@ class CollisionFreeHash:
 
     # -- internals -------------------------------------------------------------
 
+    def _reseed_bucket(self, bucket: int) -> bool:
+        """Re-home one bucket's keys under a fresh displacement.
+
+        Only this bucket's keys move; every other bucket's slots are
+        untouched. Returns False when no displacement works within the
+        budget (caller escalates to a full rebuild).
+        """
+        keys = self._bucket_keys.get(bucket, [])
+        hashes = [_mix(k, self._seed) for k in keys]
+        if len(set(hashes)) != len(keys):
+            return False  # un-separable within this bucket: escalate
+        shift = self._shift
+        # Free this bucket's current slots so they count as candidates.
+        old_disp = self._disp[bucket]
+        for h, k in zip(hashes, keys):
+            index = ((h ^ old_disp) * _GOLD & _MASK64) >> shift
+            slot = self._slots[index]
+            if slot is not None and slot[0] == k:
+                self._slots[index] = None
+        self.bucket_reseeds += 1
+        slots = self._slots
+        for disp in range(old_disp + 1, old_disp + 1 + self.MAX_DISP_TRIES):
+            self.reseed_probes += 1
+            indexes = [((h ^ disp) * _GOLD & _MASK64) >> shift for h in hashes]
+            if len(set(indexes)) == len(indexes) and all(
+                slots[i] is None for i in indexes
+            ):
+                items = self._items
+                for k, i in zip(keys, indexes):
+                    slots[i] = (k, items[k])
+                self._disp[bucket] = disp
+                self.displaced_keys += max(0, len(keys) - 1)
+                return True
+        # Nothing worked: restore the old placement minus collisions so the
+        # table stays consistent for the full rebuild that follows.
+        items = self._items
+        for h, k in zip(hashes, keys):
+            index = ((h ^ old_disp) * _GOLD & _MASK64) >> shift
+            if slots[index] is None:
+                slots[index] = (k, items[k])
+        return False
+
     def _build(self) -> None:
+        """Full redistribution: pick sizes and a seed, place every key.
+
+        Geometric sizing (power-of-two slots ≥ OVERSIZE_FACTOR·n) bounds
+        full rebuilds at O(log n) over any insert sequence. A key set that
+        defeats MAX_SEED_TRIES seeds raises :class:`HashBuildError`.
+        """
         self.rebuild_count += 1
         n = len(self._items)
-        nslots = max(self.MIN_SLOTS, n * self.OVERSIZE_FACTOR)
-        while True:
-            try:
-                self._try_build(nslots)
-                return
-            except RebuildRequired:
-                nslots *= 2
-
-    def _try_build(self, nslots: int) -> None:
+        self.rebuild_keys += n
+        slot_bits = 3  # MIN_SLOTS == 8
+        while (1 << slot_bits) < n * self.OVERSIZE_FACTOR:
+            slot_bits += 1
+        base_seed = self._seed
         for attempt in range(self.MAX_SEED_TRIES):
-            seed = (self._seed + attempt + 1) * 0x9E3779B97F4A7C15 & _MASK64
-            slots: list = [None] * nslots
-            for key, value in self._items.items():
-                index = _mix(key, seed) % nslots
-                if slots[index] is not None:
-                    break
-                slots[index] = (key, value)
-            else:
-                self._seed = seed
-                self._slots = slots
-                self._nslots = nslots
+            seed = (base_seed + attempt + 1) * _GOLD & _MASK64
+            self.seed_attempts += 1
+            try:
+                self._try_build(slot_bits, seed)
                 return
-        raise RebuildRequired
+            except RebuildRequired as exc:
+                # Growth only helps when keys actually hash apart; a
+                # duplicate full hash needs a different seed, not memory.
+                if exc.args and exc.args[0] == "grow":
+                    slot_bits += 1
+        raise HashBuildError(
+            f"no collision-free layout for {n} keys after "
+            f"{self.MAX_SEED_TRIES} seeds (adversarial key set?)"
+        )
+
+    def _try_build(self, slot_bits: int, seed: int) -> None:
+        nslots = 1 << slot_bits
+        nbuckets = max(2, nslots // self.OVERSIZE_FACTOR)
+        bmask = nbuckets - 1
+        shift = 64 - slot_bits
+        buckets: dict[int, list] = {}
+        for key in self._items:
+            h = _mix(key, seed)
+            buckets.setdefault(h & bmask, []).append((h, key))
+        slots: list = [None] * nslots
+        disp = [0] * nbuckets
+        items = self._items
+        # Largest buckets first (classic CHD): they need the most freedom.
+        for bucket, members in sorted(
+            buckets.items(), key=lambda kv: -len(kv[1])
+        ):
+            hashes = [h for h, _ in members]
+            if len(set(hashes)) != len(hashes):
+                raise RebuildRequired("dup")  # same hash: reseed, don't grow
+            for d in range(self.MAX_DISP_TRIES):
+                self.reseed_probes += 1
+                indexes = [((h ^ d) * _GOLD & _MASK64) >> shift for h in hashes]
+                if len(set(indexes)) == len(indexes) and all(
+                    slots[i] is None for i in indexes
+                ):
+                    for (_, k), i in zip(members, indexes):
+                        slots[i] = (k, items[k])
+                    disp[bucket] = d
+                    break
+            else:
+                raise RebuildRequired("grow")
+        self._seed = seed
+        self._slots = slots
+        self._nslots = nslots
+        self._shift = shift
+        self._bmask = bmask
+        self._disp = disp
+        self._bucket_keys = {
+            b: [k for _, k in members] for b, members in buckets.items()
+        }

@@ -11,37 +11,61 @@ depth of the rule that wrote it, so a new rule only overwrites entries
 written by shorter prefixes, and deletion substitutes the next-shorter
 covering rule.
 
+The tbl8 pool grows geometrically on demand (a million-prefix FIB holds
+thousands of /25+ groups, far past the historical 256-group default), with
+a lowest-first free-list allocator so group ids — and therefore the cache
+line ids the cost model sees — stay deterministic under churn.
+``LpmFullError`` is raised only when the caller set an explicit
+``max_tbl8_groups`` ceiling. Bulk add/delete vectorize same-depth rule
+batches with numpy, and ``compact()`` renumbers groups to the low end so
+long-running churn does not fragment the pool.
+
 Entry encoding (numpy ``int32``): ``0`` invalid, ``> 0`` next hop + 1,
 ``< 0`` extended — ``-(tbl8 group + 1)``.
 """
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
 TBL8_GROUP_SIZE = 256
 #: 4-byte entries per 64-byte cache line — for cache-simulator line ids.
 ENTRIES_PER_LINE = 16
+#: Initial tbl8 pool capacity when no ceiling is set (grows geometrically).
+DEFAULT_TBL8_GROUPS = 256
+#: Keep vectorized index batches under this many entries (memory bound).
+_BULK_CHUNK = 1 << 22
 
 
 class LpmFullError(RuntimeError):
-    """No free tbl8 groups remain."""
+    """No free tbl8 groups remain under an explicit user-set ceiling."""
 
 
 class Dir24_8Lpm:
     """DIR-24-8 LPM table over 32-bit keys.
 
     Args:
-        max_tbl8_groups: number of overflow groups for /25+ prefixes.
+        max_tbl8_groups: explicit ceiling on overflow groups for /25+
+            prefixes — exceeding it raises :class:`LpmFullError`. ``None``
+            (the default) starts at :data:`DEFAULT_TBL8_GROUPS` and grows
+            the pool geometrically without bound.
     """
 
-    def __init__(self, max_tbl8_groups: int = 256):
+    def __init__(self, max_tbl8_groups: "int | None" = None):
+        if max_tbl8_groups is not None and max_tbl8_groups < 1:
+            raise ValueError("max_tbl8_groups must be >= 1")
+        self._max_tbl8_groups = max_tbl8_groups
+        cap = max_tbl8_groups if max_tbl8_groups is not None else DEFAULT_TBL8_GROUPS
         self._tbl24 = np.zeros(1 << 24, dtype=np.int32)
         self._tbl24_depth = np.zeros(1 << 24, dtype=np.uint8)
-        self._tbl8 = np.zeros(max_tbl8_groups * TBL8_GROUP_SIZE, dtype=np.int32)
-        self._tbl8_depth = np.zeros(max_tbl8_groups * TBL8_GROUP_SIZE, dtype=np.uint8)
-        self._tbl8_used = [False] * max_tbl8_groups
+        self._tbl8 = np.zeros(cap * TBL8_GROUP_SIZE, dtype=np.int32)
+        self._tbl8_depth = np.zeros(cap * TBL8_GROUP_SIZE, dtype=np.uint8)
+        self._tbl8_used = [False] * cap
+        self._tbl8_free: list[int] = list(range(cap))  # min-heap: lowest first
         self._rules: dict[tuple[int, int], int] = {}  # (prefix, depth) -> next hop
+        self.tbl8_grow_events = 0
 
     # -- rule management ----------------------------------------------------
 
@@ -56,6 +80,37 @@ class Dir24_8Lpm:
             self._add_depth_small(prefix, depth, next_hop)
         else:
             self._add_depth_big(prefix, depth, next_hop)
+
+    def add_bulk(self, rules) -> None:
+        """Insert many ``(ip, depth, next_hop)`` rules at once.
+
+        Equivalent to adding every rule individually (in any order — the
+        depth guard makes the final table order-independent; exact
+        duplicate ``(prefix, depth)`` rules resolve last-wins). Same-depth
+        batches of /24-and-shorter prefixes are disjoint ranges, so their
+        tbl24 writes vectorize across rules in numpy.
+        """
+        deduped: dict[tuple[int, int], int] = {}
+        for ip, depth, next_hop in rules:
+            self._check(ip, depth)
+            if next_hop < 0:
+                raise ValueError("next hop must be non-negative")
+            deduped[(self._prefix(ip, depth), depth)] = next_hop
+        by_depth: dict[int, list[tuple[int, int]]] = {}
+        for (prefix, depth), next_hop in deduped.items():
+            by_depth.setdefault(depth, []).append((prefix, next_hop))
+        for depth in sorted(by_depth):
+            pairs = by_depth[depth]
+            for prefix, next_hop in pairs:
+                self._rules[(prefix, depth)] = next_hop
+            if depth > 24:
+                for prefix, next_hop in pairs:
+                    self._add_depth_big(prefix, depth, next_hop)
+            elif len(pairs) < 32:
+                for prefix, next_hop in pairs:
+                    self._add_depth_small(prefix, depth, next_hop)
+            else:
+                self._add_small_batch(pairs, depth)
 
     def delete(self, ip: int, depth: int) -> bool:
         """Remove the rule ``ip/depth``. Returns False if it did not exist."""
@@ -77,6 +132,37 @@ class Dir24_8Lpm:
             self._delete_depth_big(prefix, depth, sub_valid, sub_hop, sub_depth)
         return True
 
+    def delete_bulk(self, rules) -> int:
+        """Remove many ``(ip, depth)`` rules at once; returns the count
+        actually removed.
+
+        All removals leave the rule set first, so covering rules deleted
+        in the same batch never serve as substitutes — the result matches
+        any sequential ordering of the individual deletes.
+        """
+        batch: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for ip, depth in rules:
+            self._check(ip, depth)
+            key = (self._prefix(ip, depth), depth)
+            if key in self._rules and key not in seen:
+                seen.add(key)
+                batch.append(key)
+        for key in batch:
+            del self._rules[key]
+        for prefix, depth in sorted(batch, key=lambda pd: pd[1]):
+            parent = self._find_parent(prefix, depth)
+            if parent is None:
+                sub_valid, sub_hop, sub_depth = False, 0, 0
+            else:
+                (_, sub_depth), sub_hop = parent
+                sub_valid = True
+            if depth <= 24:
+                self._delete_depth_small(prefix, depth, sub_valid, sub_hop, sub_depth)
+            else:
+                self._delete_depth_big(prefix, depth, sub_valid, sub_hop, sub_depth)
+        return len(batch)
+
     def get_rule(self, ip: int, depth: int) -> "int | None":
         """The next hop stored for exactly ``ip/depth`` (no LPM semantics)."""
         self._check(ip, depth)
@@ -89,6 +175,70 @@ class Dir24_8Lpm:
     def rules(self) -> dict[tuple[int, int], int]:
         """A copy of the rule set as ``{(prefix, depth): next_hop}``."""
         return dict(self._rules)
+
+    @property
+    def tbl8_capacity(self) -> int:
+        """Current tbl8 pool capacity in groups."""
+        return len(self._tbl8_used)
+
+    @property
+    def tbl8_groups_used(self) -> int:
+        return sum(self._tbl8_used)
+
+    def footprint(self) -> dict:
+        """Resident bytes of the lookup structure (numpy arrays are exact;
+        the rule dict is estimated at ~100 bytes/rule)."""
+        tbl24_bytes = self._tbl24.nbytes + self._tbl24_depth.nbytes
+        tbl8_bytes = self._tbl8.nbytes + self._tbl8_depth.nbytes
+        return {
+            "kind": "lpm",
+            "rules": len(self._rules),
+            "tbl24_bytes": tbl24_bytes,
+            "tbl8_bytes": tbl8_bytes,
+            "tbl8_groups": self.tbl8_groups_used,
+            "tbl8_capacity": self.tbl8_capacity,
+            "bytes": tbl24_bytes + tbl8_bytes + len(self._rules) * 100,
+        }
+
+    def compact(self) -> int:
+        """Renumber used tbl8 groups to the low end and shrink the pool.
+
+        Long-running churn allocates and recycles groups; compaction keeps
+        the pool dense so footprint tracks live state. Returns the number
+        of capacity groups released. Lookups stay valid throughout (tbl24
+        pointers are rewritten in one vectorized pass).
+        """
+        cap = len(self._tbl8_used)
+        used = [g for g in range(cap) if self._tbl8_used[g]]
+        moved = [(old, new) for new, old in enumerate(used) if old != new]
+        for old, new in moved:  # new < old always: ascending copy is safe
+            ob, nb = old * TBL8_GROUP_SIZE, new * TBL8_GROUP_SIZE
+            self._tbl8[nb : nb + TBL8_GROUP_SIZE] = self._tbl8[ob : ob + TBL8_GROUP_SIZE]
+            self._tbl8_depth[nb : nb + TBL8_GROUP_SIZE] = self._tbl8_depth[
+                ob : ob + TBL8_GROUP_SIZE
+            ]
+        if moved:
+            lut = np.arange(cap, dtype=np.int32)
+            for old, new in moved:
+                lut[old] = new
+            ext = self._tbl24 < 0
+            self._tbl24[ext] = -(lut[-self._tbl24[ext] - 1] + 1)
+        if self._max_tbl8_groups is not None:
+            new_cap = cap  # explicit ceilings keep their full allocation
+        else:
+            new_cap = DEFAULT_TBL8_GROUPS
+            while new_cap < len(used):
+                new_cap *= 2
+        if new_cap != cap:
+            self._tbl8 = self._tbl8[: new_cap * TBL8_GROUP_SIZE].copy()
+            self._tbl8_depth = self._tbl8_depth[: new_cap * TBL8_GROUP_SIZE].copy()
+        tail = self._tbl8[len(used) * TBL8_GROUP_SIZE :]
+        tail[:] = 0
+        self._tbl8_depth[len(used) * TBL8_GROUP_SIZE :] = 0
+        self._tbl8_used = [True] * len(used) + [False] * (new_cap - len(used))
+        self._tbl8_free = list(range(len(used), new_cap))
+        heapq.heapify(self._tbl8_free)
+        return cap - new_cap
 
     # -- lookup ---------------------------------------------------------------
 
@@ -162,6 +312,31 @@ class Dir24_8Lpm:
         t24[sel24] = next_hop + 1
         d24[sel24] = depth
 
+    def _add_small_batch(self, pairs: "list[tuple[int, int]]", depth: int) -> None:
+        """Vectorized same-depth (≤ /24) insertion across disjoint ranges."""
+        count = 1 << (24 - depth)
+        per_chunk = max(1, _BULK_CHUNK // count)
+        offsets = np.arange(count, dtype=np.int64)
+        for lo in range(0, len(pairs), per_chunk):
+            chunk = pairs[lo : lo + per_chunk]
+            starts = np.array([p >> 8 for p, _ in chunk], dtype=np.int64)
+            vals = np.array([h + 1 for _, h in chunk], dtype=np.int32)
+            idx = (starts[:, None] + offsets).reshape(-1)
+            rep = np.repeat(vals, count)
+            t24v = self._tbl24[idx]
+            ext = t24v < 0
+            if ext.any():
+                for pos in np.nonzero(ext)[0]:
+                    group = -int(t24v[pos]) - 1
+                    base = group * TBL8_GROUP_SIZE
+                    sel = self._tbl8_depth[base : base + TBL8_GROUP_SIZE] <= depth
+                    self._tbl8[base : base + TBL8_GROUP_SIZE][sel] = int(rep[pos])
+                    self._tbl8_depth[base : base + TBL8_GROUP_SIZE][sel] = depth
+            sel = (t24v >= 0) & (self._tbl24_depth[idx] <= depth)
+            tgt = idx[sel]
+            self._tbl24[tgt] = rep[sel]
+            self._tbl24_depth[tgt] = depth
+
     def _add_depth_big(self, prefix: int, depth: int, next_hop: int) -> None:
         idx24 = prefix >> 8
         entry = int(self._tbl24[idx24])
@@ -220,11 +395,28 @@ class Dir24_8Lpm:
         self._maybe_recycle(idx24, group)
 
     def _alloc_tbl8(self) -> int:
-        for group, used in enumerate(self._tbl8_used):
-            if not used:
-                self._tbl8_used[group] = True
-                return group
-        raise LpmFullError("out of tbl8 groups")
+        if not self._tbl8_free:
+            if self._max_tbl8_groups is not None:
+                raise LpmFullError("out of tbl8 groups")
+            self._grow_tbl8()
+        group = heapq.heappop(self._tbl8_free)
+        self._tbl8_used[group] = True
+        return group
+
+    def _grow_tbl8(self) -> None:
+        """Double the tbl8 pool (unbounded mode only)."""
+        cap = len(self._tbl8_used)
+        new_cap = max(1, cap) * 2
+        grown = np.zeros(new_cap * TBL8_GROUP_SIZE, dtype=np.int32)
+        grown[: cap * TBL8_GROUP_SIZE] = self._tbl8
+        self._tbl8 = grown
+        grown_d = np.zeros(new_cap * TBL8_GROUP_SIZE, dtype=np.uint8)
+        grown_d[: cap * TBL8_GROUP_SIZE] = self._tbl8_depth
+        self._tbl8_depth = grown_d
+        self._tbl8_used.extend([False] * (new_cap - cap))
+        for group in range(cap, new_cap):
+            heapq.heappush(self._tbl8_free, group)
+        self.tbl8_grow_events += 1
 
     def _maybe_recycle(self, idx24: int, group: int) -> None:
         """Collapse a tbl8 group back into tbl24 if it became uniform."""
@@ -238,4 +430,6 @@ class Dir24_8Lpm:
                 self._tbl24_depth[idx24] = int(depths[0])
                 values[:] = 0
                 depths[:] = 0
-                self._tbl8_used[group] = False
+                if self._tbl8_used[group]:
+                    self._tbl8_used[group] = False
+                    heapq.heappush(self._tbl8_free, group)

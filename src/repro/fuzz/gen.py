@@ -405,6 +405,147 @@ def _generate_once(
     return scenario
 
 
+def generate_large(seed: int, n_entries: int = 96) -> Scenario:
+    """The large-cardinality scenario class, scaled by argument.
+
+    Three chained tables at ``n_entries`` entries each cover the scale
+    rungs the megascale rig exercises, differentially:
+
+    * **hash** — exact ``eth_dst`` keys (the incremental perfect-hash
+      store, grown further by the churn schedule);
+    * **LPM** — nested /16 + /24 ``ipv4_dst`` prefixes (tbl8 allocation
+      and the depth-consistency prerequisite);
+    * **direct, over budget** — ``direct_threshold`` pins the last table
+      onto the direct-code rung while a deliberately small
+      ``source_budget`` forces its data-driven fallback, so the fallback
+      executes against every other backend.
+
+    Between bursts, ADD/strict-DELETE batches churn the hash and LPM
+    tables — the incremental update paths (hash-store inserts, slot
+    recycling, shape-stability skips) run under the oracle, not just
+    under the benchmark. CI keeps ``n_entries`` small; the class scales
+    to 10⁴–10⁵ by argument, not by new code.
+    """
+    if n_entries < 40:
+        raise ValueError("generate_large needs n_entries >= 40")
+    # ``direct_threshold`` is a global knob: it must sit *between* the
+    # direct table's size and the hash/LPM tables' sizes, or every table
+    # would land on the direct rung.
+    n_direct = n_entries // 2
+    rng = random.Random(f"large/{seed}")
+    full_mac = domain.full_mask("eth_dst")
+    full_ip = domain.full_mask("ipv4_dst")
+
+    hash_profiles, hash_entries = [], []
+    for i in range(n_entries):
+        fields = {"eth_dst": ((0x02 << 40) | (0xAB << 32) | i, full_mac)}
+        hash_profiles.append(fields)
+        hash_entries.append({
+            "priority": 1,
+            "match": _match_obj(fields),
+            "apply": [{"output": 1 + (i & 3)}],
+            "goto": 1,
+        })
+    hash_entries.append(
+        {"priority": 0, "match": {}, "apply": [{"output": 1}], "goto": 1}
+    )
+
+    lpm_profiles, lpm_entries = [], []
+    for i in range(n_entries):
+        if i % 4 == 0:  # nested shorter prefixes among the /24s
+            plen, value = 16, (10 << 24) | ((i & 0xFF) << 16)
+        else:
+            plen, value = 24, (10 << 24) | ((i >> 8) << 16) | ((i & 0xFF) << 8)
+        mask = (full_ip << (32 - plen)) & full_ip
+        fields = {"ipv4_dst": (value & mask, mask)}
+        lpm_profiles.append(fields)
+        lpm_entries.append({
+            "priority": plen,  # LPM consistency: priority = prefix length
+            "match": _match_obj(fields),
+            "apply": [{"output": 1 + (i & 3)}],
+            "goto": 2,
+        })
+    lpm_entries.append(
+        {"priority": 0, "match": {}, "apply": [{"output": 2}], "goto": 2}
+    )
+
+    direct_profiles, direct_entries = [], []
+    for i in range(n_direct):
+        fields = {"ipv4_src": ((192 << 24) | (168 << 16) | i, full_ip)}
+        direct_profiles.append(fields)
+        direct_entries.append({
+            "priority": 2,
+            "match": _match_obj(fields),
+            "apply": [{"output": 1 + (i & 3)}],
+        })
+    direct_entries.append({"priority": 0, "match": {}, "apply": ["drop"]})
+
+    def aimed_burst(size: int) -> list:
+        out = []
+        for _ in range(size):
+            fields = dict(rng.choice(hash_profiles))
+            fields.update(rng.choice(lpm_profiles))
+            fields.update(rng.choice(direct_profiles))
+            if rng.random() < 0.3:
+                fields = domain.perturb_fields(rng, fields)
+            out.append(packet_to_obj(domain.packet_for_fields(rng, fields)))
+        return out
+
+    def churn_batch(index: int) -> list:
+        mac_fields = {
+            "eth_dst": ((0x02 << 40) | (0xCD << 32) | index, full_mac)
+        }
+        plen, mask = 24, (full_ip << 8) & full_ip
+        pfx_fields = {
+            "ipv4_dst": (((172 << 24) | (index << 8)) & mask, mask)
+        }
+        batch = [
+            {"cmd": "add", "table": 0, "priority": 1,
+             "match": _match_obj(mac_fields),
+             "apply": [{"output": 4}], "goto": 1},
+            {"cmd": "add", "table": 1, "priority": plen,
+             "match": _match_obj(pfx_fields),
+             "apply": [{"output": 4}], "goto": 2},
+        ]
+        if index % 2:  # delete the previous round's adds: sustained churn
+            prev_mac = {
+                "eth_dst": ((0x02 << 40) | (0xCD << 32) | (index - 1), full_mac)
+            }
+            prev_pfx = {
+                "ipv4_dst": (((172 << 24) | ((index - 1) << 8)) & mask, mask)
+            }
+            batch.append({"cmd": "delete", "table": 0, "priority": 1,
+                          "match": _match_obj(prev_mac), "strict": True})
+            batch.append({"cmd": "delete", "table": 1, "priority": plen,
+                          "match": _match_obj(prev_pfx), "strict": True})
+        hash_profiles.append(mac_fields)
+        lpm_profiles.append(pfx_fields)
+        return batch
+
+    events: list = [{"burst": aimed_burst(8)}]
+    for index in range(4):
+        events.append({"mods": churn_batch(index)})
+        events.append({"burst": aimed_burst(6)})
+
+    return Scenario(
+        pipeline_obj={"tables": [
+            {"id": 0, "name": "t0-hash-large", "miss": "drop",
+             "entries": hash_entries},
+            {"id": 1, "name": "t1-lpm-large", "miss": "drop",
+             "entries": lpm_entries},
+            {"id": 2, "name": "t2-direct-budget", "miss": "drop",
+             "entries": direct_entries},
+        ]},
+        events=events,
+        seed=seed,
+        name=f"large-{n_entries}",
+        note="large-cardinality class: hash growth, LPM growth, "
+             "data-driven direct rung",
+        direct_threshold=n_direct + 8,
+        source_budget=2_048,
+    )
+
+
 def _sane(scenario: Scenario) -> bool:
     """Dry-run the reference interpreter: a scenario whose *reference*
     crashes is a generator bug, not a differential finding."""

@@ -48,6 +48,12 @@ class Scenario:
     #: state across replica token buckets, so rate-limit verdicts are
     #: only comparable at workers=1; the executor skips workers>1.
     tight_meter: bool = False
+    #: CompileConfig overrides (None = defaults). ``direct_threshold``
+    #: pins big tables onto the direct-code rung; a small
+    #: ``source_budget`` then forces its data-driven fallback — the
+    #: large-cardinality scenario class covers that rung differentially.
+    direct_threshold: "int | None" = None
+    source_budget: "int | None" = None
 
     # -- materializers (fresh objects every call, see module docstring) --
 
@@ -108,6 +114,9 @@ class Scenario:
                 out[flag] = True
         if self.quarantine:
             out["quarantine"] = list(self.quarantine)
+        for knob in ("direct_threshold", "source_budget"):
+            if getattr(self, knob) is not None:
+                out[knob] = getattr(self, knob)
         out["pipeline"] = self.pipeline_obj
         out["events"] = self.events
         return out
@@ -128,6 +137,8 @@ class Scenario:
             quarantine=tuple(obj.get("quarantine", ())),
             degrade_fuse=bool(obj.get("degrade_fuse", False)),
             tight_meter=bool(obj.get("tight_meter", False)),
+            direct_threshold=obj.get("direct_threshold"),
+            source_budget=obj.get("source_budget"),
         )
 
     def dumps(self) -> str:

@@ -11,12 +11,46 @@ higher priority ones that did not", Section 2.2).
 
 from __future__ import annotations
 
+import bisect
 import enum
 from typing import Callable, Iterator, Mapping
 
 from repro.openflow.flow_entry import FlowEntry
 from repro.openflow.match import Match
 from repro.packet.parser import ParsedPacket
+
+
+def _sort_key(entry: "FlowEntry") -> int:
+    """Priority-descending sort/bisect key for the entry list."""
+    return -entry.priority
+
+
+def entry_features(entry: FlowEntry) -> tuple:
+    """The value-free fingerprint of one entry: ``(priority, match shape,
+    set-field names, action parse depth)``.
+
+    Two entries with equal features are interchangeable for template
+    selection (which masks on which fields, at what priority) and parser
+    planning (which fields actions rewrite, how deep parsing must go) —
+    only their matched *values* differ. :meth:`FlowTable.feature_counts`
+    aggregates these so per-flow-mod replanning reads a handful of
+    distinct shapes instead of rescanning a million entries.
+    """
+    from repro.openflow.actions import DecTtl, SetField
+    from repro.openflow.groups import GroupAction
+
+    sig = tuple((n, m) for n, (_v, m) in entry.match.items())
+    names: set[str] = set()
+    depth = 2
+    for action in entry.apply_actions + entry.write_actions:
+        if isinstance(action, SetField):
+            names.add(action.field)
+        elif isinstance(action, DecTtl):
+            depth = max(depth, 3)
+        elif isinstance(action, GroupAction):
+            # SELECT bucket choice hashes the 5-tuple: full parse.
+            depth = 4
+    return (entry.priority, sig, tuple(sorted(names)), depth)
 
 
 class TableMissPolicy(enum.Enum):
@@ -50,56 +84,196 @@ class FlowTable:
         self.max_entries = max_entries
         self._entries: list[FlowEntry] = []  # kept sorted: priority desc, stable
         self.version = 0  # bumped on every modification (for cache invalidation)
+        # Lazy rule indexes. ``add``/strict ``remove``/``has_rule``/
+        # ``find`` would otherwise scan the whole list per call — an O(n)
+        # wall that turns million-entry churn into a benchmark of this
+        # list instead of the datapath updates. ``_rules`` maps
+        # ``(priority, match) -> entry`` (unique: ``add`` replaces
+        # same-rule entries); ``_by_match`` maps ``match -> entries`` in
+        # priority-descending order (``find``'s duplicate-shadowing
+        # answer is the head). Both are only trusted while
+        # ``_rules_version == version``; any out-of-band mutation (the
+        # flow-mod rollback path assigns ``_entries`` wholesale) bumps
+        # ``version`` and so invalidates them.
+        self._rules: "dict[tuple, FlowEntry] | None" = None
+        self._by_match: "dict[Match, list[FlowEntry]] | None" = None
+        self._rules_version = -1
+        # Lazy multiset of :func:`entry_features` fingerprints, same
+        # staleness contract. Template re-selection and parser planning
+        # read this instead of walking the entries.
+        self._feats: "dict[tuple, int] | None" = None
+        self._feats_version = -1
 
     # -- modification ---------------------------------------------------------
 
+    def _indexes(self) -> "tuple[dict, dict]":
+        if self._rules is None or self._rules_version != self.version:
+            rules: dict = {}
+            by_match: dict = {}
+            for e in self._entries:  # priority-desc ⇒ per-match lists too
+                rules[(e.priority, e.match)] = e
+                by_match.setdefault(e.match, []).append(e)
+            self._rules, self._by_match = rules, by_match
+            self._rules_version = self.version
+        return self._rules, self._by_match
+
+    def feature_counts(self) -> "dict[tuple, int]":
+        """Multiset of :func:`entry_features` fingerprints, lazily built
+        and maintained incrementally by ``add``/strict ``remove``.
+
+        The distinct-key set is tiny (one key per match *shape*, not per
+        entry), which is what makes per-update template re-selection and
+        parser re-planning O(shapes) instead of O(entries).
+        """
+        if self._feats is None or self._feats_version != self.version:
+            feats: "dict[tuple, int]" = {}
+            for e in self._entries:
+                f = entry_features(e)
+                feats[f] = feats.get(f, 0) + 1
+            self._feats = feats
+            self._feats_version = self.version
+        return self._feats
+
+    def _feats_update(
+        self,
+        removed: "FlowEntry | None",
+        added: "FlowEntry | None",
+        fresh: bool,
+    ) -> None:
+        """Apply one mutation's delta (call after the version bump)."""
+        if not fresh or self._feats is None:
+            return
+        feats = self._feats
+        if removed is not None:
+            f = entry_features(removed)
+            n = feats.get(f, 0) - 1
+            if n <= 0:
+                feats.pop(f, None)
+            else:
+                feats[f] = n
+        if added is not None:
+            f = entry_features(added)
+            feats[f] = feats.get(f, 0) + 1
+        self._feats_version = self.version
+
     def add(self, entry: FlowEntry) -> FlowEntry:
         """Insert an entry; replaces an existing entry with the same rule."""
-        for i, existing in enumerate(self._entries):
-            if existing.same_rule(entry):
-                self._entries[i] = entry
-                self.version += 1
-                return entry
-        # Stable insert: after all entries with priority >= entry.priority.
-        index = len(self._entries)
-        for i, existing in enumerate(self._entries):
-            if existing.priority < entry.priority:
-                index = i
-                break
-        self._entries.insert(index, entry)
+        key = (entry.priority, entry.match)
+        for _ in range(2):
+            rules, by_match = self._indexes()
+            existing = rules.get(key)
+            if existing is None:
+                # Stable insert after all entries with priority >=
+                # entry.priority (insort_right on the descending key
+                # lands exactly there).
+                bisect.insort_right(self._entries, entry, key=_sort_key)
+                bisect.insort_right(
+                    by_match.setdefault(entry.match, []), entry, key=_sort_key
+                )
+            else:
+                try:
+                    # list.index compares by identity first — a C scan.
+                    pos = self._entries.index(existing)
+                except ValueError:
+                    # Entry objects were swapped wholesale (snapshot
+                    # restore keeps rule keys but not identities, and may
+                    # skip the version bump): rebuild the index and retry
+                    # — a fresh index can't be stale.
+                    self._rules = None
+                    continue
+                self._entries[pos] = entry
+                lst = by_match[entry.match]
+                lst[lst.index(existing)] = entry
+            rules[key] = entry
+            feats_fresh = self._feats_version == self.version
+            self.version += 1
+            self._rules_version = self.version
+            # Replacement may change the actions even though the rule key
+            # is equal, so the old entry's fingerprint must come out.
+            self._feats_update(existing, entry, feats_fresh)
+            return entry
+        raise AssertionError("rule index stale after rebuild")
+
+    def add_bulk(self, entries: "list[FlowEntry]") -> int:
+        """Insert many entries in one stable sort instead of n priority scans.
+
+        Semantically identical to calling :meth:`add` per entry in order —
+        same-rule duplicates replace in place (last wins) and ties within
+        a priority keep their relative order (existing entries first, the
+        sort is stable). :meth:`add` is O(n) per call, an O(n²) wall at
+        the million-entry tables the scale bench loads; this is one
+        O(n log n) pass keyed on the (hashable) rule identity.
+        """
+        if not entries:
+            return 0
+        merged: "list[FlowEntry]" = list(self._entries)
+        slot: dict = {
+            (entry.priority, entry.match): i for i, entry in enumerate(merged)
+        }
+        for entry in entries:
+            key = (entry.priority, entry.match)
+            at = slot.get(key)
+            if at is None:
+                slot[key] = len(merged)
+                merged.append(entry)
+            else:
+                merged[at] = entry
+        merged.sort(key=_sort_key)  # stable: ties keep order
+        self._entries = merged
+        self._rules = self._by_match = self._feats = None
         self.version += 1
-        return entry
+        return len(entries)
 
     def remove(self, match: Match, priority: "int | None" = None) -> int:
         """Remove entries with the given match (and priority, if given)."""
+        if priority is not None:
+            # Strict delete targets exactly one rule — ``add`` keeps
+            # (priority, match) unique — so the index answers in O(1)
+            # and list.remove's identity fast path does the shift in C.
+            key = (priority, match)
+            for _ in range(2):
+                rules, by_match = self._indexes()
+                entry = rules.get(key)
+                if entry is None:
+                    return 0
+                try:
+                    self._entries.remove(entry)
+                except ValueError:
+                    self._rules = None  # swapped out-of-band: see add()
+                    continue
+                del rules[key]
+                lst = by_match[entry.match]
+                lst.remove(entry)
+                if not lst:
+                    del by_match[entry.match]
+                feats_fresh = self._feats_version == self.version
+                self.version += 1
+                self._rules_version = self.version
+                self._feats_update(entry, None, feats_fresh)
+                return 1
+            raise AssertionError("rule index stale after rebuild")
         before = len(self._entries)
-        self._entries = [
-            e
-            for e in self._entries
-            if not (e.match == match and (priority is None or e.priority == priority))
-        ]
+        self._entries = [e for e in self._entries if e.match != match]
         removed = before - len(self._entries)
         if removed:
+            self._rules = self._by_match = self._feats = None
             self.version += 1
         return removed
 
     def find(self, match: Match) -> "FlowEntry | None":
         """The highest-priority entry whose match *equals* ``match``.
 
-        Entries are priority-sorted, so the first hit is the one a lookup
-        would prefer among same-match duplicates.
+        Per-match lists are priority-sorted, so the head is the one a
+        lookup would prefer among same-match duplicates.
         """
-        for entry in self._entries:
-            if entry.match == match:
-                return entry
-        return None
+        _rules, by_match = self._indexes()
+        lst = by_match.get(match)
+        return lst[0] if lst else None
 
     def has_rule(self, match: Match, priority: int) -> bool:
         """True when an entry with exactly this rule (match + priority)
         exists — the ADD-replaces case capacity checks must not count."""
-        return any(
-            e.priority == priority and e.match == match for e in self._entries
-        )
+        return (priority, match) in self._indexes()[0]
 
     @property
     def full(self) -> bool:
@@ -111,6 +285,7 @@ class FlowTable:
         self._entries = [e for e in self._entries if not predicate(e)]
         removed = before - len(self._entries)
         if removed:
+            self._rules = self._by_match = self._feats = None
             self.version += 1
         return removed
 
@@ -118,6 +293,7 @@ class FlowTable:
         if self._entries:
             self.version += 1
         self._entries.clear()
+        self._rules = self._by_match = self._feats = None
 
     # -- lookup -----------------------------------------------------------------
 
@@ -159,10 +335,10 @@ class FlowTable:
         return tuple(self._entries)
 
     def matched_fields(self) -> tuple[str, ...]:
-        """Union of fields any entry matches on, sorted."""
+        """Union of fields any entry matches on, sorted (O(shapes))."""
         names: set[str] = set()
-        for entry in self._entries:
-            names.update(entry.match.fields)
+        for (_prio, sig, _set_names, _depth) in self.feature_counts():
+            names.update(n for n, _m in sig)
         return tuple(sorted(names))
 
     def __len__(self) -> int:

@@ -37,10 +37,12 @@ def build(n_entries: int, seed: int = 7) -> tuple[Pipeline, list[int]]:
             seen.add(mac)
             macs.append(mac)
     table = FlowTable(0, name="mac")
-    for i, mac in enumerate(macs):
-        table.add(
+    table.add_bulk(
+        [
             FlowEntry(Match(eth_dst=mac), priority=1, actions=[Output(i % N_PORTS)])
-        )
+            for i, mac in enumerate(macs)
+        ]
+    )
     return Pipeline([table]), macs
 
 

@@ -70,14 +70,16 @@ def build(n_prefixes: int, seed: int = 13) -> tuple[Pipeline, list[tuple[int, in
     """
     fib = synthetic_fib(n_prefixes, seed)
     table = FlowTable(0, name="rib")
-    for value, depth, port in fib:
-        table.add(
+    table.add_bulk(
+        [
             FlowEntry(
                 Match(ipv4_dst=f"{int_to_ip(value)}/{depth}"),
                 priority=depth,
                 actions=[Output(port)],
             )
-        )
+            for value, depth, port in fib
+        ]
+    )
     table.add(FlowEntry(Match(), priority=0, actions=[]))  # no default route
     return Pipeline([table]), fib
 

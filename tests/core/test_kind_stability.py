@@ -1,0 +1,221 @@
+"""The shape-class stability fast path: per-mod template re-selection
+is skipped only when provably safe, and never masks a real kind change.
+
+Million-entry churn (the megascale rig) dies on anything O(entries) per
+flow-mod; ``ESwitch._kind_stable`` proves from the O(shapes) feature
+multiset that a mod cannot move the table to another template rung. These
+tests pin both directions: steady churn takes the skip, and every
+boundary that can genuinely change the rung (new shape class, LPM hazard
+pairs, the direct-code threshold, wildcard deletes) falls through to the
+full ``select_template`` recompute.
+"""
+
+from repro.core import CompileConfig, ESwitch
+from repro.core.analysis import TemplateKind, select_template
+from repro.core.datapath import required_layer
+from repro.core.eswitch import _lpm_hazard
+from repro.openflow.actions import DecTtl, Output, SetField
+from repro.openflow.flow_entry import FlowEntry
+from repro.openflow.flow_table import FlowTable
+from repro.openflow.instructions import ApplyActions
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.openflow.pipeline import Pipeline
+from repro.usecases import l2, l3
+
+
+def add(table_id, priority=1, port=1, actions=None, **match):
+    return FlowMod(
+        FlowModCommand.ADD,
+        table_id,
+        Match(**match),
+        priority=priority,
+        instructions=(ApplyActions(actions or [Output(port)]),),
+    )
+
+
+def strict_delete(table_id, priority, **match):
+    return FlowMod(
+        FlowModCommand.DELETE, table_id, Match(**match),
+        priority=priority, strict=True,
+    )
+
+
+class TestHashChurnSkips:
+    def test_steady_churn_never_reselects(self):
+        sw = ESwitch.from_pipeline(l2.build(64)[0])
+        for i in range(40):
+            mac = (0x02 << 40) | (0xEE << 32) | i
+            sw.apply_flow_mod(add(0, eth_dst=mac))
+            sw.apply_flow_mod(strict_delete(0, 1, eth_dst=mac))
+        assert sw.update_stats.kind_stable_skips == 80
+        assert sw.update_stats.rebuilds == 0
+        assert sw.update_stats.incremental == 80
+        assert sw.compiled_table(0).kind is TemplateKind.HASH
+
+    def test_new_shape_class_recomputes(self):
+        sw = ESwitch.from_pipeline(l2.build(64)[0])
+        before = sw.update_stats.kind_stable_skips
+        # A masked match is a new shape class: uniformity may break, so
+        # the full re-selection must run (and correctly falls back).
+        sw.apply_flow_mod(add(0, eth_dst=(0x020000000000, 0xFFFF00000000)))
+        assert sw.update_stats.kind_stable_skips == before
+        assert sw.compiled_table(0).kind is not TemplateKind.HASH
+
+    def test_wildcard_delete_recomputes(self):
+        sw = ESwitch.from_pipeline(l2.build(64)[0])
+        before = sw.update_stats.kind_stable_skips
+        sw.apply_flow_mod(
+            FlowMod(FlowModCommand.DELETE, 0, Match(eth_dst=l2.build(64)[1][0]))
+        )
+        assert sw.update_stats.kind_stable_skips == before
+
+    def test_direct_threshold_boundary_recomputes(self):
+        pipeline, macs = l2.build(6)
+        sw = ESwitch(pipeline, config=CompileConfig(direct_threshold=5))
+        assert sw.compiled_table(0).kind is TemplateKind.HASH  # 6 > 5
+        sw.apply_flow_mod(strict_delete(0, 1, eth_dst=macs[0]))
+        # Crossing the threshold must re-select: the table is now direct.
+        assert sw.compiled_table(0).kind is TemplateKind.DIRECT
+        assert sw.update_stats.kind_stable_skips == 0
+
+
+class TestLpmChurnSkips:
+    def test_consistent_prefix_churn_skips(self):
+        sw = ESwitch.from_pipeline(l3.build(64)[0])
+        for i in range(20):
+            prefix = f"198.51.{i}.0/24"
+            sw.apply_flow_mod(add(0, priority=24, ipv4_dst=prefix))
+            sw.apply_flow_mod(strict_delete(0, 24, ipv4_dst=prefix))
+        assert sw.update_stats.kind_stable_skips == 40
+        assert sw.update_stats.rebuilds == 0
+        assert sw.compiled_table(0).kind is TemplateKind.LPM
+
+    def test_ancestor_priority_violation_falls_back(self):
+        sw = ESwitch.from_pipeline(l3.build(64)[0])
+        # A /8 outranking every /24 under it violates the LPM
+        # prerequisite; its class is new, so the full recompute runs and
+        # correctly falls back off the LPM rung.
+        sw.apply_flow_mod(add(0, priority=60, ipv4_dst="10.0.0.0/8"))
+        assert sw.compiled_table(0).kind is not TemplateKind.LPM
+        assert sw.update_stats.fallbacks >= 1
+
+    def test_delete_from_consistent_set_skips(self):
+        pipeline, fib = l3.build(64)
+        sw = ESwitch.from_pipeline(pipeline)
+        from repro.net.addresses import int_to_ip
+
+        value, depth, _port = fib[0]
+        sw.apply_flow_mod(
+            strict_delete(0, depth, ipv4_dst=f"{int_to_ip(value)}/{depth}")
+        )
+        assert sw.update_stats.kind_stable_skips == 1
+        assert sw.compiled_table(0).kind is TemplateKind.LPM
+
+
+class TestLpmHazard:
+    def test_depth_ordered_priorities_are_hazard_free(self):
+        classes = {
+            (16, (("ipv4_dst", 0xFFFF0000),)),
+            (24, (("ipv4_dst", 0xFFFFFF00),)),
+            (0, ()),
+        }
+        assert not _lpm_hazard(classes)
+
+    def test_equal_depth_two_priorities_is_hazardous(self):
+        classes = {
+            (24, (("ipv4_dst", 0xFFFFFF00),)),
+            (23, (("ipv4_dst", 0xFFFFFF00),)),
+        }
+        assert _lpm_hazard(classes)
+
+    def test_shallow_outranking_deep_is_hazardous(self):
+        classes = {
+            (30, (("ipv4_dst", 0xFFFF0000),)),
+            (24, (("ipv4_dst", 0xFFFFFF00),)),
+        }
+        assert _lpm_hazard(classes)
+
+
+class TestSkipNeverChangesSelection:
+    def test_skip_decisions_match_full_reselection(self):
+        """Whenever the fast path skipped, select_template would have
+        agreed — replayed over a mixed churn schedule."""
+        pipeline, _macs = l2.build(32)
+        sw = ESwitch(pipeline, config=CompileConfig())
+        mods = []
+        for i in range(15):
+            mac = (0x02 << 40) | (0xDD << 32) | i
+            mods.append(add(0, eth_dst=mac))
+            if i % 3 == 0:
+                mods.append(strict_delete(0, 1, eth_dst=mac))
+        for mod in mods:
+            sw.apply_flow_mod(mod)
+            table = sw.pipeline.table(0)
+            assert (
+                select_template(table.entries, sw.config)
+                is sw.compiled_table(0).kind
+            )
+
+
+class TestRequiredLayerOverFeatures:
+    def _brute(self, pipeline):
+        from repro.openflow.fields import max_layer
+        from repro.openflow.groups import GroupAction
+
+        deepest = 2
+        names = set(pipeline.matched_fields())
+        for table in pipeline:
+            for entry in table:
+                for action in entry.apply_actions + entry.write_actions:
+                    if isinstance(action, SetField):
+                        names.add(action.field)
+                    elif isinstance(action, DecTtl):
+                        deepest = max(deepest, 3)
+                    elif isinstance(action, GroupAction):
+                        deepest = 4
+        if names:
+            deepest = max(deepest, max_layer(names))
+        return deepest
+
+    def _check(self, entries):
+        table = FlowTable(0)
+        for e in entries:
+            table.add(e)
+        pipeline = Pipeline([table])
+        assert required_layer(pipeline) == self._brute(pipeline)
+
+    def test_l2_only(self):
+        self._check([
+            FlowEntry(Match(eth_dst=i), priority=1, actions=[Output(1)])
+            for i in range(4)
+        ])
+
+    def test_setfield_deepens(self):
+        self._check([
+            FlowEntry(Match(eth_dst=1), priority=1,
+                      actions=[SetField("tcp_dst", 80), Output(1)]),
+        ])
+
+    def test_dec_ttl_deepens(self):
+        self._check([
+            FlowEntry(Match(eth_dst=1), priority=1,
+                      actions=[DecTtl(), Output(1)]),
+        ])
+
+    def test_match_fields_deepen(self):
+        self._check([
+            FlowEntry(Match(ipv4_dst="10.0.0.0/8"), priority=8,
+                      actions=[Output(1)]),
+        ])
+
+    def test_tracks_mutation(self):
+        table = FlowTable(0)
+        table.add(FlowEntry(Match(eth_dst=1), priority=1, actions=[Output(1)]))
+        pipeline = Pipeline([table])
+        assert required_layer(pipeline) == 2
+        deep = FlowEntry(Match(eth_dst=2), priority=1, actions=[DecTtl()])
+        table.add(deep)
+        assert required_layer(pipeline) == self._brute(pipeline) == 3
+        table.remove(deep.match, 1)
+        assert required_layer(pipeline) == 2

@@ -137,3 +137,81 @@ class TestMisc:
     def test_priority_bounds(self):
         with pytest.raises(ValueError):
             FlowEntry(Match(), priority=70000)
+
+
+class TestFeatureCounts:
+    """feature_counts() — the lazy shape-class multiset that makes
+    required_layer and kind-stability O(shapes) instead of O(entries)."""
+
+    @staticmethod
+    def brute(t):
+        from repro.openflow.flow_table import entry_features
+
+        want: dict = {}
+        for e in t.entries:
+            f = entry_features(e)
+            want[f] = want.get(f, 0) + 1
+        return want
+
+    def test_matches_brute_force_after_adds(self):
+        t = FlowTable(0)
+        for i in range(8):
+            t.add(entry(1, tcp_dst=i))
+        t.add(entry(24, ipv4_dst="10.0.0.0/24"))
+        counts = t.feature_counts()
+        assert counts == self.brute(t)
+        assert sum(counts.values()) == len(t)
+
+    def test_incremental_maintenance_stays_exact(self):
+        import random
+
+        rng = random.Random(3)
+        t = FlowTable(0)
+        t.feature_counts()  # prime the cache so mutations maintain it
+        live: list = []
+        for _ in range(200):
+            if live and rng.random() < 0.4:
+                victim = live.pop(rng.randrange(len(live)))
+                assert t.remove(victim.match, victim.priority) == 1
+            else:
+                e = entry(rng.randrange(1, 4), tcp_dst=rng.randrange(30))
+                t.add(e)
+                live = [x for x in live
+                        if (x.priority, x.match) != (e.priority, e.match)]
+                live.append(e)
+            assert t.feature_counts() == self.brute(t)
+
+    def test_replacement_with_different_actions_updates(self):
+        from repro.openflow.actions import DecTtl, Output as Out
+
+        t = FlowTable(0)
+        t.add(entry(10, tcp_dst=80))
+        t.feature_counts()
+        # Same rule key, deeper action profile: the old class must be
+        # decremented, not just the new one added.
+        t.add(FlowEntry(Match(tcp_dst=80), priority=10,
+                        actions=[DecTtl(), Out(1)]))
+        counts = t.feature_counts()
+        assert counts == self.brute(t)
+        assert sum(counts.values()) == 1
+
+    def test_bulk_and_wildcard_paths_invalidate(self):
+        t = FlowTable(0)
+        t.add_bulk([entry(1, tcp_dst=i) for i in range(4)])
+        assert t.feature_counts() == self.brute(t)
+        t.remove(Match(tcp_dst=1))  # non-strict: invalidates, recomputes
+        assert t.feature_counts() == self.brute(t)
+        t.remove_if(lambda e: e.priority == 1)
+        assert t.feature_counts() == self.brute(t) == {}
+        t.add_bulk([entry(2, in_port=i) for i in range(3)])
+        t.clear()
+        assert t.feature_counts() == {}
+
+    def test_survives_pickle_round_trip(self):
+        import pickle
+
+        t = FlowTable(0)
+        t.add(entry(1, tcp_dst=80))
+        t.feature_counts()
+        clone = pickle.loads(pickle.dumps(t))
+        assert clone.feature_counts() == self.brute(clone)

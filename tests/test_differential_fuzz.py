@@ -29,6 +29,7 @@ from repro.fuzz import (
     Scenario,
     diverges,
     generate,
+    generate_large,
     minimize,
     run_scenario,
 )
@@ -99,6 +100,48 @@ class TestGenerator:
             if divergences:
                 failures.append((seed, [str(d) for d in divergences]))
         assert not failures, failures
+
+
+class TestLargeCardinality:
+    """The large-cardinality scenario class: chained hash/LPM/direct
+    tables big enough that the CompileConfig overrides matter, run
+    through the full backend matrix."""
+
+    def test_deterministic_and_round_trips(self):
+        a = generate_large(3, n_entries=48)
+        b = generate_large(3, n_entries=48)
+        assert a.to_obj() == b.to_obj()
+        assert Scenario.from_obj(
+            json.loads(json.dumps(a.to_obj()))
+        ).to_obj() == a.to_obj()
+
+    def test_overrides_serialize(self):
+        scenario = generate_large(5, n_entries=48)
+        obj = scenario.to_obj()
+        assert obj["direct_threshold"] == scenario.direct_threshold
+        assert obj["source_budget"] == scenario.source_budget
+
+    def test_pins_every_rung_and_degrades_direct(self):
+        scenario = generate_large(1, n_entries=48)
+        switch = ESwitch(
+            scenario.build_pipeline(),
+            config=CompileConfig(
+                direct_threshold=scenario.direct_threshold,
+                source_budget=scenario.source_budget,
+            ),
+        )
+        switch.warm()
+        kinds = {
+            tid: switch.compiled_table(tid).kind.name.lower()
+            for tid in (0, 1, 2)
+        }
+        assert kinds == {0: "hash", 1: "lpm", 2: "direct"}
+        assert switch.health().data_driven  # budget forced the fallback
+
+    def test_matrix_clean_under_churn(self):
+        scenario = generate_large(2, n_entries=48)
+        divergences = run_scenario(scenario)
+        assert not divergences, [str(d) for d in divergences]
 
 
 class TestShrinker:
