@@ -32,7 +32,12 @@ def test_megascale():
         n_flows=FLOWS,
         n_packets=4_000,
         traffic_flows=4_096,
-        churn_mods=2_000,
+        # A wide mod window: at tens of thousands of mods/s a 2k-mod
+        # leg finishes in ~0.06 s, short enough that one scheduler
+        # hiccup halves the measured rate. 20k mods (~0.5-1 s, still
+        # inside the rung time box) amortizes the noise; the box's
+        # deadline caps it on slow hosts either way.
+        churn_mods=20_000,
         rung_seconds=RUNG_SECONDS,
         collapse_axis=(1_024, 8_192, 32_768, 131_072, 1_048_576),
     )
@@ -89,6 +94,18 @@ def test_megascale():
         assert p["incremental"] == p["mods_applied"], (rung, p)
         assert p["kind_stable_skips"] == p["mods_applied"], (rung, p)
         assert p["modeled_entries_per_sec"] > 1e6, (rung, p)
+
+    # The churn wall itself: sustained *wall-clock* mods/s on the
+    # specialized rungs. The sorted-list store managed ~1-2k mods/s at
+    # 10⁵ entries (every delete an O(n) memmove, every mod an O(n)
+    # index rebuild); the tombstone store sustains tens of thousands.
+    # Asserted on the best complete timing window (shared-host noise is
+    # one-sided — see _run_churn); env-tunable, 0 disables.
+    churn_floor = float(os.environ.get("MEGASCALE_CHURN_FLOOR", "20000"))
+    for rung in ("hash", "lpm"):
+        assert churn[rung]["entries_per_sec_best"] >= churn_floor, (
+            rung, churn_floor, churn[rung]
+        )
 
     # Fig. 3 mechanism: inside EMC capacity the microflow cache serves
     # ~everything; past it (axis points above 8192, when FLOWS affords

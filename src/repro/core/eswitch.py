@@ -108,6 +108,10 @@ class UpdateStats:
     #: template re-selections skipped by the shape-class stability proof
     #: (the O(entries) scan never ran for these mods).
     kind_stable_skips: int = 0
+    #: mods that provably changed nothing (a DELETE matching no live
+    #: entry — including predicates that would only have hit tombstoned
+    #: slots): no version bump, no re-fuse, no template re-selection.
+    noop_mods: int = 0
     cycles: float = 0.0
 
 
@@ -212,6 +216,12 @@ class ESwitch:
         #: against ``config.compile_budget`` to defer over-budget rebuilds.
         self._batch_compiles = 0
         self._in_batch = False
+        #: memoized LPM hazard verdicts: table id -> (shapes_version,
+        #: hazard-free). The hazard scan is O(classes²) over the shape
+        #: set alone, and ``shapes_version`` moves whenever that set may
+        #: have changed — so churn within existing classes answers from
+        #: the cache instead of re-scanning every ADD.
+        self._lpm_hazard_free: dict[int, tuple[int, bool]] = {}
         self.datapath = CompiledDatapath(
             first_table=pipeline.first_table.table_id,
             parser_layer=required_layer(pipeline),
@@ -304,6 +314,8 @@ class ESwitch:
         """
         if self._dirty_groups:
             self._flush_rebuilds()
+        for table in self.pipeline:
+            table.prime()  # lazy rule indexes, off the first-mod path
         return self.datapath.ensure_fused() is not None
 
     # -- inspection -----------------------------------------------------------
@@ -498,6 +510,7 @@ class ESwitch:
         table = self.pipeline.get_or_create(mod.table_id)
         new_table = mod.table_id not in self._groups
         len_before = len(table)
+        shapes_before = table.shapes_version
         pre_class_exists = False
         if not new_table and mod.command is not FlowModCommand.DELETE:
             # Does the mod's (priority, match-shape) class already exist?
@@ -516,7 +529,10 @@ class ESwitch:
             if not removed and not new_table:
                 # Nothing matched: logical and compiled state are already
                 # consistent, and touching the template (e.g. a phantom
-                # hash-store removal) would desynchronize them.
+                # hash-store removal) would desynchronize them. The table
+                # did not bump its version either, so no re-fuse or
+                # template re-selection follows — count the no-op.
+                self.update_stats.noop_mods += 1
                 return 0.0
         else:
             # ADD replacing an existing rule does not grow the table, so it
@@ -533,10 +549,14 @@ class ESwitch:
                 )
             table.add(mod.to_entry())
         # Updates can deepen (or shallow) the fields in play: re-plan the
-        # parser templates before the next packet.
-        layer = required_layer(self.pipeline)
-        if layer != self.datapath.parser_layer:
-            self.datapath.set_parser_layer(layer)
+        # parser templates before the next packet. Only this table mutated,
+        # so when its shape *set* provably did not move (steady-state churn
+        # inside existing classes) the pipeline-wide answer cannot have
+        # changed either — skip the O(tables × shapes) recompute.
+        if new_table or table.shapes_version != shapes_before:
+            layer = required_layer(self.pipeline)
+            if layer != self.datapath.parser_layer:
+                self.datapath.set_parser_layer(layer)
         kind_stable = self._kind_stable(table, mod, len_before, pre_class_exists)
         cycles = self._recompile_after_update(table, mod, new_table, kind_stable)
         # Incremental updates mutate compiled-table namespaces in place
@@ -580,8 +600,9 @@ class ESwitch:
                     self.quarantined.pop(tid, None)
                     continue
                 table = self.pipeline.table(tid)
-                table._entries = list(entries)
-                table.version += 1
+                # One version bump; every derived structure (rule indexes,
+                # feature multiset, tombstone store) resyncs together.
+                table.restore_entries(entries)
                 self._rebuild_group(tid)
             # The rolled-back mods must leave no trace in the modeled cost
             # accounting (the cycles half of batch invisibility); the
@@ -763,8 +784,14 @@ class ESwitch:
                 return True
             if not pre_class_exists:
                 return False
+            shapes = table.shapes_version
+            cached = self._lpm_hazard_free.get(table.table_id)
+            if cached is not None and cached[0] == shapes:
+                return cached[1]
             classes = {(k[0], k[1]) for k in counts}
-            return not _lpm_hazard(classes)
+            free = not _lpm_hazard(classes)
+            self._lpm_hazard_free[table.table_id] = (shapes, free)
+            return free
         return False
 
     def _recompile_after_update(
@@ -846,9 +873,10 @@ class ESwitch:
         if compiled.kind is TemplateKind.HASH:
             match = mod.match
             if match.is_catch_all:
+                last = table.last_entry()  # O(1): no live-tuple rebuild
                 compiled.namespace["_MISS"] = (
-                    outcome_of(table.entries[-1])
-                    if table.entries and table.entries[-1].match.is_catch_all
+                    outcome_of(last)
+                    if last is not None and last.match.is_catch_all
                     else miss_outcome(table)
                 )
                 return True
@@ -876,9 +904,10 @@ class ESwitch:
             match = mod.match
             assert compiled.lpm_store is not None
             if match.is_catch_all:
+                last = table.last_entry()  # O(1): no live-tuple rebuild
                 compiled.namespace["_MISS"] = (
-                    outcome_of(table.entries[-1])
-                    if table.entries and table.entries[-1].match.is_catch_all
+                    outcome_of(last)
+                    if last is not None and last.match.is_catch_all
                     else miss_outcome(table)
                 )
                 return True

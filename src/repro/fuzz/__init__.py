@@ -15,7 +15,7 @@ Entry points: ``repro fuzz`` (CLI) and ``tests/test_differential_fuzz.py``.
 """
 
 from repro.fuzz.diff import DEFAULT_WORKERS, Divergence, diverges, run_scenario, run_seed
-from repro.fuzz.gen import GenerationError, RUNGS, generate, generate_large
+from repro.fuzz.gen import GenerationError, RUNGS, generate, generate_churn, generate_large
 from repro.fuzz.scenario import Scenario, packet_to_obj
 from repro.fuzz.shrink import minimize
 
@@ -27,6 +27,7 @@ __all__ = [
     "Scenario",
     "diverges",
     "generate",
+    "generate_churn",
     "generate_large",
     "minimize",
     "packet_to_obj",

@@ -18,7 +18,7 @@ import sys
 from repro.core.analysis import TemplateKind
 from repro.core.eswitch import CompileConfig, ESwitch
 from repro.fuzz.diff import run_scenario
-from repro.fuzz.gen import RUNGS, GenerationError, generate
+from repro.fuzz.gen import RUNGS, GenerationError, generate, generate_churn
 from repro.fuzz.scenario import Scenario
 
 _KIND_OF = {
@@ -131,6 +131,20 @@ def curate(corpus_dir: str) -> list[str]:
         ),
         "burst includes truncated/garbage frames",
     )
+    for seed in range(64):
+        scenario = generate_churn(seed)
+        if not run_scenario(scenario):
+            save(
+                "traffic-churn-expiry",
+                scenario,
+                "churn wall: a strict-delete storm crosses the tombstone "
+                "compaction threshold, expiry-clock ticks drive every "
+                "backend's ExpiryManager (idle, hard, and refresh paths), "
+                "and no-op re-deletes of expired rules bump nothing",
+            )
+            break
+    else:
+        raise SystemExit("no clean churn seed < 64")
     return written
 
 

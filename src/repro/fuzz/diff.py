@@ -17,6 +17,10 @@ against the **reference interpreter** (``Pipeline.process``), asserting:
 * identical admission decisions and error taxonomies for every flow-mod
   batch across the ESwitch family (the reference and OVS have no
   admission control; they follow the arbiter's accepted batches);
+* identical expiry decisions at every clock tick: each backend gets its
+  own :class:`ExpiryManager` (expiry is local control-plane behavior,
+  not arbitrated), and identical counters under identical clocks must
+  expire identical ``(table, match, priority, reason)`` sets;
 * identical end-of-run flow counters on every logical entry;
 * bit-identical modeled cycle totals where defined: fused ↔ trampoline
   always (fusion's contract), and sharded(workers=1) ↔ fused unless the
@@ -39,6 +43,7 @@ from repro.core import ESwitch
 from repro.core.analysis import CompileConfig
 from repro.fuzz.scenario import Scenario
 from repro.openflow.messages import FlowModCommand
+from repro.openflow.timeouts import ExpiryManager, PipelineAdapter
 from repro.ovs import OvsSwitch
 from repro.parallel import ShardedESwitch, rings
 from repro.simcpu.platform import XEON_E5_2620
@@ -49,7 +54,7 @@ DEFAULT_WORKERS = (1, 4)
 
 @dataclass
 class Divergence:
-    kind: str  # verdict | bytes | admission | counters | cycles | crash
+    kind: str  # verdict | bytes | admission | expiry | counters | cycles | crash
     backend: str
     detail: str
     event: int = -1
@@ -159,6 +164,7 @@ class _ShardedBackend:
             scenario.build_pipeline(), workers=workers, backend="thread",
             config=config, transport=transport,
         )
+        self.switch = self.engine  # uniform expiry-manager target
         self.meter = CycleMeter(XEON_E5_2620)
 
     @property
@@ -241,6 +247,16 @@ def run_scenario(
         ))
 
     dead: set = set()
+    # One ExpiryManager per backend plus one over the reference, created
+    # on the first "tick" event. Expiry is *local* control-plane behavior
+    # (no arbiter): every manager sees the same scenario clock, and since
+    # counters are oracle-identical, expiry decisions must be too.
+    expiries: dict = {}
+    ref_expiry: "ExpiryManager | None" = None
+
+    def _expiry_sig(expired) -> list:
+        return [(tid, entry.match, entry.priority, reason)
+                for tid, entry, reason in expired]
 
     def crash(backend, exc, event, kind="crash"):
         divergences.append(Divergence(
@@ -280,6 +296,28 @@ def run_scenario(
                                     f"{got.hex()} != reference {want.hex()}",
                                     event=ei, packet=pi,
                                 ))
+            elif "tick" in event:
+                now = float(event["tick"])
+                if ref_expiry is None:
+                    ref_expiry = ExpiryManager(PipelineAdapter(reference))
+                want = _expiry_sig(ref_expiry.tick(now))
+                for backend in backends:
+                    if backend.name in dead:
+                        continue
+                    manager = expiries.get(backend.name)
+                    if manager is None:
+                        manager = ExpiryManager(backend.switch)
+                        expiries[backend.name] = manager
+                    try:
+                        got = _expiry_sig(manager.tick(now))
+                    except Exception as exc:  # noqa: BLE001
+                        crash(backend, exc, ei)
+                        continue
+                    if got != want:
+                        divergences.append(Divergence(
+                            "expiry", backend.name,
+                            f"{got} != reference {want}", event=ei,
+                        ))
             else:
                 batch = event["mods"]
                 arbiter = next(

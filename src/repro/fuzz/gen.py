@@ -22,6 +22,7 @@ from repro.fuzz import domain
 from repro.fuzz.scenario import Scenario, packet_to_obj
 from repro.openflow.flow_table import TableMissPolicy
 from repro.openflow.groups import GroupType
+from repro.openflow.timeouts import ExpiryManager, PipelineAdapter
 
 RUNGS = ("direct", "hash", "lpm", "range", "linked_list", "decompose")
 
@@ -546,16 +547,170 @@ def generate_large(seed: int, n_entries: int = 96) -> Scenario:
     )
 
 
+def generate_churn(seed: int, n_entries: int = 160) -> Scenario:
+    """The churn-wall scenario class: tombstones, compaction, expiry.
+
+    A hash-rung table whose flow population is stressed exactly the way
+    the entry store's bug class manifests, differentially:
+
+    * **idle expiry** — one cohort gets traffic only before the first
+      clock tick and idle-expires at the second;
+    * **activity refresh** — a keep-alive cohort is fed every inter-tick
+      window, so its idle deadlines keep moving and it must survive;
+    * **hard-beats-idle** — a cohort carrying *both* timeouts stays
+      active right up to its hard deadline and must expire ``"hard"``;
+    * **tombstone storm** — a single strict-delete batch kills a cohort
+      larger than ``COMPACT_MIN_DEAD``, driving the dead fraction over
+      the amortized-compaction threshold mid-batch, with aimed traffic
+      before and after the compaction;
+    * **no-op deletes** — strict deletes re-targeting already-expired
+      rules remove nothing and must bump nothing anywhere.
+
+    Every backend runs its own :class:`ExpiryManager` against the shared
+    event clock, so expiry decisions are themselves an oracle output.
+    """
+    if n_entries < 160:
+        # The storm cohort (2/5 of the population) must cross the
+        # compaction floor (COMPACT_MIN_DEAD = 64) in one batch.
+        raise ValueError("generate_churn needs n_entries >= 160")
+    rng = random.Random(f"churn/{seed}")
+    full_mac = domain.full_mask("eth_dst")
+    full_ip = domain.full_mask("ipv4_dst")
+
+    n5 = n_entries // 5
+    idle_victims = range(0, n5)                   # expire idle at t=6
+    keepalive = range(n5, 2 * n5)                 # fed every window
+    hard_both = range(2 * n5, 2 * n5 + n5 // 2)   # active to the end: hard
+    hard_solo = range(2 * n5 + n5 // 2, 3 * n5)   # no idle, no traffic
+    storm = range(3 * n5, n_entries)              # strict-delete storm
+
+    def mac_fields(i: int) -> dict:
+        return {"eth_dst": ((0x02 << 40) | (0xEE << 32) | i, full_mac)}
+
+    hash_entries = []
+    for i in range(n_entries):
+        obj = {
+            "priority": 1,
+            "match": _match_obj(mac_fields(i)),
+            "apply": [{"output": 1 + (i & 3)}],
+            "goto": 1,
+        }
+        if i in idle_victims or i in keepalive or i in hard_both:
+            obj["idle_timeout"] = 4.0
+        if i in hard_both or i in hard_solo:
+            obj["hard_timeout"] = 12.0
+        hash_entries.append(obj)
+    hash_entries.append(
+        {"priority": 0, "match": {}, "apply": [{"output": 1}], "goto": 1}
+    )
+
+    lpm_profiles, lpm_entries = [], []
+    for i in range(16):
+        if i % 4 == 0:
+            plen, value = 16, (10 << 24) | (i << 16)
+        else:
+            plen, value = 24, (10 << 24) | ((i & 3) << 16) | (i << 8)
+        mask = (full_ip << (32 - plen)) & full_ip
+        fields = {"ipv4_dst": (value & mask, mask)}
+        lpm_profiles.append(fields)
+        lpm_entries.append({
+            "priority": plen,  # LPM consistency: priority = prefix length
+            "match": _match_obj(fields),
+            "apply": [{"output": 1 + (i & 3)}],
+        })
+    lpm_entries.append({"priority": 0, "match": {}, "apply": ["drop"]})
+
+    def aimed_burst(indices) -> list:
+        out = []
+        for i in indices:
+            fields = dict(mac_fields(i))
+            fields.update(rng.choice(lpm_profiles))
+            out.append(packet_to_obj(domain.packet_for_fields(rng, fields)))
+        return out
+
+    mask24 = (full_ip << 8) & full_ip
+
+    def churn_batch(index: int) -> list:
+        mac = {"eth_dst": ((0x02 << 40) | (0xDD << 32) | index, full_mac)}
+        pfx = {"ipv4_dst": (((172 << 24) | (index << 8)) & mask24, mask24)}
+        batch = [
+            {"cmd": "add", "table": 0, "priority": 1,
+             "match": _match_obj(mac), "apply": [{"output": 4}], "goto": 1},
+            {"cmd": "add", "table": 1, "priority": 24,
+             "match": _match_obj(pfx), "apply": [{"output": 4}]},
+        ]
+        if index % 2:  # delete the previous round's adds: sustained churn
+            prev_mac = {
+                "eth_dst": ((0x02 << 40) | (0xDD << 32) | (index - 1), full_mac)
+            }
+            prev_pfx = {
+                "ipv4_dst": (((172 << 24) | ((index - 1) << 8)) & mask24, mask24)
+            }
+            batch.append({"cmd": "delete", "table": 0, "priority": 1,
+                          "match": _match_obj(prev_mac), "strict": True})
+            batch.append({"cmd": "delete", "table": 1, "priority": 24,
+                          "match": _match_obj(prev_pfx), "strict": True})
+        return batch
+
+    storm_batch = [
+        {"cmd": "delete", "table": 0, "priority": 1,
+         "match": _match_obj(mac_fields(i)), "strict": True}
+        for i in storm
+    ]
+    noop_batch = [
+        # Re-deleting rules the t=6 tick already expired: pure no-ops.
+        {"cmd": "delete", "table": 0, "priority": 1,
+         "match": _match_obj(mac_fields(i)), "strict": True}
+        for i in list(idle_victims)[:4]
+    ]
+
+    fed = list(keepalive) + list(hard_both)
+    events: list = [
+        {"burst": aimed_burst(list(idle_victims)[:8] + fed)},
+        {"tick": 1.0},   # first observe: timed cohorts start tracking
+        {"mods": churn_batch(0)},
+        {"mods": churn_batch(1)},
+        {"burst": aimed_burst(fed)},
+        {"tick": 6.0},   # idle victims (quiet since before t=1) expire
+        {"mods": noop_batch},
+        {"mods": churn_batch(2)},
+        {"burst": aimed_burst(fed)},
+        {"mods": storm_batch},  # tombstones cross the compaction threshold
+        {"burst": aimed_burst(list(keepalive)[:12])},
+        {"tick": 14.0},  # hard deadlines due; refreshed idle flows survive
+        {"burst": aimed_burst(list(keepalive)[:8] + list(storm)[:4])},
+    ]
+
+    return Scenario(
+        pipeline_obj={"tables": [
+            {"id": 0, "name": "t0-hash-churn", "miss": "drop",
+             "entries": hash_entries},
+            {"id": 1, "name": "t1-lpm-churn", "miss": "drop",
+             "entries": lpm_entries},
+        ]},
+        events=events,
+        seed=seed,
+        name=f"churn-{n_entries}",
+        note="churn-wall class: tombstone storms, amortized compaction, "
+             "idle+hard expiry ticks, no-op strict deletes",
+    )
+
+
 def _sane(scenario: Scenario) -> bool:
     """Dry-run the reference interpreter: a scenario whose *reference*
     crashes is a generator bug, not a differential finding."""
     try:
         pipeline = scenario.build_pipeline()
         pipeline.validate()
+        expiry = None
         for event in scenario.events:
             if "burst" in event:
                 for pkt in scenario.build_packets(event["burst"]):
                     pipeline.process(pkt)
+            elif "tick" in event:
+                if expiry is None:
+                    expiry = ExpiryManager(PipelineAdapter(pipeline))
+                expiry.tick(float(event["tick"]))
             else:
                 scenario.build_mods(event["mods"], pipeline)
         return True

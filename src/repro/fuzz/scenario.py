@@ -2,7 +2,9 @@
 
 A :class:`Scenario` is pure data — a pipeline document (the
 :mod:`repro.openflow.serialize` JSON dialect), an event schedule
-(packet bursts interleaved with flow-mod batches), and the degradation
+(packet bursts interleaved with flow-mod batches and expiry-clock
+ticks ``{"tick": seconds}``, which each backend feeds to its own
+:class:`~repro.openflow.timeouts.ExpiryManager`), and the degradation
 flags the executor applies before traffic starts. It is deliberately
 *dead*: every backend materializes its **own** pipeline, packets, and
 flow-mods from the document, because packets mutate in flight and

@@ -1,4 +1,4 @@
-"""Flow tables: priority-ordered entry lists with lookup and modification.
+"""Flow tables: priority-ordered entry stores with lookup and modification.
 
 Lookup walks entries in decreasing priority, the direct-datapath semantics
 of Section 2.1; the fast switches (:mod:`repro.core`, :mod:`repro.ovs`)
@@ -7,6 +7,25 @@ records *which entries were probed* during a lookup — the megaflow
 wildcard computation in :mod:`repro.ovs.megaflow` needs the non-matching
 higher-priority entries too ("those that caused a match as well as those
 higher priority ones that did not", Section 2.2).
+
+Storage is a **tombstone-compacting slot list**: deletes blank the entry's
+slot to ``None`` in O(1) instead of paying a list memmove per removal (the
+churn wall at 10⁵+ entries), lookups and iteration skip tombstones, and an
+amortized compaction squeezes the dead slots out once they reach a quarter
+of the store — off the per-mod critical path, and invisible to every
+consumer because the *live* order never changes and ``version`` does not
+move. The parallel ``_keys`` list keeps each tombstone's old sort key so
+priority bisection stays valid between compactions, which is also what
+lets a fresh ADD reuse a tombstone adjacent to its insertion point (the
+steady-state churn pattern) without any memmove at all.
+
+Every derived structure — the rule indexes, the feature multiset, the
+live-entries tuple, the slot map — obeys one staleness contract,
+:meth:`FlowTable._guard`: it is trusted only while ``version``, the
+identity of the ``_entries`` list, and the slot count all still agree
+with the store; any out-of-band mutation (snapshot restores assign
+``_entries`` wholesale, with or without a version bump) resynchronizes
+*all* of them together, never one index at a time.
 """
 
 from __future__ import annotations
@@ -21,8 +40,13 @@ from repro.packet.parser import ParsedPacket
 
 
 def _sort_key(entry: "FlowEntry") -> int:
-    """Priority-descending sort/bisect key for the entry list."""
+    """Priority-descending sort/bisect key for the entry store."""
     return -entry.priority
+
+
+#: Action types entry_features dispatches on, resolved once on first use
+#: (a per-call import was measurable at churn rates).
+_FEAT_TYPES: "tuple | None" = None
 
 
 def entry_features(entry: FlowEntry) -> tuple:
@@ -36,8 +60,16 @@ def entry_features(entry: FlowEntry) -> tuple:
     aggregates these so per-flow-mod replanning reads a handful of
     distinct shapes instead of rescanning a million entries.
     """
-    from repro.openflow.actions import DecTtl, SetField
-    from repro.openflow.groups import GroupAction
+    cached = entry._features
+    if cached is not None:
+        return cached
+    global _FEAT_TYPES
+    if _FEAT_TYPES is None:
+        from repro.openflow.actions import DecTtl, SetField
+        from repro.openflow.groups import GroupAction
+
+        _FEAT_TYPES = (SetField, DecTtl, GroupAction)
+    SetField, DecTtl, GroupAction = _FEAT_TYPES
 
     sig = tuple((n, m) for n, (_v, m) in entry.match.items())
     names: set[str] = set()
@@ -50,7 +82,9 @@ def entry_features(entry: FlowEntry) -> tuple:
         elif isinstance(action, GroupAction):
             # SELECT bucket choice hashes the 5-tuple: full parse.
             depth = 4
-    return (entry.priority, sig, tuple(sorted(names)), depth)
+    feats = (entry.priority, sig, tuple(sorted(names)), depth)
+    entry._features = feats  # rule state is immutable: safe to memoize
+    return feats
 
 
 class TableMissPolicy(enum.Enum):
@@ -61,7 +95,13 @@ class TableMissPolicy(enum.Enum):
 
 
 class FlowTable:
-    """A single pipeline stage: a priority-sorted list of flow entries."""
+    """A single pipeline stage: a priority-sorted store of flow entries."""
+
+    #: Compaction triggers when at least this many tombstones accumulate …
+    COMPACT_MIN_DEAD = 64
+    #: … and they are at least this fraction of all slots. Amortized: a
+    #: compaction copies the live entries once per O(n) deletes.
+    COMPACT_DEAD_FRACTION = 0.25
 
     def __init__(
         self,
@@ -80,54 +120,178 @@ class FlowTable:
         #: advertised capacity (OpenFlow table-features ``max_entries``);
         #: None = unbounded. The table itself stays permissive — admission
         #: control (``ESwitch.admit_flow_mods``) is what surfaces an
-        #: over-capacity flow-mod as ``OFPFMFC_TABLE_FULL``.
+        #: over-capacity flow-mod as ``OFPFMFC_TABLE_FULL``. Tombstones
+        #: never count against capacity.
         self.max_entries = max_entries
-        self._entries: list[FlowEntry] = []  # kept sorted: priority desc, stable
-        self.version = 0  # bumped on every modification (for cache invalidation)
+        # The slot list: priority-descending, insertion-stable among live
+        # entries; a deleted entry's slot holds None (a tombstone).
+        self._entries: "list[FlowEntry | None]" = []
+        #: bumped on every *logical* modification (cache invalidation for
+        #: compiled tables, fused drivers, wire position maps, …).
+        #: Compaction is not a logical modification and does not bump it.
+        self.version = 0
+        # Parallel sort keys (-priority), one per slot. A tombstone keeps
+        # the dead entry's key so bisection over ``_keys`` stays valid —
+        # that is what makes tombstone *reuse* by a fresh ADD sound.
+        self._keys: list[int] = []
+        self._dead = 0  # tombstone count; live = len(_entries) - _dead
+        # Staleness anchors: the exact list object ``_keys``/``_dead``
+        # describe, and the version they were last synced at. Either
+        # drifting (wholesale ``_entries`` assignment, an out-of-band
+        # version bump) makes _guard() resynchronize everything.
+        self._store_src: "list | None" = self._entries
+        self._store_version = 0
+        #: compactions performed (telemetry for the churn bench).
+        self.compactions = 0
+        #: out-of-band resynchronizations performed (bumped by
+        #: :meth:`_resync`). ``(version, resyncs)`` together move on
+        #: *every* state change — including wholesale ``_entries`` swaps
+        #: that skip the version bump — which is what lets the expiry
+        #: manager's observe() skip unchanged tables safely.
+        self.resyncs = 0
+        #: bumped whenever the *set* of distinct feature fingerprints may
+        #: have changed (a shape class appearing or emptying, or any
+        #: mutation whose delta we could not track). Steady-state churn
+        #: inside existing shape classes does not move it, which is what
+        #: lets ESwitch skip ``required_layer`` re-planning per mod.
+        self.shapes_version = 0
+        # Lazy id(entry) -> slot map: O(1) strict delete and replace.
+        # Dropped (rebuilt on demand) when a mid-list insert shifts slots.
+        self._slots: "dict[int, int] | None" = None
         # Lazy rule indexes. ``add``/strict ``remove``/``has_rule``/
-        # ``find`` would otherwise scan the whole list per call — an O(n)
+        # ``find`` would otherwise scan the whole store per call — an O(n)
         # wall that turns million-entry churn into a benchmark of this
         # list instead of the datapath updates. ``_rules`` maps
         # ``(priority, match) -> entry`` (unique: ``add`` replaces
         # same-rule entries); ``_by_match`` maps ``match -> entries`` in
         # priority-descending order (``find``'s duplicate-shadowing
-        # answer is the head). Both are only trusted while
-        # ``_rules_version == version``; any out-of-band mutation (the
-        # flow-mod rollback path assigns ``_entries`` wholesale) bumps
-        # ``version`` and so invalidates them.
+        # answer is the head); ``_timed`` maps ``entry_id -> entry`` for
+        # entries carrying a timeout (the expiry manager's rescan set).
+        # All three are only trusted while ``_rules_version == version``
+        # and are maintained incrementally by every mutation path —
+        # including non-strict remove and remove_if.
         self._rules: "dict[tuple, FlowEntry] | None" = None
         self._by_match: "dict[Match, list[FlowEntry]] | None" = None
+        self._timed: "dict[int, FlowEntry] | None" = None
         self._rules_version = -1
         # Lazy multiset of :func:`entry_features` fingerprints, same
         # staleness contract. Template re-selection and parser planning
         # read this instead of walking the entries.
         self._feats: "dict[tuple, int] | None" = None
         self._feats_version = -1
+        # Cached live-entries tuple for the ``entries`` property.
+        self._live: "tuple[FlowEntry, ...] | None" = None
+        self._live_version = -1
 
-    # -- modification ---------------------------------------------------------
+    # -- staleness contract ---------------------------------------------------
+
+    def _guard(self) -> None:
+        """Resynchronize after any out-of-band mutation.
+
+        The store arrays (``_keys``/``_dead``/``_slots``) and the derived
+        indexes are trusted only while (a) ``version`` still equals the
+        version they were synced at, (b) ``_entries`` is still the exact
+        list object they describe, and (c) the slot counts agree. A
+        snapshot restore that assigns ``_entries`` wholesale — with or
+        without a version bump — trips (b) and resyncs *everything*
+        together: ``_feats`` and ``_by_match`` must never outlive
+        ``_rules`` (the pre-tombstone code invalidated only ``_rules`` on
+        the stale-index retry, leaving a trusted-but-wrong ``_feats``).
+        """
+        if (
+            self._store_src is not self._entries
+            or self._store_version != self.version
+            or len(self._keys) != len(self._entries)
+        ):
+            self._resync()
+
+    def _resync(self) -> None:
+        """Rebuild the store from ``_entries`` as the source of truth.
+
+        Tombstones (if any survived a wholesale swap) are squeezed out;
+        the list is assumed priority-descending, the same contract the
+        sorted-list implementation had for restored snapshots. Does not
+        bump ``version``: resync repairs *our* caches, it is not a new
+        logical state (external version-keyed caches keep their own view,
+        exactly as before this store existed).
+        """
+        live = [e for e in self._entries if e is not None]
+        self._entries = live
+        self._keys = [-e.priority for e in live]
+        self._dead = 0
+        self._slots = None
+        self._store_src = self._entries
+        self._store_version = self.version
+        self._rules = self._by_match = self._timed = None
+        self._rules_version = -1
+        self._feats = None
+        self._feats_version = -1
+        self._live = None
+        self._live_version = -1
+        self.shapes_version += 1  # swapped wholesale: shape set unknown
+        self.resyncs += 1
+
+    def _mark_mutated(self) -> None:
+        """Version bump + bookkeeping common to every logical mutation."""
+        self.version += 1
+        self._rules_version = self.version
+        self._store_version = self.version
+        self._live = None
+
+    # -- indexes --------------------------------------------------------------
 
     def _indexes(self) -> "tuple[dict, dict]":
         if self._rules is None or self._rules_version != self.version:
             rules: dict = {}
             by_match: dict = {}
+            timed: dict = {}
             for e in self._entries:  # priority-desc ⇒ per-match lists too
+                if e is None:
+                    continue
                 rules[(e.priority, e.match)] = e
                 by_match.setdefault(e.match, []).append(e)
-            self._rules, self._by_match = rules, by_match
+                if e.idle_timeout or e.hard_timeout:
+                    timed[e.entry_id] = e
+            self._rules, self._by_match, self._timed = rules, by_match, timed
             self._rules_version = self.version
         return self._rules, self._by_match
 
+    def _slot_index(self) -> "dict[int, int]":
+        slots = self._slots
+        if slots is None:
+            slots = self._slots = {
+                id(e): i for i, e in enumerate(self._entries) if e is not None
+            }
+        return slots
+
+    def _slot_of(self, entry: FlowEntry) -> "int | None":
+        """The entry's slot, identity-verified; None when it is not live
+        in the store (the object was swapped out-of-band)."""
+        slot = self._slot_index().get(id(entry))
+        if slot is None or self._entries[slot] is not entry:
+            return None
+        return slot
+
     def feature_counts(self) -> "dict[tuple, int]":
         """Multiset of :func:`entry_features` fingerprints, lazily built
-        and maintained incrementally by ``add``/strict ``remove``.
+        and maintained incrementally by every mutation path.
 
         The distinct-key set is tiny (one key per match *shape*, not per
         entry), which is what makes per-update template re-selection and
         parser re-planning O(shapes) instead of O(entries).
         """
+        # _guard(), inlined: this runs a few times per flow-mod.
+        if (
+            self._store_src is not self._entries
+            or self._store_version != self.version
+            or len(self._keys) != len(self._entries)
+        ):
+            self._resync()
         if self._feats is None or self._feats_version != self.version:
             feats: "dict[tuple, int]" = {}
             for e in self._entries:
+                if e is None:
+                    continue
                 f = entry_features(e)
                 feats[f] = feats.get(f, 0) + 1
             self._feats = feats
@@ -142,52 +306,105 @@ class FlowTable:
     ) -> None:
         """Apply one mutation's delta (call after the version bump)."""
         if not fresh or self._feats is None:
+            # Multiset unknown: the shape set may have changed.
+            self.shapes_version += 1
             return
         feats = self._feats
+        changed = False
         if removed is not None:
             f = entry_features(removed)
             n = feats.get(f, 0) - 1
             if n <= 0:
                 feats.pop(f, None)
+                changed = True
             else:
                 feats[f] = n
         if added is not None:
             f = entry_features(added)
-            feats[f] = feats.get(f, 0) + 1
+            n = feats.get(f, 0)
+            if n == 0:
+                changed = True
+            feats[f] = n + 1
+        if changed:
+            self.shapes_version += 1
         self._feats_version = self.version
+
+    # -- modification ---------------------------------------------------------
+
+    def _insert_fresh(self, entry: FlowEntry) -> None:
+        """Place a new rule at its insort_right position, preferring an
+        adjacent tombstone over a memmove.
+
+        With ``pos = bisect_right(_keys, key)``: every live same-priority
+        entry sits at a slot < pos (tombstones keep their keys, so the
+        bisection is exact about *slots*, conservative about live order),
+        and every slot >= pos holds a strictly lower priority. Writing
+        into a dead slot at ``pos`` (its key was > ours: shrink it) or at
+        ``pos - 1`` (its key was <= ours: grow it) therefore keeps
+        ``_keys`` sorted *and* lands the new entry after all live
+        same-priority entries — exactly insort_right's probe order. The
+        steady-state churn pattern (delete then re-add in the same
+        priority band) hits one of these two slots every time: O(1).
+        """
+        skey = -entry.priority
+        ents = self._entries
+        keys = self._keys
+        pos = bisect.bisect_right(keys, skey)
+        if pos < len(ents) and ents[pos] is None:
+            ents[pos] = entry
+            keys[pos] = skey
+            self._dead -= 1
+        elif pos and ents[pos - 1] is None:
+            pos -= 1
+            ents[pos] = entry
+            keys[pos] = skey
+            self._dead -= 1
+        else:
+            ents.insert(pos, entry)
+            keys.insert(pos, skey)
+            if pos != len(ents) - 1:
+                self._slots = None  # the memmove shifted the tail's slots
+        slots = self._slots
+        if slots is not None:
+            slots[id(entry)] = pos
 
     def add(self, entry: FlowEntry) -> FlowEntry:
         """Insert an entry; replaces an existing entry with the same rule."""
         key = (entry.priority, entry.match)
+        self._guard()
         for _ in range(2):
             rules, by_match = self._indexes()
             existing = rules.get(key)
             if existing is None:
-                # Stable insert after all entries with priority >=
-                # entry.priority (insort_right on the descending key
-                # lands exactly there).
-                bisect.insort_right(self._entries, entry, key=_sort_key)
+                self._insert_fresh(entry)
                 bisect.insort_right(
                     by_match.setdefault(entry.match, []), entry, key=_sort_key
                 )
             else:
-                try:
-                    # list.index compares by identity first — a C scan.
-                    pos = self._entries.index(existing)
-                except ValueError:
-                    # Entry objects were swapped wholesale (snapshot
-                    # restore keeps rule keys but not identities, and may
-                    # skip the version bump): rebuild the index and retry
-                    # — a fresh index can't be stale.
-                    self._rules = None
+                slot = self._slot_of(existing)
+                if slot is None:
+                    # Entry objects were swapped wholesale under a
+                    # matching version: resync every derived structure
+                    # together and retry — a fresh index can't be stale.
+                    self._resync()
                     continue
-                self._entries[pos] = entry
+                # Same rule key ⇒ same priority ⇒ _keys[slot] is right.
+                self._entries[slot] = entry
+                slots = self._slots
+                if slots is not None:
+                    slots.pop(id(existing), None)
+                    slots[id(entry)] = slot
                 lst = by_match[entry.match]
                 lst[lst.index(existing)] = entry
             rules[key] = entry
+            timed = self._timed
+            if timed is not None:
+                if existing is not None:
+                    timed.pop(existing.entry_id, None)
+                if entry.idle_timeout or entry.hard_timeout:
+                    timed[entry.entry_id] = entry
             feats_fresh = self._feats_version == self.version
-            self.version += 1
-            self._rules_version = self.version
+            self._mark_mutated()
             # Replacement may change the actions even though the rule key
             # is equal, so the old entry's fingerprint must come out.
             self._feats_update(existing, entry, feats_fresh)
@@ -206,7 +423,8 @@ class FlowTable:
         """
         if not entries:
             return 0
-        merged: "list[FlowEntry]" = list(self._entries)
+        self._guard()
+        merged: "list[FlowEntry]" = [e for e in self._entries if e is not None]
         slot: dict = {
             (entry.priority, entry.match): i for i, entry in enumerate(merged)
         }
@@ -220,45 +438,212 @@ class FlowTable:
                 merged[at] = entry
         merged.sort(key=_sort_key)  # stable: ties keep order
         self._entries = merged
-        self._rules = self._by_match = self._feats = None
-        self.version += 1
+        self._keys = [-e.priority for e in merged]
+        self._dead = 0
+        self._slots = None
+        self._store_src = self._entries
+        self._rules = self._by_match = self._timed = None
+        self._rules_version = -1
+        self._feats = None
+        self._feats_version = -1
+        self.shapes_version += 1
+        self._mark_mutated()
         return len(entries)
 
+    def _tombstone_all(self, victims: "list[FlowEntry]", rules, by_match) -> bool:
+        """Tombstone the given live entries under one version bump,
+        maintaining every index incrementally. False = a victim failed
+        identity verification (store swapped out-of-band): nothing was
+        mutated, the caller resyncs and retries.
+        """
+        slots_of: list[int] = []
+        for entry in victims:
+            slot = self._slot_of(entry)
+            if slot is None:
+                return False
+            slots_of.append(slot)
+        feats_fresh = self._feats_version == self.version
+        feats = self._feats if feats_fresh else None
+        ents = self._entries
+        slots = self._slots
+        timed = self._timed
+        shapes_changed = feats is None  # unknown multiset: conservative
+        for entry, slot in zip(victims, slots_of):
+            ents[slot] = None  # the key stays: bisection remains valid
+            if slots is not None:
+                slots.pop(id(entry), None)
+            del rules[(entry.priority, entry.match)]
+            lst = by_match.get(entry.match)
+            if lst is not None:
+                lst.remove(entry)
+                if not lst:
+                    del by_match[entry.match]
+            if timed is not None:
+                timed.pop(entry.entry_id, None)
+            if feats is not None:
+                f = entry_features(entry)
+                n = feats.get(f, 0) - 1
+                if n <= 0:
+                    feats.pop(f, None)
+                    shapes_changed = True
+                else:
+                    feats[f] = n
+        self._dead += len(victims)
+        self._mark_mutated()
+        if feats is not None:
+            self._feats_version = self.version
+        if shapes_changed:
+            self.shapes_version += 1
+        self._maybe_compact()
+        return True
+
     def remove(self, match: Match, priority: "int | None" = None) -> int:
-        """Remove entries with the given match (and priority, if given)."""
+        """Remove entries with the given match (and priority, if given).
+
+        Strict (priority given) targets exactly one rule: the index
+        answers in O(1) and the delete is a tombstone write, no memmove.
+        Non-strict removes every live entry with an equal match via the
+        per-match index — also incremental, no wholesale rebuild. Either
+        way, matching nothing live (including predicates that would only
+        have hit tombstoned slots) is a no-op: ``version`` does not move,
+        so no spurious re-fuse or template re-selection follows.
+        """
+        self._guard()
         if priority is not None:
-            # Strict delete targets exactly one rule — ``add`` keeps
-            # (priority, match) unique — so the index answers in O(1)
-            # and list.remove's identity fast path does the shift in C.
             key = (priority, match)
             for _ in range(2):
                 rules, by_match = self._indexes()
                 entry = rules.get(key)
                 if entry is None:
                     return 0
-                try:
-                    self._entries.remove(entry)
-                except ValueError:
-                    self._rules = None  # swapped out-of-band: see add()
-                    continue
-                del rules[key]
-                lst = by_match[entry.match]
-                lst.remove(entry)
-                if not lst:
-                    del by_match[entry.match]
-                feats_fresh = self._feats_version == self.version
-                self.version += 1
-                self._rules_version = self.version
-                self._feats_update(entry, None, feats_fresh)
-                return 1
+                if self._tombstone_all([entry], rules, by_match):
+                    return 1
+                self._resync()
             raise AssertionError("rule index stale after rebuild")
-        before = len(self._entries)
-        self._entries = [e for e in self._entries if e.match != match]
-        removed = before - len(self._entries)
-        if removed:
-            self._rules = self._by_match = self._feats = None
+        for _ in range(2):
+            rules, by_match = self._indexes()
+            victims = by_match.get(match)
+            if not victims:
+                return 0
+            victims = list(victims)
+            if self._tombstone_all(victims, rules, by_match):
+                return len(victims)
+            self._resync()
+        raise AssertionError("rule index stale after rebuild")
+
+    def remove_if(self, predicate: Callable[[FlowEntry], bool]) -> int:
+        """Remove every live entry satisfying ``predicate``.
+
+        The predicate only ever sees live entries — tombstoned slots are
+        skipped, so a predicate that would only have matched dead entries
+        removes nothing and bumps nothing. Index maintenance is
+        incremental (no wholesale invalidation).
+        """
+        self._guard()
+        for _ in range(2):
+            victims = [
+                e for e in self._entries if e is not None and predicate(e)
+            ]
+            if not victims:
+                return 0
+            rules, by_match = self._indexes()
+            if self._tombstone_all(victims, rules, by_match):
+                return len(victims)
+            self._resync()
+        raise AssertionError("rule index stale after rebuild")
+
+    def clear(self) -> None:
+        self._guard()
+        if len(self._entries) - self._dead:
             self.version += 1
-        return removed
+            self.shapes_version += 1
+        self._entries = []
+        self._keys = []
+        self._dead = 0
+        self._slots = None
+        self._store_src = self._entries
+        self._store_version = self.version
+        self._rules = self._by_match = self._timed = None
+        self._rules_version = -1
+        self._feats = None
+        self._feats_version = -1
+        self._live = None
+        self._live_version = -1
+
+    def restore_entries(self, entries: "Iterator[FlowEntry]") -> None:
+        """Replace the table's contents wholesale (snapshot rollback).
+
+        ``entries`` must already be priority-descending — a snapshot of
+        :attr:`entries` is. Bumps ``version`` exactly once: every cached
+        consumer (rule indexes, feature multiset, fused drivers, wire
+        position maps) re-derives from the restored state. Raw
+        ``table._entries = ...`` assignment still works — :meth:`_guard`
+        resynchronizes on the next access — but this is the supported
+        spelling.
+        """
+        live = [e for e in entries if e is not None]
+        self._entries = live
+        self._keys = [-e.priority for e in live]
+        self._dead = 0
+        self._slots = None
+        self._store_src = self._entries
+        self._rules = self._by_match = self._timed = None
+        self._rules_version = -1
+        self._feats = None
+        self._feats_version = -1
+        self.shapes_version += 1
+        self._mark_mutated()
+
+    # -- compaction -----------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        dead = self._dead
+        if dead >= self.COMPACT_MIN_DEAD and dead >= len(self._entries) * (
+            self.COMPACT_DEAD_FRACTION
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Squeeze tombstones out, preserving live order.
+
+        Invisible to every consumer: the live sequence is unchanged, so
+        ``version`` does not move — fused drivers, wire position maps
+        (positions index the *live* order) and the rule indexes all stay
+        valid. Only the slot map is positional and is rebuilt lazily.
+        Amortized O(live) per O(n) deletes via the trigger threshold.
+        """
+        if not self._dead:
+            return
+        live = [e for e in self._entries if e is not None]
+        self._entries = live
+        self._keys = [-e.priority for e in live]
+        self._dead = 0
+        self._slots = None
+        self._store_src = self._entries
+        self.compactions += 1
+
+    @property
+    def tombstones(self) -> int:
+        """Current dead-slot count (telemetry)."""
+        self._guard()
+        return self._dead
+
+    def prime(self) -> None:
+        """Build every lazy structure now, off the critical path.
+
+        The rule indexes, slot map and feature multiset are all built on
+        first use and maintained incrementally after — which puts one
+        O(entries) rebuild inside whatever window issues the first
+        mutation. ``ESwitch.warm()`` calls this so a freshly-loaded
+        million-entry table pays that scan before the churn starts, the
+        same contract warm() already gives compilation and fusing.
+        """
+        self._guard()
+        self._indexes()
+        self._slot_index()
+        self.feature_counts()
+
+    # -- queries --------------------------------------------------------------
 
     def find(self, match: Match) -> "FlowEntry | None":
         """The highest-priority entry whose match *equals* ``match``.
@@ -266,34 +651,64 @@ class FlowTable:
         Per-match lists are priority-sorted, so the head is the one a
         lookup would prefer among same-match duplicates.
         """
+        self._guard()
         _rules, by_match = self._indexes()
         lst = by_match.get(match)
         return lst[0] if lst else None
 
+    def find_rule(self, match: Match, priority: int) -> "FlowEntry | None":
+        """The live entry with exactly this rule, identity-verified.
+
+        Unlike :meth:`find` this survives wholesale ``_entries`` swaps
+        that skipped the version bump: a stale index answer fails the
+        slot identity check and forces one resync. The expiry manager
+        re-resolves tracked flows through this.
+        """
+        self._guard()
+        for _ in range(2):
+            rules, _by_match = self._indexes()
+            entry = rules.get((priority, match))
+            if entry is None:
+                return None
+            if self._slot_of(entry) is not None:
+                return entry
+            self._resync()
+        return None
+
     def has_rule(self, match: Match, priority: int) -> bool:
         """True when an entry with exactly this rule (match + priority)
         exists — the ADD-replaces case capacity checks must not count."""
+        self._guard()
         return (priority, match) in self._indexes()[0]
+
+    def last_entry(self) -> "FlowEntry | None":
+        """The lowest-priority live entry (the catch-all seat, when one
+        exists) without materializing the live tuple — O(1) when the tail
+        slot is live, O(trailing tombstones) otherwise."""
+        self._guard()
+        ents = self._entries
+        for i in range(len(ents) - 1, -1, -1):
+            e = ents[i]
+            if e is not None:
+                return e
+        return None
+
+    def timed_entries(self) -> "list[FlowEntry]":
+        """Live entries carrying an idle or hard timeout — O(timed), not
+        O(entries): the expiry manager's rescan set."""
+        self._guard()
+        self._indexes()
+        assert self._timed is not None
+        return list(self._timed.values())
 
     @property
     def full(self) -> bool:
-        """True when the table is at (or past) its advertised capacity."""
-        return self.max_entries is not None and len(self._entries) >= self.max_entries
+        """True when the table is at (or past) its advertised capacity.
 
-    def remove_if(self, predicate: Callable[[FlowEntry], bool]) -> int:
-        before = len(self._entries)
-        self._entries = [e for e in self._entries if not predicate(e)]
-        removed = before - len(self._entries)
-        if removed:
-            self._rules = self._by_match = self._feats = None
-            self.version += 1
-        return removed
-
-    def clear(self) -> None:
-        if self._entries:
-            self.version += 1
-        self._entries.clear()
-        self._rules = self._by_match = self._feats = None
+        Counts live entries only — tombstones are reclaimable space, not
+        occupancy.
+        """
+        return self.max_entries is not None and len(self) >= self.max_entries
 
     # -- lookup -----------------------------------------------------------------
 
@@ -305,9 +720,13 @@ class FlowTable:
         """Highest-priority matching entry, or None (table miss).
 
         If ``probed`` is given, every entry examined — including the ones
-        that failed to match — is appended to it.
+        that failed to match — is appended to it. Tombstones are skipped:
+        probe order over live entries is identical to the pre-tombstone
+        sorted list's.
         """
         for entry in self._entries:
+            if entry is None:
+                continue
             if probed is not None:
                 probed.append(entry)
             if entry.match.matches(view):
@@ -321,6 +740,8 @@ class FlowTable:
     ) -> "FlowEntry | None":
         """Like :meth:`lookup` but over an extracted flow key."""
         for entry in self._entries:
+            if entry is None:
+                continue
             if probed is not None:
                 probed.append(entry)
             if entry.match.matches_key(key):
@@ -331,8 +752,21 @@ class FlowTable:
 
     @property
     def entries(self) -> tuple[FlowEntry, ...]:
-        """Entries in decreasing order of priority (insertion-stable)."""
-        return tuple(self._entries)
+        """Live entries in decreasing order of priority (insertion-stable).
+
+        Cached per version; compaction preserves the cache (the live
+        order is exactly what compaction keeps).
+        """
+        self._guard()
+        live = self._live
+        if live is None or self._live_version != self.version:
+            if self._dead:
+                live = tuple(e for e in self._entries if e is not None)
+            else:
+                live = tuple(self._entries)
+            self._live = live
+            self._live_version = self.version
+        return live
 
     def matched_fields(self) -> tuple[str, ...]:
         """Union of fields any entry matches on, sorted (O(shapes))."""
@@ -342,10 +776,48 @@ class FlowTable:
         return tuple(sorted(names))
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # _guard(), inlined: len(table) runs several times per flow-mod.
+        ents = self._entries
+        if (
+            self._store_src is not ents
+            or self._store_version != self.version
+            or len(self._keys) != len(ents)
+        ):
+            self._resync()
+            ents = self._entries
+        return len(ents) - self._dead
 
     def __iter__(self) -> Iterator[FlowEntry]:
-        return iter(self._entries)
+        return iter(self.entries)
 
     def __repr__(self) -> str:
-        return f"FlowTable(id={self.table_id}, entries={len(self._entries)})"
+        return f"FlowTable(id={self.table_id}, entries={len(self)})"
+
+    # -- pickling -----------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle the compacted logical state only.
+
+        The slot map is keyed by object ids (meaningless after a
+        round-trip) and the indexes rebuild lazily; shipping live entries
+        with no tombstones keeps worker spawn snapshots minimal.
+        """
+        state = self.__dict__.copy()
+        live = [e for e in self._entries if e is not None]
+        state["_entries"] = live
+        state["_keys"] = [-e.priority for e in live]
+        state["_dead"] = 0
+        state["_slots"] = None
+        state["_store_src"] = None  # re-anchored in __setstate__
+        state["_store_version"] = state["version"]
+        state["_rules"] = state["_by_match"] = state["_timed"] = None
+        state["_rules_version"] = -1
+        state["_feats"] = None
+        state["_feats_version"] = -1
+        state["_live"] = None
+        state["_live_version"] = -1
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._store_src = self._entries

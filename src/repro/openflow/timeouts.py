@@ -9,13 +9,38 @@ of its datapath invalidation/update machinery engages (ESWITCH recompiles
 or incrementally updates the table; OVS flushes its caches).
 
 Tracking is by **flow identity, not object identity**: entries are keyed
-by their ``entry_id`` and re-resolved against the live pipeline on every
-sweep, because the pipeline is free to swap the underlying
+by their ``entry_id`` and re-resolved against the live pipeline whenever a
+table changes, because the pipeline is free to swap the underlying
 :class:`FlowEntry` objects between ticks (transactional rollbacks,
 snapshot restores, a sharded engine's shadow). A tracked flow that no
 longer resolves is simply dropped — never deleted by a stale match, which
 could take out an unrelated entry that now occupies the same (match,
 priority) slot.
+
+Two structures keep the sweep off the million-flow wall:
+
+* **Version-gated observation.** :meth:`ExpiryManager.observe` rescans a
+  table only when its ``(version, resyncs)`` token moved since the last
+  sweep, and then reads :meth:`~repro.openflow.flow_table.FlowTable.\
+timed_entries` — O(timed entries of changed tables), not O(all flows in
+  the pipeline) as the previous full-pipeline walk was. ``resyncs`` is in
+  the token because wholesale ``_entries`` swaps may skip the version
+  bump; touching ``len(table)`` first forces the table's staleness guard
+  so such a swap is always detected.
+* **A deadline heap.** Each tracked flow carries its next decisive
+  instant — ``min(installed_at + hard, last_active + idle)`` — in a lazy
+  min-heap of ``(deadline, seq, entry_id)`` nodes. A tick pops only the
+  due prefix; refreshed deadlines simply push a new node and the stale
+  one is discarded on pop (its deadline no longer equals the flow's
+  ``next_deadline``). Expiry work is O(expiring), not O(tracked).
+
+One pass per tick does stay O(idle-tracked): comparing each flow's packet
+counter against the last sweep. That is load-bearing semantics, not a
+leftover — activity must be credited *at the tick that observes it*, so
+a flow busy at tick 15 with a 10 s idle timeout expires at 25, not at
+whenever a later pop happens to look. The compare is two int reads per
+flow; the heap is what removes the per-tick deadline arithmetic and the
+expiry scan.
 
 When both timeouts are due on the same sweep, **hard wins**: the hard
 timeout bounds the entry's total lifetime regardless of traffic
@@ -34,6 +59,7 @@ explicitly, deterministic tests included.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Callable
 
@@ -41,14 +67,42 @@ from repro.openflow.flow_entry import FlowEntry
 from repro.openflow.messages import FlowMod, FlowModCommand
 from repro.openflow.pipeline import Pipeline
 
+_INF = float("inf")
+
+
+class PipelineAdapter:
+    """Minimal switch façade over a bare :class:`Pipeline`.
+
+    :class:`ExpiryManager` drives anything with ``pipeline`` and
+    ``apply_flow_mod``; this adapter supplies exactly that for a raw
+    pipeline with no datapath attached — logical-table semantics only
+    (the differential fuzzer's reference interpreter ticks through one).
+    """
+
+    def __init__(self, pipeline: Pipeline):
+        self.pipeline = pipeline
+
+    def apply_flow_mod(self, mod: FlowMod) -> None:
+        table = self.pipeline.get_or_create(mod.table_id)
+        if mod.command is FlowModCommand.DELETE:
+            table.remove(mod.match, mod.priority if mod.strict else None)
+        else:
+            table.add(mod.to_entry())
+
 
 @dataclass
 class _Tracked:
     table_id: int
-    entry: FlowEntry  # refreshed every sweep; entry_id is the real key
+    entry: FlowEntry  # re-resolved on table change; entry_id is the key
     installed_at: float
     last_active: float
     last_packets: int
+    #: the exact deadline of this flow's current heap node; a popped node
+    #: whose deadline differs is stale and is discarded.
+    next_deadline: float
+    #: insertion order — expiry reporting stays in tracking order even
+    #: though the heap yields due flows deadline-first.
+    seq: int
 
 
 class ExpiryManager:
@@ -73,6 +127,11 @@ class ExpiryManager:
         self.switch = switch
         self.on_expired = on_expired
         self._tracked: dict[int, _Tracked] = {}
+        #: (deadline, seq, entry_id) min-heap; lazily pruned.
+        self._heap: list[tuple[float, int, int]] = []
+        #: per-table (version, resyncs) as of the last rescan.
+        self._table_tokens: dict[int, tuple[int, int]] = {}
+        self._seq = 0
         self.expired_idle = 0
         self.expired_hard = 0
         self._now = 0.0
@@ -82,47 +141,100 @@ class ExpiryManager:
         """The switch's live pipeline (never cached: it may be rebuilt)."""
         return self.switch.pipeline
 
+    # -- deadline bookkeeping -------------------------------------------------
+
+    def _deadline_of(self, tracked: _Tracked) -> float:
+        entry = tracked.entry
+        deadline = _INF
+        if entry.hard_timeout:
+            deadline = tracked.installed_at + entry.hard_timeout
+        if entry.idle_timeout:
+            idle_at = tracked.last_active + entry.idle_timeout
+            if idle_at < deadline:
+                deadline = idle_at
+        return deadline
+
+    def _schedule(self, entry_id: int, tracked: _Tracked) -> None:
+        deadline = self._deadline_of(tracked)
+        if deadline != tracked.next_deadline or deadline is _INF:
+            tracked.next_deadline = deadline
+            if deadline != _INF:
+                heapq.heappush(self._heap, (deadline, tracked.seq, entry_id))
+
+    # -- observation ----------------------------------------------------------
+
     def observe(self, now: float) -> None:
         """Register new timed entries and re-resolve tracked ones.
 
-        Call after installing flows. Tracked entries whose objects were
-        swapped (same ``entry_id``, different :class:`FlowEntry`) are
-        re-bound to the live object; tracked ids that no longer resolve
-        anywhere in the pipeline are dropped — their flow is already
-        gone, and deleting by the stale object's (match, priority) could
-        hit an unrelated entry that reused the slot.
+        Call after installing flows. Only tables whose ``(version,
+        resyncs)`` token moved since the last sweep are rescanned — and
+        the rescan reads the table's timed-entry index, so the cost is
+        O(timed entries of changed tables). Tracked entries whose objects
+        were swapped (same ``entry_id``, different :class:`FlowEntry`)
+        are re-bound to the live object; tracked ids that no longer
+        resolve in their table are dropped — their flow is already gone,
+        and deleting by the stale object's (match, priority) could hit an
+        unrelated entry that now owns the slot.
         """
         self._now = max(self._now, now)
-        live: dict[int, tuple[int, FlowEntry]] = {}
+        tracked_map = self._tracked
+        tokens = self._table_tokens
+        present: set[int] = set()
         for table in self.pipeline:
-            for entry in table:
-                if not (entry.idle_timeout or entry.hard_timeout):
-                    continue
-                live[entry.entry_id] = (table.table_id, entry)
-                if entry.entry_id not in self._tracked:
-                    self._tracked[entry.entry_id] = _Tracked(
-                        table_id=table.table_id,
+            tid = table.table_id
+            present.add(tid)
+            len(table)  # force the staleness guard: unannounced swaps
+            # land in ``resyncs`` before the token is read.
+            token = (table.version, table.resyncs)
+            if tokens.get(tid) == token:
+                continue
+            tokens[tid] = token
+            seen: set[int] = set()
+            for entry in table.timed_entries():
+                entry_id = entry.entry_id
+                seen.add(entry_id)
+                tracked = tracked_map.get(entry_id)
+                if tracked is None:
+                    self._seq += 1
+                    tracked = _Tracked(
+                        table_id=tid,
                         entry=entry,
                         installed_at=now,
                         last_active=now,
                         last_packets=entry.counters.packets,
+                        next_deadline=_INF,
+                        seq=self._seq,
                     )
-        for entry_id in list(self._tracked):
-            if entry_id not in live:
-                # Removed out from under us (or its timeouts were
-                # stripped): forget it, never delete by stale match.
-                del self._tracked[entry_id]
-                continue
-            tracked = self._tracked[entry_id]
-            table_id, entry = live[entry_id]
-            if tracked.entry is not entry:
-                tracked.entry = entry
-                tracked.table_id = table_id
-                if entry.counters.packets < tracked.last_packets:
-                    # The live object carries reset counters; rebase the
-                    # idle baseline without mistaking the drop for
-                    # activity (activity only ever *increases* counts).
-                    tracked.last_packets = entry.counters.packets
+                    tracked_map[entry_id] = tracked
+                    self._schedule(entry_id, tracked)
+                    continue
+                tracked.table_id = tid
+                if tracked.entry is not entry:
+                    tracked.entry = entry
+                    if entry.counters.packets < tracked.last_packets:
+                        # The live object carries reset counters; rebase
+                        # the idle baseline without mistaking the drop
+                        # for activity (activity only *increases* counts).
+                        tracked.last_packets = entry.counters.packets
+                    # The replacement may carry different timeouts.
+                    self._schedule(entry_id, tracked)
+            for entry_id, tracked in list(tracked_map.items()):
+                if tracked.table_id == tid and entry_id not in seen:
+                    # Removed out from under us (or its timeouts were
+                    # stripped): forget it, never delete by stale match.
+                    del tracked_map[entry_id]
+        vanished = [
+            entry_id
+            for entry_id, tracked in tracked_map.items()
+            if tracked.table_id not in present
+        ]
+        for entry_id in vanished:
+            del tracked_map[entry_id]
+        for tid in list(tokens):
+            if tid not in present:
+                del tokens[tid]
+
+    # -- the sweep ------------------------------------------------------------
 
     def tick(self, now: float) -> list[tuple[int, FlowEntry, str]]:
         """Advance to ``now``; expire and remove due entries."""
@@ -133,27 +245,63 @@ class ExpiryManager:
             sync()  # sharded engine: judge idleness on cross-shard totals
         self.observe(now)
         self._now = now
-        expired: list[tuple[int, FlowEntry, str]] = []
-        for entry_id, tracked in list(self._tracked.items()):
-            entry = tracked.entry  # re-resolved by observe() above
-            # Counter progress since the last tick proves activity —
-            # credited BEFORE the timeout checks, so a flow active this
-            # sweep can only expire hard, never idle.
-            if entry.counters.packets > tracked.last_packets:
-                tracked.last_packets = entry.counters.packets
+        # Activity pass: counter progress since the last tick proves
+        # activity, credited BEFORE the expiry pops — a flow active this
+        # sweep can only expire hard, never idle. Credited *now*, at the
+        # tick that observes it: idleness is measured from the sweep that
+        # last saw traffic, not from whenever a deadline pop looks back.
+        for entry_id, tracked in self._tracked.items():
+            entry = tracked.entry
+            if not entry.idle_timeout:
+                continue
+            packets = entry.counters.packets
+            if packets > tracked.last_packets:
+                tracked.last_packets = packets
                 tracked.last_active = now
-            elif entry.counters.packets < tracked.last_packets:
-                tracked.last_packets = entry.counters.packets  # reset, not activity
-            reason = None
+                self._schedule(entry_id, tracked)
+            elif packets < tracked.last_packets:
+                tracked.last_packets = packets  # reset, not activity
+        # Pop the due prefix; stale nodes (their flow's deadline moved or
+        # the flow is gone) are discarded here, lazily.
+        heap = self._heap
+        due: list[_Tracked] = []
+        due_ids: list[int] = []
+        while heap and heap[0][0] <= now:
+            deadline, _seq, entry_id = heapq.heappop(heap)
+            tracked = self._tracked.get(entry_id)
+            if tracked is None or deadline != tracked.next_deadline:
+                continue
+            due.append(tracked)
+            due_ids.append(entry_id)
+        # Report in tracking order — the heap's deadline order is an
+        # implementation detail, not an observable.
+        order = sorted(range(len(due)), key=lambda i: due[i].seq)
+        expired: list[tuple[int, FlowEntry, str]] = []
+        for i in order:
+            tracked = due[i]
+            entry = tracked.entry
             # Hard before idle: when both are due the same sweep, the
             # lifetime bound outranks idleness (OpenFlow 1.3 §5.5).
-            if entry.hard_timeout and now - tracked.installed_at >= entry.hard_timeout:
+            if (
+                entry.hard_timeout
+                and now - tracked.installed_at >= entry.hard_timeout
+            ):
                 reason = "hard"
-            elif entry.idle_timeout and now - tracked.last_active >= entry.idle_timeout:
+            elif (
+                entry.idle_timeout
+                and now - tracked.last_active >= entry.idle_timeout
+            ):
                 reason = "idle"
-            if reason is None:
+            else:
+                # Defensive: not due after all. Re-arm unconditionally —
+                # the popped node is gone, so a skipped push here would
+                # leave the flow unscheduled forever.
+                deadline = self._deadline_of(tracked)
+                tracked.next_deadline = deadline
+                if deadline != _INF:
+                    heapq.heappush(heap, (deadline, tracked.seq, due_ids[i]))
                 continue
-            del self._tracked[entry_id]
+            del self._tracked[due_ids[i]]
             self.switch.apply_flow_mod(
                 FlowMod(
                     FlowModCommand.DELETE,

@@ -70,7 +70,9 @@ class MegaflowEntry:
         "program",
         "dropped",
         "hits",
-        "dead",
+        "_dead",
+        "generation",
+        "gen_cell",
         "entry_id",
     )
 
@@ -97,9 +99,26 @@ class MegaflowEntry:
         self.program = tuple(program)
         self.dropped = dropped
         self.hits = 0
-        self.dead = False
+        self._dead = False
+        #: generation stamp + the owning cache's shared generation cell.
+        #: The entry is dead once the cell advances past its stamp — a
+        #: whole-cache invalidation is then one integer increment, not a
+        #: walk marking every entry (the O(cache) loop the collapse sweep
+        #: paid per flow-mod).
+        self.generation = 0
+        self.gen_cell: "list[int] | None" = None
         MegaflowEntry._next_id += 1
         self.entry_id = MegaflowEntry._next_id
+
+    @property
+    def dead(self) -> bool:
+        cell = self.gen_cell
+        return self._dead or (cell is not None and cell[0] != self.generation)
+
+    @dead.setter
+    def dead(self, value: bool) -> None:
+        # Individual kills (eviction, revalidation) stay per-entry flags.
+        self._dead = bool(value)
 
     @property
     def actions(self) -> tuple[Action, ...]:
@@ -141,6 +160,9 @@ class MegaflowCache:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        #: shared one-element generation cell; every inserted entry holds
+        #: a reference, so ``invalidate()`` kills them all in O(1).
+        self._gen_cell: list[int] = [0]
         self._subtables: dict[MaskSig, _MegaSubtable] = {}
         self._lru: "OrderedDict[tuple[MaskSig, tuple], MegaflowEntry]" = OrderedDict()
         self.hits = 0
@@ -183,6 +205,9 @@ class MegaflowCache:
         return found, probed
 
     def insert(self, entry: MegaflowEntry) -> None:
+        entry.gen_cell = self._gen_cell
+        entry.generation = self._gen_cell[0]
+        entry._dead = False  # re-insertion after invalidation revives
         sub = self._subtables.get(entry.sig)
         if sub is None:
             sub = self._subtables[entry.sig] = _MegaSubtable(entry.sig)
@@ -201,9 +226,14 @@ class MegaflowCache:
             self.evictions += 1
 
     def invalidate(self) -> None:
-        """The brute-force flush OVS performs on essentially any change."""
-        for entry in self._lru.values():
-            entry.dead = True
+        """The brute-force flush OVS performs on essentially any change.
+
+        Generation-tagged: advancing the shared cell marks every issued
+        entry dead at once (external holders — the EMC's microflow refs —
+        observe it through :attr:`MegaflowEntry.dead`), so the flush is
+        O(1) instead of a walk over the whole cache per flow-mod.
+        """
+        self._gen_cell[0] += 1
         self._subtables.clear()
         self._lru.clear()
         self.invalidations += 1

@@ -64,7 +64,20 @@ class MicroflowCache:
         self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        """Live occupancy.
+
+        Lazy invalidation leaves dead megaflow references in the map until
+        the next lookup touches them; counting those corpses over-reported
+        EMC occupancy at exactly the moments the Fig. 3 saturation points
+        sample it (right after a flow-mod killed the megaflow generation).
+        Prune them here — ``__len__`` runs at telemetry rate, not on the
+        packet path.
+        """
+        entries = self._entries
+        dead = [key for key, entry in entries.items() if entry.dead]
+        for key in dead:
+            del entries[key]
+        return len(entries)
 
     def __repr__(self) -> str:
-        return f"MicroflowCache(entries={len(self._entries)}/{self.capacity})"
+        return f"MicroflowCache(entries={len(self)}/{self.capacity})"

@@ -251,6 +251,9 @@ class OvsSwitch:
             # Dead megaflows are dropped lazily by EMC lookups.
             self.megaflow.invalidate_overlapping(mod.match)
         else:
+            # Brute force is one generation bump now (O(1), not a cache
+            # walk); EMC references die through the shared cell — the
+            # eager clear just keeps occupancy accounting trivial.
             self.megaflow.invalidate()
             self.emc.invalidate()
 

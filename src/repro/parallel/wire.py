@@ -57,6 +57,12 @@ class EntryIndexCache:
     *decode* positions back into its shadow pipeline's entries. The maps
     rebuild lazily whenever any table's ``version`` moves (every
     flow-mod bumps it), so one rebuild per epoch in steady state.
+
+    Positions index the table's **live** entry order (``table.entries``
+    skips tombstones), and the tombstone store's compaction neither
+    reorders live entries nor bumps ``version`` — so a cached position
+    map stays correct across a compaction on either side of the pipe,
+    even when worker and engine compact at different times.
     """
 
     def __init__(self, pipeline):

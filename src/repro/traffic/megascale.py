@@ -262,29 +262,50 @@ def _run_churn(
         switch = ESwitch(pipeline, config=config)
         switch.warm()
         make = _churn_mods("lpm" if rung == "lpm" else "hash")
+        # Pre-materialize the mod pairs: the leg measures the switch's
+        # update path, not FlowMod/Match construction.
+        pairs = [make(i) for i in range(0, churn_mods, 2)]
         stats_before = (
             switch.update_stats.incremental,
             switch.update_stats.rebuilds,
             switch.update_stats.kind_stable_skips,
+            switch.update_stats.noop_mods,
         )
         cycles_before = switch.update_stats.cycles
+        apply = switch.apply_flow_mod
         applied = 0
+        # Chunked timing: wall rates on shared hosts are noisy in one
+        # direction only (contention slows, nothing speeds up), so the
+        # best complete window is the honest steady-state figure — the
+        # same reasoning behind timeit's min-of-repeats.
+        chunk_mods = 2_000
+        best_rate = 0.0
+        in_chunk = 0
         t0 = time.perf_counter()
         deadline = t0 + budget_s
-        while applied < churn_mods:
-            add, delete = make(applied)
-            switch.apply_flow_mod(add)
-            switch.apply_flow_mod(delete)
+        chunk_start = t0
+        for add, delete in pairs:
+            apply(add)
+            apply(delete)
             applied += 2
-            if time.perf_counter() >= deadline:
+            in_chunk += 2
+            now = time.perf_counter()
+            if in_chunk >= chunk_mods:
+                best_rate = max(best_rate, in_chunk / (now - chunk_start))
+                chunk_start, in_chunk = now, 0
+            if now >= deadline:
                 break
         elapsed = time.perf_counter() - t0
         update_cycles = switch.update_stats.cycles - cycles_before
+        table = switch.pipeline.table(0)
         point = {
             "rung": rung,
             "entries": n_flows,
             "mods_applied": applied,
             "entries_per_sec": applied / elapsed if elapsed else 0.0,
+            "entries_per_sec_best": max(
+                best_rate, applied / elapsed if elapsed else 0.0
+            ),
             "modeled_entries_per_sec": (
                 applied * platform.freq_hz / update_cycles
                 if update_cycles
@@ -297,6 +318,11 @@ def _run_churn(
             "kind_stable_skips": (
                 switch.update_stats.kind_stable_skips - stats_before[2]
             ),
+            "noop_mods": switch.update_stats.noop_mods - stats_before[3],
+            # Entry-store telemetry: the churn wall was the O(n) memmove
+            # per delete; tombstoning makes these the visible mechanism.
+            "compactions": table.compactions,
+            "tombstones": table.tombstones,
         }
         if rung == "hash":
             store = getattr(switch.compiled_table(0), "hash_store", None)
@@ -309,15 +335,24 @@ def _run_churn(
     # story) already shows in the collapse leg's cache_rates.
     ovs = OvsSwitch(l2.build(n_flows)[0])
     make = _churn_mods("hash")
+    pairs = [make(i) for i in range(0, churn_mods, 2)]
     applied = 0
+    chunk_mods = 2_000
+    best_rate = 0.0
+    in_chunk = 0
     t0 = time.perf_counter()
     deadline = t0 + budget_s
-    while applied < churn_mods:
-        add, delete = make(applied)
+    chunk_start = t0
+    for add, delete in pairs:
         ovs.apply_flow_mod(add)
         ovs.apply_flow_mod(delete)
         applied += 2
-        if time.perf_counter() >= deadline:
+        in_chunk += 2
+        now = time.perf_counter()
+        if in_chunk >= chunk_mods:
+            best_rate = max(best_rate, in_chunk / (now - chunk_start))
+            chunk_start, in_chunk = now, 0
+        if now >= deadline:
             break
     elapsed = time.perf_counter() - t0
     points.append(
@@ -326,6 +361,9 @@ def _run_churn(
             "entries": n_flows,
             "mods_applied": applied,
             "entries_per_sec": applied / elapsed if elapsed else 0.0,
+            "entries_per_sec_best": max(
+                best_rate, applied / elapsed if elapsed else 0.0
+            ),
             "elapsed_s": elapsed,
             "note": "every mod invalidates the megaflow+EMC caches",
         }

@@ -43,6 +43,38 @@ class TestMicroflowCache:
         c.invalidate()
         assert len(c) == 0
 
+    def test_len_reports_live_occupancy(self):
+        # Regression: lazy invalidation leaves dead refs in the map until
+        # a lookup touches them; __len__ must not count those corpses
+        # (Fig. 3 saturation points sample occupancy right after a
+        # flow-mod killed the megaflow generation, before any lookups).
+        c = MicroflowCache(capacity=8)
+        entries = [mf(key=(i,)) for i in range(4)]
+        for i, entry in enumerate(entries):
+            c.insert(i, entry)
+        for entry in entries[:3]:
+            entry.dead = True
+        assert len(c) == 1
+        # The prune is real, not just arithmetic: the corpses are gone.
+        assert len(c._entries) == 1
+        assert c.lookup(3) is entries[3]
+
+    def test_len_sees_generation_invalidation(self):
+        # A megaflow-cache invalidate() kills entries via the shared
+        # generation cell, without touching the EMC at all — the EMC's
+        # occupancy must still read zero.
+        from repro.ovs.megaflow import MegaflowCache
+
+        mega = MegaflowCache(capacity=16)
+        c = MicroflowCache(capacity=8)
+        entry = mf()
+        mega.insert(entry)
+        c.insert("k", entry)
+        assert len(c) == 1
+        mega.invalidate()
+        assert len(c) == 0
+        assert c.lookup("k") is None
+
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             MicroflowCache(capacity=0)
