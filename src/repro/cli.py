@@ -201,6 +201,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return cmd_bench_wire_micro(args)
     if args.megascale:
         return cmd_bench_megascale(args)
+    if args.fabric_soak:
+        return cmd_bench_fabric_soak(args)
     if args.wallclock:
         return cmd_bench_wallclock(args)
     if args.pipeline is None:
@@ -446,6 +448,59 @@ def cmd_bench_megascale(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_fabric_soak(args: argparse.Namespace) -> int:
+    """The fabric soak (``--fabric-soak``): a leaf–spine fabric under one
+    control plane, soaked with tenant churn while a scripted blackout
+    takes one leaf dark, then the rolling-upgrade and aborted-upgrade
+    legs — SLO telemetry written to ``BENCH_fabric_soak.json``."""
+    import json
+
+    from repro.traffic.fabric_soak import SoakConfig, run_fabric_soak
+
+    cfg = SoakConfig(
+        ticks=args.soak_ticks,
+        arrival_ticks=max(2, args.soak_ticks // 2),
+        lifetime_ticks=max(3, (3 * args.soak_ticks) // 4),
+        outage_at_s=0.125 * args.soak_ticks,
+        outage_duration_s=0.125 * args.soak_ticks,
+        seed=args.seed or 42,
+    )
+    doc = run_fabric_soak(cfg)
+    totals, outage, slo = doc["totals"], doc["outage"], doc["slo"]
+    fw = outage["fault_window"]
+    print(f"soak: {totals['injected']} pkts over {cfg.ticks} ticks, "
+          f"served {totals['served_fraction']:.3f} "
+          f"(fault window {fw['served_fraction']:.3f}, "
+          f"floor {cfg.served_floor})")
+    print(f"punt latency p50/p99 {slo['p50_punt_latency_s'] * 1e3:.3f}/"
+          f"{slo['p99_punt_latency_s'] * 1e3:.3f} ms over "
+          f"{slo['punt_samples']} samples; "
+          f"drops {slo['drop_fraction']:.4f} (budget {slo['drop_budget']})")
+    for name, leaf in doc["supervisor"]["leaves"].items():
+        line = (f"{name:8} score {leaf['score']:.2f}  "
+                f"outages {leaf['outages']}  resyncs {leaf['resyncs']}  "
+                f"degraded {leaf['degraded_time_s']:.1f}s")
+        if leaf["convergence_s"] is not None:
+            line += f"  converged in {leaf['convergence_s']:.2f}s"
+        print(line)
+    up = doc["upgrade"]
+    print(f"rolling upgrade: "
+          f"{'ok' if up['rolling']['completed'] else 'FAILED'} "
+          f"(epoch {up['rolling']['epoch']}, divergence "
+          f"{up['rolling']['verdict_divergence']}); aborted leg: "
+          f"{'rolled back' if up['aborted']['all_on_old_epoch'] else 'STRADDLED'}"
+          f" ({', '.join(up['aborted']['rolled_back'])}); "
+          f"deadlocks {up['deadlocks']}")
+    out = args.out if args.out != "BENCH_wallclock.json" else (
+        "BENCH_fabric_soak.json"
+    )
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    print(f"wrote {out}")
+    floor_ok = fw["served_fraction"] >= cfg.served_floor
+    return 0 if (floor_ok and up["deadlocks"] == 0) else 1
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """Differential fuzzing: run seeds (or replay a pinned case)."""
     from repro.fuzz import Scenario, diverges, generate, minimize, run_scenario
@@ -578,6 +633,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "instead of hanging")
     p_bench.add_argument("--churn-mods", type=int, default=2_000,
                          help="with --megascale: flow-mods per churn rung")
+    p_bench.add_argument("--fabric-soak", action="store_true",
+                         help="soak a 4-leaf/2-spine fabric under one "
+                              "control plane: tenant churn, a scripted "
+                              "leaf blackout, SLO telemetry, and the "
+                              "rolling/aborted upgrade legs (writes "
+                              "BENCH_fabric_soak.json; exits 1 if the "
+                              "served-fraction floor is broken or the "
+                              "supervisor deadlocks)")
+    p_bench.add_argument("--soak-ticks", type=int, default=48,
+                         help="with --fabric-soak: soak length in "
+                              "0.5 s virtual-time ticks")
     p_bench.add_argument("--flows", default="1000", metavar="N",
                          help="flow count; scientific notation accepted "
                               "(1e6 = a million flows)")

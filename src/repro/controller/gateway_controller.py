@@ -11,7 +11,7 @@ The controller recognizes subscribers by their private address shape
 from __future__ import annotations
 
 from repro.net.addresses import ip_to_int
-from repro.openflow.messages import PacketIn
+from repro.openflow.messages import FlowModFailedCode, PacketIn
 from repro.packet.parser import parse
 from repro.openflow.fields import field_by_name
 from repro.usecases import gateway
@@ -23,26 +23,45 @@ class GatewayController:
     Hardened like :class:`~repro.controller.learning_switch.
     LearningSwitch`: garbage packet-ins are counted (``malformed``) and
     dropped, never raised, and a subscriber is marked admitted only after
-    the switch actually accepted the NAT rules — a rejected install
+    the switch actually accepted *all* the NAT rules — a rejected install
     (``install_failures``) leaves the subscriber un-admitted so the next
     punt retries.
+
+    A batch bounced for ``TABLE_FULL`` is **split**, not retried
+    verbatim: the errors echo the offending mods (OpenFlow echoes the
+    failed request in ``ErrorMsg.data``), so the admissible complement is
+    resubmitted immediately and only the overflow is parked in
+    ``pending_overflow`` for the subscriber's next punt. Retrying the
+    whole batch verbatim would wedge a subscriber forever behind one full
+    table even when every other rule had room.
+
+    ``via`` (on :meth:`handle`/``__call__``) selects which switch handle
+    receives the install, so one controller instance can serve every leaf
+    of a fabric — each leaf's session passes itself as ``via`` and the
+    rules land on the switch that punted.
     """
 
-    def __init__(self, switch, n_ce: int = 10, users_per_ce: int = 20):
+    def __init__(self, switch=None, n_ce: int = 10, users_per_ce: int = 20):
         self.switch = switch
         self.n_ce = n_ce
         self.users_per_ce = users_per_ce
         self.admitted: set[tuple[int, int]] = set()
+        #: subscriber -> mods bounced with TABLE_FULL, retried alone on
+        #: the subscriber's next punt (the complement already landed).
+        self.pending_overflow: "dict[tuple[int, int], list]" = {}
         self.rejected = 0
         self.packet_ins = 0
         self.malformed = 0
         self.install_failures = 0
+        self.table_full_splits = 0
+        self.overflow_retries = 0
 
-    def __call__(self, packet_in: PacketIn) -> None:
-        self.handle(packet_in)
+    def __call__(self, packet_in: PacketIn, via=None) -> None:
+        self.handle(packet_in, via=via)
 
-    def handle(self, packet_in: PacketIn) -> None:
+    def handle(self, packet_in: PacketIn, via=None) -> None:
         self.packet_ins += 1
+        target = via if via is not None else self.switch
         try:
             view = parse(packet_in.pkt)
             src = field_by_name("ipv4_src").extract(view)
@@ -57,18 +76,60 @@ class GatewayController:
         if subscriber in self.admitted:
             return  # rules already installed; packet raced the update
         ce, user = subscriber
-        if not self._install(gateway.nat_flow_mods(ce, user)):
-            self.install_failures += 1
-            return  # stays un-admitted: the next punt retries
-        self.admitted.add(subscriber)
+        overflow_only = self.pending_overflow.get(subscriber)
+        if overflow_only is not None:
+            self.overflow_retries += 1
+            mods = list(overflow_only)
+        else:
+            mods = list(gateway.nat_flow_mods(ce, user))
+        landed, overflow = self._install(mods, target)
+        if landed:
+            self.pending_overflow.pop(subscriber, None)
+            self.admitted.add(subscriber)
+            return
+        self.install_failures += 1
+        if overflow is not None:
+            # The complement landed; park only the overflow for retry.
+            self.pending_overflow[subscriber] = overflow
+        # else: nothing landed (channel down, hard reject) — the same
+        # batch is retried verbatim on the next punt.
 
-    def _install(self, mods) -> bool:
-        submit = getattr(self.switch, "submit_flow_mods", None)
-        if submit is not None:
-            return bool(submit(list(mods)))
-        for mod in mods:
-            self.switch.apply_flow_mod(mod)
-        return True
+    def _install(self, mods, target) -> "tuple[bool, list | None]":
+        """Install a batch on ``target``.
+
+        Returns ``(True, None)`` when everything landed; ``(False,
+        overflow)`` when a TABLE_FULL split landed the complement and
+        ``overflow`` must be retried later; ``(False, None)`` when
+        nothing landed.
+        """
+        submit = getattr(target, "submit_flow_mods", None)
+        if submit is None:
+            for mod in mods:
+                target.apply_flow_mod(mod)
+            return True, None
+        reply = submit(list(mods))
+        if reply:
+            return True, None
+        overflow_ids = {
+            id(err.data)
+            for err in reply.errors
+            if err.code is FlowModFailedCode.TABLE_FULL
+            and err.data is not None
+        }
+        admissible = [m for m in mods if id(m) not in overflow_ids]
+        if not overflow_ids or len(admissible) == len(mods):
+            return False, None  # not a capacity reject: retry verbatim
+        overflow = [m for m in mods if id(m) in overflow_ids]
+        if not admissible:
+            # The whole batch is overflow; nothing to split out.
+            return False, None
+        self.table_full_splits += 1
+        if submit(admissible):
+            return False, overflow
+        # The complement bounced too (channel dropped mid-split, a
+        # second table filled): treat as nothing landed — the original
+        # batch is retried whole, so no mod is silently forgotten.
+        return False, None
 
     def _subscriber_of(
         self, src: "int | None", vlan: "int | None"

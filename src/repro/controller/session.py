@@ -185,6 +185,9 @@ class ControllerSession:
         self._xid = 0
 
         self.punt_queue: deque[PacketIn] = deque()
+        #: one-way latency of each delivered punt (bounded reservoir of
+        #: the most recent crossings) — the p99 the fabric soak reports.
+        self.punt_latencies: deque[float] = deque(maxlen=4096)
         self.outages = 0
         self.time_down_s = 0.0
         self.resyncs = 0
@@ -314,6 +317,7 @@ class ControllerSession:
                 self.punts_lost += 1
                 continue
             self.control_latency_s += latency
+            self.punt_latencies.append(latency)
             self.punts_delivered += 1
             delivered += 1
             self.controller(packet_in)

@@ -1,0 +1,198 @@
+"""Scriptable session-layer fault injection for the fabric.
+
+The shard-level :class:`~repro.parallel.faults.FaultInjector` made
+worker crashes deterministic and replayable; this module extends the
+same idiom one layer up, to the control plane. A
+:class:`FabricFaultPlan` is pure data — frozen specs, orderable,
+armable — and an armed plan is driven entirely by virtual time from the
+supervisor's tick, so every outage scenario replays bit-for-bit.
+
+Fault kinds (the fault-plan matrix of DESIGN §12):
+
+``blackout``
+    The controller peer goes silent for the window
+    (:meth:`ControllerSession.disconnect`): echoes go unanswered, the
+    liveness timeout declares an outage, the leaf degrades to its §6.4
+    fail mode. Recovery is evidence-based after the window closes.
+``latency_storm``
+    The channel's base delay and jitter are scaled by ``magnitude`` for
+    the window — the control plane slows but stays up; punt latency
+    p99 is where this shows.
+``keepalive_eclipse``
+    The channel eats *every* message for the window (loss pinned to 1).
+    Distinct from a blackout: the peer is fine, the wire is not — but
+    §6.4 cannot tell the difference, which is the point.
+``controller_stall``
+    The controller process wedges: delivered punts are dropped on the
+    floor at the controller face. The channel and echoes stay healthy,
+    so no outage is declared — admission just stops, the quiet failure
+    mode a served-fraction SLO exists to catch. Target ``"*"`` stalls
+    every leaf's face at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+FAULT_KINDS = (
+    "blackout",
+    "latency_storm",
+    "keepalive_eclipse",
+    "controller_stall",
+)
+
+
+@dataclass(frozen=True, order=True)
+class FabricFaultSpec:
+    """One scheduled fault window, pure data.
+
+    Attributes:
+        at_s: virtual time the fault begins.
+        target: switch name (``leaf0``, ``spine1``, …) or ``"*"`` for
+            every leaf (``controller_stall`` only).
+        kind: one of :data:`FAULT_KINDS`.
+        duration_s: window length; the fault is healed at
+            ``at_s + duration_s``.
+        magnitude: ``latency_storm`` delay/jitter multiplier.
+    """
+
+    at_s: float
+    target: str
+    kind: str
+    duration_s: float = 5.0
+    magnitude: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.at_s < 0 or self.duration_s <= 0:
+            raise ValueError("fault windows need at_s >= 0, duration > 0")
+        if self.magnitude <= 0:
+            raise ValueError("magnitude must be positive")
+        if self.target == "*" and self.kind != "controller_stall":
+            raise ValueError('target "*" is only valid for controller_stall')
+
+
+@dataclass(frozen=True)
+class FabricFaultPlan:
+    """An ordered, immutable set of fault windows; arm against a fabric."""
+
+    specs: tuple[FabricFaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(sorted(self.specs)))
+
+    def arm(self, fabric) -> "ArmedFabricFaults":
+        return ArmedFabricFaults(fabric, self.specs)
+
+    @property
+    def horizon_s(self) -> float:
+        """Virtual time by which every window has opened and closed."""
+        return max(
+            (s.at_s + s.duration_s for s in self.specs), default=0.0
+        )
+
+
+@dataclass
+class _ActiveFault:
+    spec: FabricFaultSpec
+    ends_at_s: float
+    undo: object  # zero-arg callable restoring pre-fault state
+
+
+class ArmedFabricFaults:
+    """A fault plan bound to one fabric, driven by :meth:`tick`.
+
+    ``tick(now_s)`` opens every window whose start has passed and closes
+    every window whose end has; both edges are idempotent and logged
+    (``log`` holds ``(t, event, target, kind)`` tuples for the soak
+    report). Call it from the same loop that advances fabric time —
+    BEFORE the advance for windows to open at their nominal timestamps.
+    """
+
+    def __init__(self, fabric, specs: tuple[FabricFaultSpec, ...]):
+        self.fabric = fabric
+        self._pending: list[FabricFaultSpec] = sorted(specs)
+        self._active: list[_ActiveFault] = []
+        self.fired = 0
+        self.healed = 0
+        self.log: list[tuple[float, str, str, str]] = []
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._pending and not self._active
+
+    def tick(self, now_s: float) -> None:
+        # Close first so a back-to-back window on the same target starts
+        # from a healed state.
+        still = []
+        for active in self._active:
+            if active.ends_at_s <= now_s:
+                active.undo()
+                self.healed += 1
+                self.log.append(
+                    (now_s, "healed", active.spec.target, active.spec.kind)
+                )
+            else:
+                still.append(active)
+        self._active = still
+        while self._pending and self._pending[0].at_s <= now_s:
+            spec = self._pending.pop(0)
+            undo = self._start(spec)
+            self._active.append(
+                _ActiveFault(spec, spec.at_s + spec.duration_s, undo)
+            )
+            self.fired += 1
+            self.log.append((now_s, "fired", spec.target, spec.kind))
+
+    # -- per-kind start/undo ----------------------------------------------
+
+    def _start(self, spec: FabricFaultSpec):
+        if spec.kind == "blackout":
+            session = self.fabric.session_of(spec.target)
+            session.disconnect()
+            return session.reconnect
+        if spec.kind == "latency_storm":
+            channel = self.fabric.session_of(spec.target).channel
+            delay, jitter = channel.delay_s, channel.jitter_s
+            channel.delay_s = delay * spec.magnitude
+            channel.jitter_s = jitter * spec.magnitude
+
+            def undo() -> None:
+                channel.delay_s = delay
+                channel.jitter_s = jitter
+
+            return undo
+        if spec.kind == "keepalive_eclipse":
+            channel = self.fabric.session_of(spec.target).channel
+            loss = channel.loss
+            # random() < 1.0 is always true: a total, deterministic
+            # eclipse (no RNG draw can escape it).
+            channel.loss = 1.0
+
+            def undo() -> None:
+                channel.loss = loss
+
+            return undo
+        # controller_stall
+        faces = [
+            leaf.face
+            for leaf in self.fabric.leaves
+            if spec.target in ("*", leaf.name)
+        ]
+        if not faces:
+            raise KeyError(spec.target)
+        for face in faces:
+            face.stalled = True
+
+        def undo() -> None:
+            for face in faces:
+                face.stalled = False
+
+        return undo
+
+
+NO_FABRIC_FAULTS = FabricFaultPlan(())

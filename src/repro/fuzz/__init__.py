@@ -9,13 +9,24 @@ The subsystem has four parts, one module each:
 * :mod:`repro.fuzz.diff` — the differential oracle across fused,
   trampoline, linked-list, OVS-model, and sharded backends;
 * :mod:`repro.fuzz.shrink` — greedy minimization of failures into
-  corpus seeds.
+  corpus seeds;
+* :mod:`repro.fuzz.outage` — the session-layer parity harness: a
+  disconnect-reconnect run must converge to the never-disconnected
+  run's verdicts after resync.
 
 Entry points: ``repro fuzz`` (CLI) and ``tests/test_differential_fuzz.py``.
 """
 
 from repro.fuzz.diff import DEFAULT_WORKERS, Divergence, diverges, run_scenario, run_seed
-from repro.fuzz.gen import GenerationError, RUNGS, generate, generate_churn, generate_large
+from repro.fuzz.gen import (
+    GenerationError,
+    RUNGS,
+    generate,
+    generate_churn,
+    generate_fabric_outage,
+    generate_large,
+)
+from repro.fuzz.outage import run_outage_parity
 from repro.fuzz.scenario import Scenario, packet_to_obj
 from repro.fuzz.shrink import minimize
 
@@ -28,9 +39,11 @@ __all__ = [
     "diverges",
     "generate",
     "generate_churn",
+    "generate_fabric_outage",
     "generate_large",
     "minimize",
     "packet_to_obj",
+    "run_outage_parity",
     "run_scenario",
     "run_seed",
 ]

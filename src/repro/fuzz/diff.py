@@ -141,8 +141,9 @@ class _OvsBackend:
         return sums, [bytes(p.data) for p in pkts]
 
     def apply(self, mods):
-        for mod in mods:
-            self.switch.apply_flow_mod(mod)
+        # One cache collapse per accepted batch, not per mod — the
+        # generation-bump batching the reactive install path relies on.
+        self.switch.apply_flow_mods(mods)
 
     def counters(self):
         return _counters(self.switch.pipeline)

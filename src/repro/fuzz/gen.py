@@ -696,6 +696,126 @@ def generate_churn(seed: int, n_entries: int = 160) -> Scenario:
     )
 
 
+def generate_fabric_outage(seed: int, n_cohorts: int = 12) -> Scenario:
+    """The fabric-outage scenario class: blackout mid flow-mod storm.
+
+    The control session goes dark in the middle of a sustained flow-mod
+    storm, reconnects, the controller re-delivers what was lost (the
+    resync), and after convergence the table state — and therefore every
+    verdict — must be indistinguishable from a run that never
+    disconnected. That is exactly the invariant the fabric supervisor's
+    recovery path leans on, pinned here differentially:
+
+    * the **storm**: ``n_cohorts`` flow-mod batches; batch *i* admits
+      cohort *i* (4 MAC rules into the hash table, 1 prefix into the
+      LPM table) and strict-deletes cohort *i - 2* — sustained add +
+      delete churn, the worst case for replaying out of order;
+    * the **outage window** (``scenario.outage``): the middle third of
+      the storm. The parity harness submits those batches against a
+      DOWN session (typed ``CHANNEL_DOWN`` rejects, nothing applied)
+      and re-delivers them, in order, after the evidence-based resync;
+    * aimed **probe bursts** between batches keep the caches hot across
+      the window, and a final all-cohort probe is the convergence
+      oracle both runs must agree on.
+
+    The differential matrix runs the same scenario with every batch
+    delivered — the never-disconnected baseline — so the corpus entry
+    also keeps all five backends honest about the storm itself.
+    """
+    if n_cohorts < 6:
+        raise ValueError("generate_fabric_outage needs n_cohorts >= 6")
+    rng = random.Random(f"fabric-outage/{seed}")
+    full_mac = domain.full_mask("eth_dst")
+    full_ip = domain.full_mask("ipv4_dst")
+    mask24 = (full_ip << 8) & full_ip
+
+    def mac_fields(cohort: int, i: int) -> dict:
+        return {
+            "eth_dst": ((0x02 << 40) | (0xFA << 32) | (cohort << 8) | i,
+                        full_mac)
+        }
+
+    def pfx_fields(cohort: int) -> dict:
+        return {"ipv4_dst": (((192 << 24) | (cohort << 8)) & mask24, mask24)}
+
+    # A small steady population so the pipeline is never empty: cohort
+    # numbering starts after it and never collides.
+    steady = list(range(n_cohorts, n_cohorts + 8))
+    hash_entries = [
+        {"priority": 1, "match": _match_obj(mac_fields(c, 0)),
+         "apply": [{"output": 1 + (c & 3)}], "goto": 1}
+        for c in steady
+    ]
+    hash_entries.append({"priority": 0, "match": {}, "apply": ["controller"]})
+    lpm_entries = [
+        {"priority": 24, "match": _match_obj(pfx_fields(c)),
+         "apply": [{"output": 1 + (c & 3)}]}
+        for c in steady
+    ]
+    lpm_entries.append({"priority": 0, "match": {}, "apply": ["drop"]})
+
+    def storm_batch(cohort: int) -> list:
+        batch = [
+            {"cmd": "add", "table": 0, "priority": 1,
+             "match": _match_obj(mac_fields(cohort, i)),
+             "apply": [{"output": 1 + ((cohort + i) & 3)}], "goto": 1}
+            for i in range(4)
+        ]
+        batch.append(
+            {"cmd": "add", "table": 1, "priority": 24,
+             "match": _match_obj(pfx_fields(cohort)),
+             "apply": [{"output": 1 + (cohort & 3)}]}
+        )
+        if cohort >= 2:  # sustained churn: evict the -2 cohort
+            batch.extend(
+                {"cmd": "delete", "table": 0, "priority": 1,
+                 "match": _match_obj(mac_fields(cohort - 2, i)),
+                 "strict": True}
+                for i in range(4)
+            )
+            batch.append(
+                {"cmd": "delete", "table": 1, "priority": 24,
+                 "match": _match_obj(pfx_fields(cohort - 2)),
+                 "strict": True}
+            )
+        return batch
+
+    def aimed_burst(cohorts) -> list:
+        out = []
+        for c in cohorts:
+            fields = dict(mac_fields(c, rng.randrange(4)))
+            fields.update(pfx_fields(rng.choice(steady)))
+            out.append(packet_to_obj(domain.packet_for_fields(rng, fields)))
+        return out
+
+    begin, end = n_cohorts // 3, (2 * n_cohorts) // 3
+    events: list = [{"burst": aimed_burst(steady)}]
+    for cohort in range(n_cohorts):
+        events.append({"mods": storm_batch(cohort)})
+        # Probes aimed at the latest cohort and at one the storm already
+        # evicted: both the add and the delete side stay observable.
+        events.append({"burst": aimed_burst([cohort, max(0, cohort - 2)])})
+    # The convergence oracle: every cohort ever admitted, the survivors
+    # (last two) forwarding, everything evicted punting at the miss rule.
+    events.append({"burst": aimed_burst(list(range(n_cohorts)) + steady)})
+
+    return Scenario(
+        pipeline_obj={"tables": [
+            {"id": 0, "name": "t0-hash-fabric", "miss": "drop",
+             "entries": hash_entries},
+            {"id": 1, "name": "t1-lpm-fabric", "miss": "drop",
+             "entries": lpm_entries},
+        ]},
+        events=events,
+        seed=seed,
+        name=f"fabric-outage-{n_cohorts}",
+        note="fabric-outage class: session blackout + resync during a "
+             "flow-mod storm; verdict parity with the never-disconnected "
+             "run after convergence",
+        outage=(begin, end),
+    )
+
+
 def _sane(scenario: Scenario) -> bool:
     """Dry-run the reference interpreter: a scenario whose *reference*
     crashes is a generator bug, not a differential finding."""

@@ -1,0 +1,126 @@
+"""The outage-parity harness: disconnect-reconnect vs never-disconnected.
+
+Runs a scenario twice through a :class:`~repro.controller.session.
+ControllerSession`-wrapped :class:`~repro.core.eswitch.ESwitch`:
+
+* the **baseline** delivers every flow-mod batch in order over a
+  reliable channel — the same schedule the differential matrix runs;
+* the **outage run** takes the session dark (disconnect, then virtual
+  time until the liveness timeout declares DOWN) for the scenario's
+  ``outage`` window of mod batches. Each dark batch is submitted anyway
+  and must come back as a typed ``CHANNEL_DOWN`` reject with nothing
+  applied; the harness queues it, exactly like a controller holding
+  undeliverable state for a dark switch. After the window the peer
+  returns, the next echo round-trip is the evidence that resyncs the
+  session, and the queued batches are re-delivered in their original
+  order.
+
+Parity is asserted where it is owed: **after convergence**. Verdicts
+*during* the window are expected to diverge (the dark switch is serving
+stale tables — that is what fail-standalone means); the final probe
+burst after re-delivery must match the baseline verdict for verdict,
+or the recovery path lost or reordered state.
+"""
+
+from __future__ import annotations
+
+from repro.controller.channels import LossyChannel
+from repro.controller.session import ControllerSession, SessionState
+from repro.core import ESwitch
+
+
+class _PuntSink:
+    """A packet-in sink that only counts: the parity runs are proactive
+    (the storm is the controller's state), so punts are observations."""
+
+    def __init__(self) -> None:
+        self.punts = 0
+
+    def __call__(self, _packet_in) -> None:
+        self.punts += 1
+
+
+def _reliable_channel() -> LossyChannel:
+    return LossyChannel(loss=0.0, delay_s=1e-3, jitter_s=0.0, seed=17)
+
+
+def _session_run(scenario, dark: bool) -> dict:
+    begin, end = scenario.outage if (dark and scenario.outage) else (-1, -1)
+    switch = ESwitch.from_pipeline(scenario.build_pipeline())
+    sink = _PuntSink()
+    session = ControllerSession(
+        switch, controller=sink, channel=_reliable_channel()
+    )
+    bursts: list[list] = []
+    lost: list[list] = []
+    rejected = 0
+    mod_index = 0
+
+    def redeliver() -> None:
+        session.reconnect()
+        # Recovery is evidence-based: the next echo round-trip after the
+        # peer returns closes the outage (resync), never this call.
+        while session.state is SessionState.DOWN:
+            session.advance(session.echo_interval_s)
+        while lost:
+            reply = session.submit_flow_mods(lost.pop(0))
+            assert reply, "re-delivered batch rejected after resync"
+
+    for event in scenario.events:
+        if "burst" in event:
+            pkts = scenario.build_packets(event["burst"])
+            bursts.append(
+                [v.summary() for v in session.process_burst(pkts)]
+            )
+            continue
+        if "tick" in event:
+            continue  # this class schedules no expiry
+        if mod_index == begin:
+            session.disconnect()
+            # Echo silence until liveness declares the outage.
+            while session.state is SessionState.UP:
+                session.advance(session.echo_interval_s)
+        if mod_index == end and lost:
+            redeliver()
+        mods = scenario.build_mods(event["mods"], switch.pipeline)
+        if begin <= mod_index < end:
+            reply = session.submit_flow_mods(mods)
+            assert not reply, "a DOWN session accepted a flow-mod batch"
+            rejected += 1
+            lost.append(mods)
+        else:
+            reply = session.submit_flow_mods(mods)
+            assert reply, "baseline-path batch rejected"
+        mod_index += 1
+    if lost:  # window ran to the end of the storm
+        redeliver()
+
+    return {
+        "bursts": bursts,
+        "final": bursts[-1] if bursts else [],
+        "rejected": rejected,
+        "punts": sink.punts,
+        "outages": session.outages,
+        "resyncs": session.resyncs,
+    }
+
+
+def run_outage_parity(scenario) -> dict:
+    """Both runs + the convergence-parity verdict (see module doc)."""
+    if not scenario.outage:
+        raise ValueError("scenario has no outage window")
+    baseline = _session_run(scenario, dark=False)
+    outage = _session_run(scenario, dark=True)
+    diverged_during = [
+        i
+        for i, (a, b) in enumerate(zip(baseline["bursts"], outage["bursts"]))
+        if a != b and i < len(baseline["bursts"]) - 1
+    ]
+    return {
+        "parity": baseline["final"] == outage["final"],
+        "final_packets": len(baseline["final"]),
+        "diverged_bursts_during": diverged_during,
+        "rejected_batches": outage["rejected"],
+        "baseline": {k: baseline[k] for k in ("punts", "outages", "resyncs")},
+        "outage": {k: outage[k] for k in ("punts", "outages", "resyncs")},
+    }

@@ -56,6 +56,12 @@ class Scenario:
     #: large-cardinality scenario class covers that rung differentially.
     direct_threshold: "int | None" = None
     source_budget: "int | None" = None
+    #: ``(begin, end)`` mod-batch indices (half-open, counting only
+    #: ``{"mods": ...}`` events) during which the control session is
+    #: dark in the outage-parity harness (:func:`repro.fuzz.outage.
+    #: run_outage_parity`). The differential matrix ignores it — its
+    #: run IS the never-disconnected baseline.
+    outage: tuple = ()
 
     # -- materializers (fresh objects every call, see module docstring) --
 
@@ -119,6 +125,8 @@ class Scenario:
         for knob in ("direct_threshold", "source_budget"):
             if getattr(self, knob) is not None:
                 out[knob] = getattr(self, knob)
+        if self.outage:
+            out["outage"] = list(self.outage)
         out["pipeline"] = self.pipeline_obj
         out["events"] = self.events
         return out
@@ -141,6 +149,7 @@ class Scenario:
             tight_meter=bool(obj.get("tight_meter", False)),
             direct_threshold=obj.get("direct_threshold"),
             source_budget=obj.get("source_budget"),
+            outage=tuple(obj.get("outage", ())),
         )
 
     def dumps(self) -> str:

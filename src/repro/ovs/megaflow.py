@@ -165,17 +165,29 @@ class MegaflowCache:
         self._gen_cell: list[int] = [0]
         self._subtables: dict[MaskSig, _MegaSubtable] = {}
         self._lru: "OrderedDict[tuple[MaskSig, tuple], MegaflowEntry]" = OrderedDict()
+        #: a whole-cache invalidation happened and the container clear is
+        #: still owed: swept at the next packet-path touch, so N flow-mods
+        #: between packets cost N generation bumps + ONE sweep.
+        self._sweep_pending = False
         self.hits = 0
         self.misses = 0
         self.insertions = 0
         self.evictions = 0
         self.invalidations = 0
 
+    def _sweep(self) -> None:
+        if self._sweep_pending:
+            self._subtables.clear()
+            self._lru.clear()
+            self._sweep_pending = False
+
     def __len__(self) -> int:
+        self._sweep()
         return len(self._lru)
 
     @property
     def subtable_count(self) -> int:
+        self._sweep()
         return len(self._subtables)
 
     def lookup(
@@ -187,6 +199,7 @@ class MegaflowCache:
         it stops at the first hit (ordering subtables by hit count keeps
         frequently used masks near the front, as OVS does).
         """
+        self._sweep()
         probed = 0
         found: MegaflowEntry | None = None
         for sub in self._subtables.values():
@@ -205,6 +218,7 @@ class MegaflowCache:
         return found, probed
 
     def insert(self, entry: MegaflowEntry) -> None:
+        self._sweep()
         entry.gen_cell = self._gen_cell
         entry.generation = self._gen_cell[0]
         entry._dead = False  # re-insertion after invalidation revives
@@ -231,11 +245,14 @@ class MegaflowCache:
         Generation-tagged: advancing the shared cell marks every issued
         entry dead at once (external holders — the EMC's microflow refs —
         observe it through :attr:`MegaflowEntry.dead`), so the flush is
-        O(1) instead of a walk over the whole cache per flow-mod.
+        O(1) instead of a walk over the whole cache per flow-mod. The
+        container clear is *deferred* to the next packet-path touch: a
+        reinstall batch of N mods pays N integer bumps plus one sweep,
+        not N × O(occupancy) dict clears — the reactive install path's
+        per-collapse-sweep cost the ROADMAP flagged at 10⁶ flows.
         """
         self._gen_cell[0] += 1
-        self._subtables.clear()
-        self._lru.clear()
+        self._sweep_pending = bool(self._lru)
         self.invalidations += 1
 
     def invalidate_overlapping(self, match) -> int:
@@ -249,6 +266,7 @@ class MegaflowCache:
         """
         from repro.openflow.fields import field_by_name
 
+        self._sweep()
         killed = 0
         for (sig, masked_key), entry in list(self._lru.items()):
             overlaps = True
@@ -275,6 +293,7 @@ class MegaflowCache:
         return killed
 
     def entries(self) -> list[MegaflowEntry]:
+        self._sweep()
         return list(self._lru.values())
 
 

@@ -30,17 +30,28 @@ class MicroflowCache:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, MegaflowEntry]" = OrderedDict()
+        #: key -> (insertion generation, megaflow ref). A whole-cache
+        #: invalidation bumps ``_gen`` instead of clearing the map, so a
+        #: reinstall batch of N flow-mods costs N integer increments; the
+        #: stale slots die lazily at their next lookup (or at the
+        #: telemetry-rate prune in ``__len__``).
+        self._entries: "OrderedDict[Hashable, tuple[int, MegaflowEntry]]" = (
+            OrderedDict()
+        )
+        self._gen = 0
         self.hits = 0
         self.misses = 0
         self.insertions = 0
         self.evictions = 0
 
     def lookup(self, key: Hashable) -> "MegaflowEntry | None":
-        entry = self._entries.get(key)
-        if entry is None or entry.dead:
-            if entry is not None:
-                del self._entries[key]  # lazy invalidation of dead refs
+        slot = self._entries.get(key)
+        if slot is None:
+            self.misses += 1
+            return None
+        gen, entry = slot
+        if gen != self._gen or entry.dead:
+            del self._entries[key]  # lazy invalidation of dead refs
             self.misses += 1
             return None
         self._entries.move_to_end(key)
@@ -48,7 +59,7 @@ class MicroflowCache:
         return entry
 
     def insert(self, key: Hashable, entry: "MegaflowEntry") -> None:
-        self._entries[key] = entry
+        self._entries[key] = (self._gen, entry)
         self._entries.move_to_end(key)
         self.insertions += 1
         if len(self._entries) > self.capacity:
@@ -60,8 +71,9 @@ class MicroflowCache:
         return hash(key) % self.capacity
 
     def invalidate(self) -> None:
-        """Flush everything (flow-table revalidation)."""
-        self._entries.clear()
+        """Flush everything (flow-table revalidation) — O(1), see
+        ``_entries``; dead slots are reaped lazily."""
+        self._gen += 1
 
     def __len__(self) -> int:
         """Live occupancy.
@@ -74,7 +86,11 @@ class MicroflowCache:
         packet path.
         """
         entries = self._entries
-        dead = [key for key, entry in entries.items() if entry.dead]
+        gen = self._gen
+        dead = [
+            key for key, (igen, entry) in entries.items()
+            if igen != gen or entry.dead
+        ]
         for key in dead:
             del entries[key]
         return len(entries)

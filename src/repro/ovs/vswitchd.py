@@ -61,12 +61,24 @@ class Vswitchd:
     def subtable_count(self, table_id: int) -> int:
         return len(self.classifier(table_id).subtables)
 
-    def upcall(self, pkt: Packet) -> UpcallResult:
-        """Full pipeline traversal + megaflow generation for one packet."""
+    def upcall(
+        self,
+        pkt: Packet,
+        view: "pp.ParsedPacket | None" = None,
+        key: "dict | None" = None,
+    ) -> UpcallResult:
+        """Full pipeline traversal + megaflow generation for one packet.
+
+        ``view``/``key`` let the datapath hand over the parse and key
+        extraction it already paid for on the fast-path probe (the key is
+        snapshotted before mutation, so callers may pass theirs directly).
+        """
         self.upcalls += 1
         verdict = Verdict()
-        view = pp.parse(pkt)
-        key = extract_key(view)
+        if view is None:
+            view = pp.parse(pkt)
+        if key is None:
+            key = extract_key(view)
         ingress_key = dict(key)
 
         mask_bits: dict[str, int] = {}

@@ -1,0 +1,368 @@
+"""The fabric soak: tenant churn + injected outages + SLO telemetry.
+
+Drives a :class:`~repro.fabric.topology.Fabric` through a deterministic
+virtual-time soak and reports against the SLOs of DESIGN §12:
+
+* **served-packet fraction** — of all access-side packets injected in a
+  window, how many were forwarded end to end (leaf NAT + spine RIB).
+  The acceptance floor applies to the *fault window*: while one leaf is
+  dark, the fabric-wide fraction must stay ≥ ``served_floor`` (the
+  other leaves are unaffected and the dark leaf's already-admitted
+  subscribers keep forwarding in fail-standalone);
+* **p99 punt latency** — 99th percentile of one-way punt channel
+  crossings across every leaf session (the reactive path's latency);
+* **install convergence time** — virtual time from a leaf's resync to
+  the first probe burst on it with zero punts (every active subscriber
+  re-admitted; reactive state has re-converged);
+* **drop budget** — fraction of injected packets dropped outright
+  (spine RIB misses, fail-secure kills); punted-but-unserved packets
+  are counted separately (they are latency, not loss, unless secure);
+* **per-leaf degraded time** — virtual seconds each leaf spent with its
+  session DOWN, from the supervisor's attribution.
+
+Tenant churn: subscribers activate staggered over ``arrival_ticks`` and
+deactivate ``lifetime_ticks`` later; each active subscriber emits fresh
+flows (new destination / source port) every tick, so admission punts,
+cache pressure, and ECMP spray all stay live through the soak.
+
+Everything — traffic, channels, faults — replays bit-for-bit from
+``seed``; wall-clock shows up only as a throughput observation in the
+report, never in behavior.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.controller.session import FailMode
+from repro.fabric import (
+    Fabric,
+    FabricFaultPlan,
+    FabricFaultSpec,
+    FabricSupervisor,
+)
+from repro.fabric.topology import BurstOutcome
+from repro.net.addresses import int_to_ip
+from repro.packet.builder import PacketBuilder
+from repro.usecases import gateway
+
+
+@dataclass
+class SoakConfig:
+    """Everything one soak run depends on (reportable + replayable)."""
+
+    n_leaves: int = 4
+    n_spines: int = 2
+    n_ce: int = 8
+    users_per_ce: int = 8
+    n_prefixes: int = 200
+    ticks: int = 48
+    tick_s: float = 0.5
+    pkts_per_subscriber: int = 2
+    arrival_ticks: int = 24       #: staggered subscriber arrivals
+    lifetime_ticks: int = 36      #: active window per subscriber
+    fail_mode: str = "fail-standalone"
+    outage_leaf: str = "leaf1"
+    outage_at_s: float = 6.0
+    outage_duration_s: float = 6.0
+    extra_faults: tuple = ()      #: additional FabricFaultSpec
+    upgrade: bool = True          #: run the rolling-upgrade legs
+    served_floor: float = 0.7
+    drop_budget: float = 0.05
+    seed: int = 42
+
+    def as_dict(self) -> dict:
+        return {
+            "n_leaves": self.n_leaves,
+            "n_spines": self.n_spines,
+            "n_ce": self.n_ce,
+            "users_per_ce": self.users_per_ce,
+            "n_prefixes": self.n_prefixes,
+            "ticks": self.ticks,
+            "tick_s": self.tick_s,
+            "pkts_per_subscriber": self.pkts_per_subscriber,
+            "arrival_ticks": self.arrival_ticks,
+            "lifetime_ticks": self.lifetime_ticks,
+            "fail_mode": self.fail_mode,
+            "outage_leaf": self.outage_leaf,
+            "outage_at_s": self.outage_at_s,
+            "outage_duration_s": self.outage_duration_s,
+            "upgrade": self.upgrade,
+            "served_floor": self.served_floor,
+            "drop_budget": self.drop_budget,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class _Subscriber:
+    ce: int
+    user: int
+    arrives_tick: int
+    leaves_tick: int
+
+
+def _population(cfg: SoakConfig) -> list[_Subscriber]:
+    subs = [
+        (ce, user)
+        for ce in range(cfg.n_ce)
+        for user in range(cfg.users_per_ce)
+    ]
+    n = len(subs)
+    return [
+        _Subscriber(
+            ce,
+            user,
+            arrives_tick=(k * cfg.arrival_ticks) // n,
+            leaves_tick=(k * cfg.arrival_ticks) // n + cfg.lifetime_ticks,
+        )
+        for k, (ce, user) in enumerate(subs)
+    ]
+
+
+def _flow_packet(sub: _Subscriber, fib, rng: random.Random):
+    value, depth, _port = fib[rng.randrange(len(fib))]
+    host_bits = 32 - depth
+    dst = value | (rng.getrandbits(host_bits) if host_bits else 0)
+    return (
+        PacketBuilder(in_port=gateway.ACCESS_PORT)
+        .eth(src="02:00:00:00:02:01", dst="02:00:00:00:02:02")
+        .vlan(vid=gateway.ce_vlan(sub.ce))
+        .ipv4(
+            src=int_to_ip(gateway.private_ip(sub.ce, sub.user)),
+            dst=int_to_ip(dst),
+        )
+        .tcp(src_port=1024 + rng.randrange(60000), dst_port=443)
+        .build()
+    )
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[idx]
+
+
+def _replay_signature(fabric: Fabric, trace: dict) -> list:
+    """Per-packet leaf verdict summaries of a probe trace (fresh copies).
+
+    The divergence oracle of the upgrade legs: an upgrade is only
+    accepted when this signature is bit-identical before and after.
+    """
+    signature = []
+    for leaf_name in sorted(trace):
+        leaf = fabric.leaf(leaf_name)
+        pkts = [p.copy() for p in trace[leaf_name]]
+        verdicts = leaf.switch.process_burst(pkts)
+        signature.extend(
+            (leaf_name, i, v.summary()) for i, v in enumerate(verdicts)
+        )
+    return signature
+
+
+def run_fabric_soak(cfg: "SoakConfig | None" = None) -> dict:
+    """Run one soak; returns the ``BENCH_fabric_soak.json`` document."""
+    cfg = cfg or SoakConfig()
+    faults = [
+        FabricFaultSpec(
+            at_s=cfg.outage_at_s,
+            target=cfg.outage_leaf,
+            kind="blackout",
+            duration_s=cfg.outage_duration_s,
+        ),
+        *cfg.extra_faults,
+    ]
+    plan = FabricFaultPlan(tuple(faults))
+    fabric = Fabric(
+        n_leaves=cfg.n_leaves,
+        n_spines=cfg.n_spines,
+        n_ce=cfg.n_ce,
+        users_per_ce=cfg.users_per_ce,
+        n_prefixes=cfg.n_prefixes,
+        fail_mode=FailMode(cfg.fail_mode),
+    )
+    supervisor = FabricSupervisor(fabric, faults=plan.arm(fabric))
+    population = _population(cfg)
+    rng = random.Random(cfg.seed)
+
+    totals = BurstOutcome()
+    fault_window = BurstOutcome()
+    declared_window = BurstOutcome()
+    per_tick: list[dict] = []
+    probe_packets = 0
+    fault_ends_s = cfg.outage_at_s + cfg.outage_duration_s
+    wall_start = time.perf_counter()
+
+    for tick in range(cfg.ticks):
+        supervisor.tick(cfg.tick_s)
+        in_fault_window = cfg.outage_at_s <= fabric.now <= (
+            fault_ends_s + cfg.tick_s
+        )
+        declared = bool(supervisor.degraded_leaves())
+
+        tick_outcome = BurstOutcome()
+        by_leaf: dict[str, list] = {}
+        for sub in population:
+            if not sub.arrives_tick <= tick < sub.leaves_tick:
+                continue
+            leaf = fabric.leaf_of(sub.ce, sub.user)
+            by_leaf.setdefault(leaf.name, []).extend(
+                _flow_packet(sub, fabric.fib, rng)
+                for _ in range(cfg.pkts_per_subscriber)
+            )
+        for leaf_name, pkts in sorted(by_leaf.items()):
+            tick_outcome.absorb(fabric.inject(leaf_name, pkts))
+
+        totals.absorb(tick_outcome)
+        if in_fault_window:
+            fault_window.absorb(tick_outcome)
+        if declared:
+            declared_window.absorb(tick_outcome)
+        per_tick.append(
+            {
+                "t_s": fabric.now,
+                "injected": tick_outcome.injected,
+                "served": tick_outcome.served,
+                "punted": tick_outcome.punted,
+                "dropped": tick_outcome.dropped,
+                "served_fraction": tick_outcome.served_fraction,
+                "in_fault_window": in_fault_window,
+                "declared_outage": declared,
+                "degraded_leaves": supervisor.degraded_leaves(),
+            }
+        )
+
+        # Convergence probes: a resynced leaf re-learns through re-punts;
+        # it has converged when a probe over its *active* subscribers
+        # punts nothing and serves everything.
+        for leaf_name in supervisor.awaiting_convergence():
+            leaf = fabric.leaf(leaf_name)
+            probe = [
+                _flow_packet(sub, fabric.fib, rng)
+                for sub in population
+                if sub.arrives_tick <= tick < sub.leaves_tick
+                and fabric.leaf_of(sub.ce, sub.user) is leaf
+            ]
+            if not probe:
+                supervisor.note_converged(leaf_name)
+                continue
+            probe_packets += len(probe)
+            outcome = fabric.inject(leaf_name, probe)
+            if outcome.punted == 0 and outcome.served == outcome.injected:
+                supervisor.note_converged(leaf_name)
+
+    wall_s = time.perf_counter() - wall_start
+    punt_samples = [
+        s for leaf in fabric.leaves for s in leaf.session.punt_latencies
+    ]
+    convergence = {
+        name: status.convergence_s
+        for name, status in supervisor.status.items()
+        if status.convergence_s is not None
+    }
+
+    report = {
+        "config": cfg.as_dict(),
+        "totals": {
+            "injected": totals.injected,
+            "served": totals.served,
+            "punted": totals.punted,
+            "dropped": totals.dropped,
+            "served_fraction": totals.served_fraction,
+            "probe_packets": probe_packets,
+        },
+        "outage": {
+            "fault_window": {
+                "injected": fault_window.injected,
+                "served": fault_window.served,
+                "served_fraction": fault_window.served_fraction,
+            },
+            "declared_window": {
+                "injected": declared_window.injected,
+                "served": declared_window.served,
+                "served_fraction": declared_window.served_fraction,
+            },
+            "served_floor": cfg.served_floor,
+            "fault_log": [list(e) for e in supervisor.faults.log],
+        },
+        "slo": {
+            "p99_punt_latency_s": _quantile(punt_samples, 0.99),
+            "p50_punt_latency_s": _quantile(punt_samples, 0.50),
+            "punt_samples": len(punt_samples),
+            "drop_fraction": (
+                totals.dropped / totals.injected if totals.injected else 0.0
+            ),
+            "drop_budget": cfg.drop_budget,
+            "install_convergence_s": convergence,
+            "degraded_time_s": {
+                name: status.degraded_time_s
+                for name, status in supervisor.status.items()
+            },
+        },
+        "supervisor": supervisor.telemetry(),
+        "wallclock": {
+            "elapsed_s": wall_s,
+            "pps": (totals.injected + probe_packets) / wall_s
+            if wall_s
+            else 0.0,
+        },
+    }
+
+    if cfg.upgrade:
+        report["upgrade"] = _upgrade_legs(cfg, fabric, supervisor, rng)
+    fabric.close()
+    return report
+
+
+def _upgrade_legs(cfg, fabric, supervisor, rng) -> dict:
+    """Rolling upgrade + injected-abort legs (acceptance criteria)."""
+    # A replay trace over admitted subscribers, grouped by home leaf.
+    trace: dict[str, list] = {}
+    for ce, user in sorted(fabric.controller.admitted):
+        leaf = fabric.leaf_of(ce, user)
+        sub = _Subscriber(ce, user, 0, 0)
+        trace.setdefault(leaf.name, []).append(
+            _flow_packet(sub, fabric.fib, rng)
+        )
+
+    before = _replay_signature(fabric, trace)
+    completed = supervisor.rolling_upgrade()
+    after = _replay_signature(fabric, trace)
+    divergence = sum(1 for a, b in zip(before, after) if a != b)
+
+    pre_abort_epoch = supervisor.epoch
+    abort_on = fabric.leaves[len(fabric.leaves) // 2].name
+    aborted = supervisor.rolling_upgrade(fail_refuse_on=abort_on)
+    after_abort = _replay_signature(fabric, trace)
+    abort_divergence = sum(
+        1 for a, b in zip(before, after_abort) if a != b
+    )
+    leaf_epochs = {
+        name: status.epoch for name, status in supervisor.status.items()
+    }
+    return {
+        "rolling": {
+            "completed": completed.completed,
+            "epoch": completed.epoch,
+            "upgraded": completed.upgraded,
+            "verdict_divergence": divergence,
+            "replayed_packets": len(before),
+        },
+        "aborted": {
+            "completed": aborted.completed,
+            "aborted_at": aborted.aborted_at,
+            "abort_reason": aborted.abort_reason,
+            "rolled_back": aborted.rolled_back,
+            "epoch": supervisor.epoch,
+            "all_on_old_epoch": all(
+                e == pre_abort_epoch for e in leaf_epochs.values()
+            ),
+            "leaf_epochs": leaf_epochs,
+            "verdict_divergence": abort_divergence,
+        },
+        "deadlocks": supervisor.deadlocks,
+    }

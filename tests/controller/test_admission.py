@@ -267,3 +267,112 @@ class TestBatchInvisibility:
         assert reply.cycles > 0.0
         assert sw.datapath.generation != generation
         assert sw.pipeline.table(0).has_rule(Match(eth_dst=0x0BB0), 5)
+
+
+class TestGatewayTableFullSplit:
+    """Regression: a TABLE_FULL reject used to retry the whole batch
+    verbatim, so one full table wedged a subscriber's admissible rules
+    forever. The controller must split the batch — land the admissible
+    complement, park only the overflow — and retry just the overflow on
+    the next punt."""
+
+    def make(self, ce_cap):
+        from repro.controller import GatewayController
+        from repro.usecases import gateway
+
+        pipeline, fib = gateway.build(
+            n_ce=2, users_per_ce=3, n_prefixes=50, provision_users=False
+        )
+        sw = ESwitch.from_pipeline(pipeline)
+        ctrl = GatewayController(sw, n_ce=2, users_per_ce=3)
+        sw.packet_in_handler = ctrl
+        # Fill-block the forward (per-CE) table so its NAT mod bounces
+        # TABLE_FULL while the reverse mod has room.
+        table = sw.pipeline.table(gateway.CE_TABLE_BASE)
+        table.max_entries = len(table.entries) + ce_cap
+        return sw, ctrl, fib
+
+    def punt(self, sw, fib):
+        from repro.usecases import gateway
+
+        flow = gateway.traffic(fib, 1, n_ce=2, users_per_ce=3)[0]
+        verdict = sw.process(flow.copy())
+        return flow, verdict
+
+    def test_admissible_complement_lands_overflow_is_parked(self):
+        from repro.usecases import gateway
+
+        sw, ctrl, fib = self.make(ce_cap=0)
+        rev_before = len(sw.pipeline.table(gateway.REVERSE_TABLE).entries)
+        _, verdict = self.punt(sw, fib)
+        assert verdict.to_controller
+        assert ctrl.table_full_splits == 1
+        assert ctrl.install_failures == 1
+        assert not ctrl.admitted
+        # The reverse-NAT rule landed despite the reject...
+        assert (
+            len(sw.pipeline.table(gateway.REVERSE_TABLE).entries)
+            == rev_before + 1
+        )
+        # ...and only the forward mod is parked for retry.
+        (pending,) = ctrl.pending_overflow.values()
+        assert [m.table_id for m in pending] == [gateway.CE_TABLE_BASE]
+
+    def test_retry_resubmits_only_the_overflow(self):
+        from repro.usecases import gateway
+
+        sw, ctrl, fib = self.make(ce_cap=0)
+        flow, _ = self.punt(sw, fib)
+        rev_after_split = len(sw.pipeline.table(gateway.REVERSE_TABLE).entries)
+        # Still full: the retry must bounce again WITHOUT re-sending the
+        # already-landed reverse mod (no duplicate growth, no new split).
+        assert sw.process(flow.copy()).to_controller
+        assert ctrl.overflow_retries == 1
+        assert ctrl.table_full_splits == 1
+        assert (
+            len(sw.pipeline.table(gateway.REVERSE_TABLE).entries)
+            == rev_after_split
+        )
+        assert not ctrl.admitted
+
+    def test_freed_capacity_completes_admission(self):
+        from repro.usecases import gateway
+
+        sw, ctrl, fib = self.make(ce_cap=0)
+        flow, _ = self.punt(sw, fib)
+        sw.pipeline.table(gateway.CE_TABLE_BASE).max_entries += 1
+        assert sw.process(flow.copy()).to_controller
+        assert ctrl.overflow_retries == 1
+        assert len(ctrl.admitted) == 1
+        assert not ctrl.pending_overflow
+        # Fully admitted: the retransmission takes the fast path.
+        assert sw.process(flow.copy()).forwarded
+
+    def test_uncapped_admission_never_splits(self):
+        sw, ctrl, fib = self.make(ce_cap=8)
+        _, verdict = self.punt(sw, fib)
+        assert verdict.to_controller
+        assert len(ctrl.admitted) == 1
+        assert ctrl.table_full_splits == 0
+        assert not ctrl.pending_overflow
+
+    def test_via_installs_into_the_punting_switch(self):
+        from repro.controller import GatewayController
+        from repro.openflow.messages import PacketIn
+        from repro.usecases import gateway
+
+        pipeline_a, fib = gateway.build(
+            n_ce=2, users_per_ce=3, n_prefixes=50, provision_users=False
+        )
+        pipeline_b, _ = gateway.build(
+            n_ce=2, users_per_ce=3, n_prefixes=50, provision_users=False
+        )
+        sw_a = ESwitch.from_pipeline(pipeline_a)
+        sw_b = ESwitch.from_pipeline(pipeline_b)
+        ctrl = GatewayController(sw_a, n_ce=2, users_per_ce=3)
+        flow = gateway.traffic(fib, 1, n_ce=2, users_per_ce=3)[0]
+        ctrl.handle(PacketIn(pkt=flow, table_id=gateway.CE_TABLE_BASE),
+                    via=sw_b)
+        assert len(ctrl.admitted) == 1
+        assert len(sw_b.pipeline.table(gateway.CE_TABLE_BASE).entries) == 1
+        assert len(sw_a.pipeline.table(gateway.CE_TABLE_BASE).entries) == 0

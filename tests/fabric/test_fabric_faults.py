@@ -1,0 +1,159 @@
+"""The fabric fault plan: scripted, deterministic, reversible windows.
+
+Every kind in the matrix (blackout, latency storm, keepalive eclipse,
+controller stall) fires at its virtual time, mutates exactly its
+target, and heals back to the pre-fault state when its window closes.
+"""
+
+import pytest
+
+from repro.controller.channels import LossyChannel
+from repro.fabric import (
+    FAULT_KINDS,
+    Fabric,
+    FabricFaultPlan,
+    FabricFaultSpec,
+    NO_FABRIC_FAULTS,
+)
+
+
+def reliable(role, name, index):
+    return LossyChannel(loss=0.0, delay_s=1e-3, seed=8000 + index)
+
+
+@pytest.fixture()
+def fabric():
+    with Fabric(
+        n_leaves=2, n_spines=1, n_ce=4, users_per_ce=2, n_prefixes=32,
+        channel_for=reliable,
+    ) as fab:
+        yield fab
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FabricFaultSpec(at_s=1.0, target="leaf0", kind="meteor")
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            FabricFaultSpec(at_s=-1.0, target="leaf0", kind="blackout")
+        with pytest.raises(ValueError):
+            FabricFaultSpec(
+                at_s=1.0, target="leaf0", kind="blackout", duration_s=0
+            )
+        with pytest.raises(ValueError):
+            FabricFaultSpec(
+                at_s=1.0, target="leaf0", kind="latency_storm", magnitude=0
+            )
+
+    def test_star_target_only_for_stall(self):
+        FabricFaultSpec(at_s=1.0, target="*", kind="controller_stall")
+        with pytest.raises(ValueError, match='"\\*"'):
+            FabricFaultSpec(at_s=1.0, target="*", kind="blackout")
+
+    def test_plan_sorts_specs_and_reports_horizon(self):
+        late = FabricFaultSpec(at_s=9.0, target="leaf0", kind="blackout",
+                               duration_s=2.0)
+        early = FabricFaultSpec(at_s=1.0, target="leaf1", kind="blackout")
+        plan = FabricFaultPlan((late, early))
+        assert plan.specs[0] is early
+        assert plan.horizon_s == 11.0
+        assert NO_FABRIC_FAULTS.horizon_s == 0.0
+
+
+class TestWindows:
+    def test_blackout_disconnects_then_heals(self, fabric):
+        plan = FabricFaultPlan((
+            FabricFaultSpec(at_s=1.0, target="leaf0", kind="blackout",
+                            duration_s=2.0),
+        ))
+        armed = plan.arm(fabric)
+        session = fabric.session_of("leaf0")
+        armed.tick(0.0)
+        assert not session._peer_down
+        armed.tick(1.0)
+        assert session._peer_down
+        assert fabric.session_of("leaf1")._peer_down is False
+        armed.tick(3.0)
+        assert not session._peer_down
+        assert armed.exhausted
+        assert [e[1] for e in armed.log] == ["fired", "healed"]
+
+    def test_latency_storm_scales_and_restores_channel(self, fabric):
+        channel = fabric.session_of("leaf0").channel
+        delay, jitter = channel.delay_s, channel.jitter_s
+        armed = FabricFaultPlan((
+            FabricFaultSpec(at_s=0.0, target="leaf0", kind="latency_storm",
+                            duration_s=1.0, magnitude=10.0),
+        )).arm(fabric)
+        armed.tick(0.0)
+        assert channel.delay_s == pytest.approx(delay * 10)
+        assert channel.jitter_s == pytest.approx(jitter * 10)
+        armed.tick(1.0)
+        assert channel.delay_s == pytest.approx(delay)
+        assert channel.jitter_s == pytest.approx(jitter)
+
+    def test_keepalive_eclipse_pins_total_loss(self, fabric):
+        channel = fabric.session_of("leaf0").channel
+        armed = FabricFaultPlan((
+            FabricFaultSpec(at_s=0.0, target="leaf0",
+                            kind="keepalive_eclipse", duration_s=1.0),
+        )).arm(fabric)
+        armed.tick(0.0)
+        assert channel.loss == 1.0
+        assert all(channel.deliver() is None for _ in range(16))
+        armed.tick(1.0)
+        assert channel.loss == 0.0
+
+    def test_controller_stall_wedges_faces_star_hits_all(self, fabric):
+        armed = FabricFaultPlan((
+            FabricFaultSpec(at_s=0.0, target="*", kind="controller_stall",
+                            duration_s=1.0),
+        )).arm(fabric)
+        armed.tick(0.0)
+        assert all(leaf.face.stalled for leaf in fabric.leaves)
+        fabric.leaves[0].face(object())
+        assert fabric.leaves[0].face.stalled_drops == 1
+        armed.tick(1.0)
+        assert not any(leaf.face.stalled for leaf in fabric.leaves)
+
+    def test_unknown_target_raises_at_fire_time(self, fabric):
+        armed = FabricFaultPlan((
+            FabricFaultSpec(at_s=0.0, target="leaf7", kind="blackout"),
+        )).arm(fabric)
+        with pytest.raises(KeyError):
+            armed.tick(0.0)
+
+    def test_back_to_back_windows_close_before_open(self, fabric):
+        # Second blackout on the same leaf starts from a healed state:
+        # its undo must restore "connected", not the first window's
+        # mid-fault state.
+        armed = FabricFaultPlan((
+            FabricFaultSpec(at_s=0.0, target="leaf0", kind="blackout",
+                            duration_s=1.0),
+            FabricFaultSpec(at_s=1.0, target="leaf0", kind="blackout",
+                            duration_s=1.0),
+        )).arm(fabric)
+        session = fabric.session_of("leaf0")
+        armed.tick(0.0)
+        assert session._peer_down
+        armed.tick(1.0)  # heals #1, fires #2
+        assert session._peer_down
+        assert armed.fired == 2 and armed.healed == 1
+        armed.tick(2.0)
+        assert not session._peer_down
+        assert armed.exhausted
+
+    def test_every_kind_is_coverable(self, fabric):
+        specs = tuple(
+            FabricFaultSpec(at_s=float(i), target="leaf0", kind=kind,
+                            duration_s=0.5)
+            for i, kind in enumerate(FAULT_KINDS)
+        )
+        armed = FabricFaultPlan(specs).arm(fabric)
+        for t in range(len(FAULT_KINDS) + 1):
+            armed.tick(float(t))
+        assert armed.fired == len(FAULT_KINDS)
+        assert armed.healed == len(FAULT_KINDS)
+        assert armed.exhausted

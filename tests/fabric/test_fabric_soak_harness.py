@@ -1,0 +1,62 @@
+"""The soak harness itself, at smoke size: report shape + SLO wiring.
+
+The full acceptance run lives in ``benchmarks/bench_fabric_soak.py``;
+this keeps the harness honest at tier-1 speed — the report documents
+what happened, the floors hold at tiny scale, and the whole run is
+deterministic under its seed.
+"""
+
+from repro.traffic.fabric_soak import SoakConfig, run_fabric_soak
+
+SMOKE = dict(
+    ticks=24, arrival_ticks=12, lifetime_ticks=18,
+    n_ce=4, users_per_ce=2, n_prefixes=32,
+    outage_at_s=3.0, outage_duration_s=3.0,
+)
+
+
+def test_soak_report_covers_the_slos():
+    rep = run_fabric_soak(SoakConfig(**SMOKE))
+    totals, outage, slo = rep["totals"], rep["outage"], rep["slo"]
+    assert totals["injected"] > 0
+    assert totals["served"] + totals["punted"] <= totals["injected"] + (
+        totals["dropped"]
+    )
+    assert outage["fault_window"]["injected"] > 0
+    assert outage["fault_window"]["served_fraction"] >= rep["config"][
+        "served_floor"
+    ]
+    assert [e[1] for e in outage["fault_log"]] == ["fired", "healed"]
+    assert slo["drop_fraction"] <= rep["config"]["drop_budget"]
+    assert slo["punt_samples"] > 0
+    assert slo["p99_punt_latency_s"] >= slo["p50_punt_latency_s"] >= 0.0
+    dark = rep["config"]["outage_leaf"]
+    assert rep["supervisor"]["leaves"][dark]["outages"] == 1
+    assert rep["supervisor"]["leaves"][dark]["resyncs"] == 1
+    assert slo["degraded_time_s"][dark] > 0.0
+    assert dark in slo["install_convergence_s"]
+
+
+def test_soak_upgrade_legs():
+    rep = run_fabric_soak(SoakConfig(**SMOKE))
+    up = rep["upgrade"]
+    assert up["rolling"]["completed"]
+    assert up["rolling"]["verdict_divergence"] == 0
+    assert up["rolling"]["replayed_packets"] > 0
+    assert not up["aborted"]["completed"]
+    assert up["aborted"]["all_on_old_epoch"]
+    assert up["aborted"]["verdict_divergence"] == 0
+    assert up["deadlocks"] == 0
+
+
+def test_soak_is_deterministic_under_its_seed():
+    a = run_fabric_soak(SoakConfig(upgrade=False, **SMOKE))
+    b = run_fabric_soak(SoakConfig(upgrade=False, **SMOKE))
+    # Wall-clock is the only nondeterministic block.
+    a.pop("wallclock"), b.pop("wallclock")
+    assert a == b
+
+
+def test_soak_without_upgrade_leg():
+    rep = run_fabric_soak(SoakConfig(upgrade=False, **SMOKE))
+    assert "upgrade" not in rep

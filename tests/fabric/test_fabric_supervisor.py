@@ -1,0 +1,230 @@
+"""The fabric supervisor: scoring, outage attribution, upgrades.
+
+Health scores fold session + engine health into [0, 1]; outages and
+resyncs become attributed events with degraded-time and convergence
+windows; rolling upgrades walk the fabric behind epoch barriers and an
+abort rolls every touched leaf back to the old epoch.
+"""
+
+import random
+
+from repro.controller.channels import LossyChannel
+from repro.fabric import (
+    Fabric,
+    FabricFaultPlan,
+    FabricFaultSpec,
+    FabricSupervisor,
+    UPGRADE_MARKER_PORT,
+    default_upgrade_mods,
+)
+from repro.fabric.supervisor import _inverse_mods
+from repro.net.addresses import int_to_ip
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.packet import PacketBuilder
+from repro.usecases import gateway
+
+
+def reliable(role, name, index):
+    return LossyChannel(loss=0.0, delay_s=1e-3, seed=9000 + index)
+
+
+def make(n_leaves=2, faults=None, **kwargs):
+    fabric = Fabric(
+        n_leaves=n_leaves, n_spines=1, n_ce=max(4, n_leaves),
+        users_per_ce=2, n_prefixes=32, channel_for=reliable, **kwargs,
+    )
+    armed = faults.arm(fabric) if faults is not None else None
+    return fabric, FabricSupervisor(fabric, faults=armed)
+
+
+def subscriber_pkt(ce, user, fib, rng):
+    value, depth, _port = fib[rng.randrange(len(fib))]
+    host_bits = 32 - depth
+    dst = value | (rng.getrandbits(host_bits) if host_bits else 0)
+    return (
+        PacketBuilder(in_port=gateway.ACCESS_PORT)
+        .eth()
+        .vlan(vid=gateway.ce_vlan(ce))
+        .ipv4(
+            src=int_to_ip(gateway.private_ip(ce, user)),
+            dst=int_to_ip(dst),
+        )
+        .tcp(src_port=1024 + rng.randrange(60000), dst_port=443)
+        .build()
+    )
+
+
+class TestScoring:
+    def test_healthy_fabric_scores_one(self):
+        fabric, sup = make()
+        with fabric:
+            for _ in range(4):
+                sup.tick(0.5)
+            assert all(s == 1.0 for s in sup.health_scores().values())
+            assert sup.degraded_leaves() == []
+
+    def test_down_session_scores_zero_and_accrues_degraded_time(self):
+        plan = FabricFaultPlan((
+            FabricFaultSpec(at_s=1.0, target="leaf0", kind="blackout",
+                            duration_s=4.0),
+        ))
+        fabric, sup = make(faults=plan)
+        with fabric:
+            declared = False
+            for _ in range(12):
+                sup.tick(0.5)
+                if "leaf0" in sup.degraded_leaves():
+                    declared = True
+                    assert sup.health_scores()["leaf0"] == 0.0
+            assert declared, "liveness never declared the blackout"
+            status = sup.status["leaf0"]
+            assert status.outages == 1
+            assert status.degraded_time_s > 0.0
+            assert sup.status["leaf1"].degraded_time_s == 0.0
+            kinds = [(name, what) for _t, name, what in sup.events]
+            assert ("leaf0", "outage") in kinds
+            assert ("leaf0", "resync") in kinds
+
+    def test_convergence_window_measured_by_workload(self):
+        plan = FabricFaultPlan((
+            FabricFaultSpec(at_s=1.0, target="leaf0", kind="blackout",
+                            duration_s=3.0),
+        ))
+        fabric, sup = make(faults=plan)
+        with fabric:
+            for _ in range(12):
+                sup.tick(0.5)
+            assert sup.awaiting_convergence() == ["leaf0"]
+            sup.tick(0.5)
+            window = sup.note_converged("leaf0")
+            assert window is not None and window > 0.0
+            assert sup.status["leaf0"].convergence_s == window
+            assert sup.awaiting_convergence() == []
+            # Idempotent: no pending resync -> no window.
+            assert sup.note_converged("leaf0") is None
+
+
+class TestRollingUpgrade:
+    def test_completes_and_is_verdict_invisible(self):
+        fabric, sup = make()
+        with fabric:
+            rng = random.Random(3)
+            pkts = [subscriber_pkt(0, u, fabric.fib, rng) for u in range(2)]
+            fabric.inject("leaf0", pkts)  # admit some reactive state
+            probe = [subscriber_pkt(0, u, fabric.fib, rng) for u in range(2)]
+            before = [
+                v.summary()
+                for v in fabric.leaf("leaf0").switch.process_burst(
+                    [p.copy() for p in probe]
+                )
+            ]
+            report = sup.rolling_upgrade()
+            assert report.completed
+            assert report.epoch == sup.epoch == 1
+            assert report.upgraded == [l.name for l in fabric.leaves]
+            assert all(
+                s.epoch == 1 for s in sup.status.values()
+            )
+            after = [
+                v.summary()
+                for v in fabric.leaf("leaf0").switch.process_burst(
+                    [p.copy() for p in probe]
+                )
+            ]
+            assert before == after
+            # The marker rule is present at the new epoch's priority.
+            marker = [
+                e
+                for e in fabric.leaf("leaf0").switch.pipeline
+                .get_or_create(0).entries
+                if e.match == Match(in_port=UPGRADE_MARKER_PORT)
+            ]
+            assert len(marker) == 1
+            assert marker[0].priority == 2  # 1 + epoch
+
+    def test_abort_rolls_back_every_touched_leaf(self):
+        fabric, sup = make(n_leaves=3)
+        with fabric:
+            report = sup.rolling_upgrade(fail_refuse_on="leaf1")
+            assert not report.completed
+            assert report.aborted_at == "leaf1"
+            assert "re-fuse failed" in report.abort_reason
+            assert report.upgraded == ["leaf0"]
+            # Newest-first rollback: the aborted leaf, then the
+            # already-upgraded ones.
+            assert report.rolled_back == ["leaf1", "leaf0"]
+            assert sup.epoch == 0
+            assert all(s.epoch == 0 for s in sup.status.values())
+            assert sup.deadlocks == 0
+            # No marker rule survives anywhere.
+            for leaf in fabric.leaves:
+                table = leaf.switch.pipeline.get_or_create(0)
+                assert not [
+                    e for e in table.entries
+                    if e.match == Match(in_port=UPGRADE_MARKER_PORT)
+                ]
+            # And the fabric still fuses + serves on the old epoch.
+            assert fabric.leaves[1].switch.warm()
+
+    def test_dark_leaf_refuses_barrier_and_aborts(self):
+        fabric, sup = make()
+        with fabric:
+            fabric.session_of("leaf0").disconnect()
+            fabric.advance(10.0)  # liveness declares the outage
+            report = sup.rolling_upgrade()
+            assert not report.completed
+            assert report.aborted_at == "leaf0"
+            assert "barrier" in report.abort_reason
+            assert sup.epoch == 0
+
+    def test_upgrade_goes_through_the_leaf_session(self):
+        fabric, sup = make()
+        with fabric:
+            sent_before = fabric.leaf("leaf0").session.health().sends
+            assert sup.rolling_upgrade().completed
+            assert fabric.leaf("leaf0").session.health().sends > sent_before
+
+    def test_custom_mods_and_inverse(self):
+        fabric, sup = make()
+        with fabric:
+            leaf = fabric.leaf("leaf0")
+            mods = [
+                FlowMod(
+                    FlowModCommand.ADD, 0, Match(in_port=4242),
+                    priority=7, instructions=(),
+                )
+            ]
+            inverse = _inverse_mods(mods, leaf.switch.pipeline)
+            assert len(inverse) == 1
+            assert inverse[0].command is FlowModCommand.DELETE
+            assert inverse[0].strict
+
+            report = sup.rolling_upgrade(mods_for_leaf=lambda _leaf: mods)
+            assert report.completed
+            table = leaf.switch.pipeline.get_or_create(0)
+            assert [
+                e for e in table.entries if e.match == Match(in_port=4242)
+            ]
+
+    def test_telemetry_shape(self):
+        fabric, sup = make()
+        with fabric:
+            sup.tick(0.5)
+            sup.rolling_upgrade()
+            doc = sup.telemetry()
+            assert doc["epoch"] == 1
+            assert doc["deadlocks"] == 0
+            assert set(doc["leaves"]) == {l.name for l in fabric.leaves}
+            assert any("epoch 1" in e[2] for e in doc["events"])
+
+
+class TestDefaultUpgradeMods:
+    def test_marker_is_verdict_invisible_port(self):
+        mods = default_upgrade_mods(3)
+        assert len(mods) == 1
+        assert mods[0].match == Match(in_port=UPGRADE_MARKER_PORT)
+        assert mods[0].priority == 4
+        assert UPGRADE_MARKER_PORT not in (
+            gateway.ACCESS_PORT, gateway.NETWORK_PORT,
+        )

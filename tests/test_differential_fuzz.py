@@ -30,8 +30,10 @@ from repro.fuzz import (
     diverges,
     generate,
     generate_churn,
+    generate_fabric_outage,
     generate_large,
     minimize,
+    run_outage_parity,
     run_scenario,
 )
 from repro.fuzz.shrink import size_of
@@ -191,6 +193,51 @@ class TestChurnScenario:
     def test_matrix_clean(self):
         divergences = run_scenario(generate_churn(1))
         assert not divergences, [str(d) for d in divergences]
+
+
+class TestFabricOutageScenario:
+    """The fabric-outage class: a session blackout + resync in the middle
+    of a flow-mod storm must converge to the never-disconnected run."""
+
+    def test_deterministic_and_round_trips(self):
+        a = generate_fabric_outage(3)
+        b = generate_fabric_outage(3)
+        assert a.to_obj() == b.to_obj()
+        assert Scenario.from_obj(
+            json.loads(json.dumps(a.to_obj()))
+        ).to_obj() == a.to_obj()
+        assert a.outage and 0 < a.outage[0] < a.outage[1]
+
+    def test_parity_after_convergence(self):
+        report = run_outage_parity(generate_fabric_outage(0))
+        assert report["parity"], "post-resync verdicts diverge from the " \
+            "never-disconnected run"
+        assert report["final_packets"] > 0
+        # The window must actually bite: every dark batch was rejected
+        # with a typed channel error, verdicts diverged *during* the
+        # outage, and exactly one outage/resync cycle was declared.
+        assert report["rejected_batches"] == 4
+        assert report["diverged_bursts_during"]
+        assert report["outage"] == {"punts": report["outage"]["punts"],
+                                    "outages": 1, "resyncs": 1}
+        assert report["baseline"]["outages"] == 0
+
+    def test_parity_across_seeds(self):
+        for seed in range(3):
+            report = run_outage_parity(generate_fabric_outage(seed))
+            assert report["parity"], f"seed {seed} lost convergence parity"
+
+    def test_matrix_clean(self):
+        # The differential matrix delivers every batch — the baseline
+        # run — so the corpus entry also pins the storm itself.
+        divergences = run_scenario(generate_fabric_outage(1))
+        assert not divergences, [str(d) for d in divergences]
+
+    def test_outage_window_requires_harness(self):
+        scenario = generate_fabric_outage(0)
+        scenario.outage = ()
+        with pytest.raises(ValueError, match="no outage window"):
+            run_outage_parity(scenario)
 
 
 class TestShrinker:
